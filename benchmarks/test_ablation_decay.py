@@ -1,0 +1,24 @@
+"""Ablation — feedback decay (the paper's §6 future-work heuristic).
+
+A documented *negative result*: on a transient-then-lasting phase change
+the paper's cumulative feedback already re-sensitizes quickly (the
+positive feedback E grows within a single lasting turn), so decaying the
+memory only erodes transient-phase robustness — plain AT stays the best
+protocol, and robustness degrades monotonically as the decay sharpens.
+"""
+
+from repro.bench.ablation import run_decay_ablation
+
+
+def test_decay_is_not_an_improvement(run_benched):
+    rows = run_benched(run_decay_ablation)
+    at = rows["AT"]
+    # AT beats or ties every decayed variant on the phase change...
+    for label in ("ATD g=0.9", "ATD g=0.5"):
+        assert at["time_s"] <= rows[label]["time_s"] * 1.02
+        assert at["migrations"] <= rows[label]["migrations"]
+    # ...while every adaptive variant still crushes eager FT1
+    for label in ("AT", "ATD g=0.9", "ATD g=0.5"):
+        assert rows[label]["time_s"] < rows["FT1"]["time_s"]
+    # stronger decay => weaker robustness (more migration churn)
+    assert rows["ATD g=0.5"]["migrations"] > rows["ATD g=0.9"]["migrations"]

@@ -1,0 +1,35 @@
+"""Ablation — home-based vs homeless LRC (the paper's §1 motivation).
+
+Shape targets, per [Iftode, HLRC]: the homeless protocol retains diffs at
+writers indefinitely (memory accumulation) and needs one fetch round trip
+per lagging writer at a fault, while the home-based protocol keeps no
+diff history at all and answers every fault with one round trip to the
+home.
+"""
+
+from repro.bench.ablation import run_homeless_ablation
+
+
+def test_homeless_accumulates_diff_memory(run_benched):
+    rows = run_benched(lambda: run_homeless_ablation(repetition=4))
+    assert rows["homeless"]["stored_diff_bytes"] > 0
+    assert rows["home-based NM"]["stored_diff_bytes"] == 0
+    assert rows["home-based AT"]["stored_diff_bytes"] == 0
+
+
+def test_homeless_pays_fetch_round_trips(run_benched):
+    rows = run_benched(lambda: run_homeless_ablation(repetition=4))
+    assert rows["homeless"]["fetch_rtts"] > 0
+    assert rows["home-based NM"]["fetch_rtts"] == 0
+
+
+def test_home_based_at_beats_homeless_on_lasting_pattern(run_benched):
+    """Once AT migrates the home to the single writer, updates are free;
+    the homeless writer still pays notice gossip and its readers still
+    fetch diffs."""
+    rows = run_benched(
+        lambda: run_homeless_ablation(repetition=16, total_updates=512)
+    )
+    assert (
+        rows["home-based AT"]["time_s"] < rows["homeless"]["time_s"] * 1.5
+    )

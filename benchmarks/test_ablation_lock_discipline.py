@@ -1,0 +1,31 @@
+"""Ablation — FIFO vs retry lock grants (the paper's runtime randomness).
+
+With retry grants, a releasing thread sometimes re-wins the lock, so the
+consecutive writing run becomes a random multiple of r (the behaviour the
+paper describes).  FT2 then migrates occasionally even at r=2 ("except in
+some individual cases"), while AT's feedback keeps treating the pattern
+as transient.
+"""
+
+from repro.bench.ablation import run_lock_discipline_ablation
+
+
+def test_retry_randomness_awakens_ft2_at_r2(run_benched):
+    rows = run_benched(lambda: run_lock_discipline_ablation(repetition=2))
+    # under FIFO, FT2 is deterministic round-robin: essentially no
+    # migrations at r=2 ("FT2 prohibits home migration when the
+    # repetition is two")
+    assert rows["FT2/fifo"]["migrations"] <= 2
+    # retry randomness creates repeat tenures — the paper's "multiple of
+    # r" — and FT2 starts firing on them ("individual cases")
+    assert rows["FT2/retry"]["migrations"] >= 10 * max(
+        rows["FT2/fifo"]["migrations"], 1
+    )
+    # AT remains the robust protocol under both disciplines: it migrates
+    # no more than FT2 does once the randomness is on, with comparable
+    # redirection cost
+    assert (
+        rows["AT/retry"]["migrations"]
+        <= 1.5 * rows["FT2/retry"]["migrations"]
+    )
+    assert rows["AT/retry"]["redir"] <= 1.5 * rows["FT2/retry"]["redir"]

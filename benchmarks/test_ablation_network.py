@@ -1,0 +1,23 @@
+"""Ablation — AT's benefit across interconnect generations.
+
+The home access coefficient alpha = 3/2 + (o+d)/(2*m_half) ties the
+migration trade-off to each network's half-peak length; migration stays
+a clear win on every interconnect even as all communication costs fall.
+"""
+
+from repro.bench.ablation import run_network_ablation
+
+
+def test_migration_helps_on_every_interconnect(run_benched):
+    rows = run_benched(run_network_ablation)
+    for name, row in rows.items():
+        assert row["at_speedup"] > 1.3, (
+            f"{name}: AT speedup only {row['at_speedup']:.2f}"
+        )
+        assert row["migrations"] > 0
+    # absolute times shrink with faster networks under both protocols
+    assert (
+        rows["fast-ethernet"]["at_time_s"]
+        > rows["gigabit"]["at_time_s"]
+        > rows["myrinet"]["at_time_s"]
+    )

@@ -1,0 +1,33 @@
+"""Ablation — new-home notification mechanisms (§3.2).
+
+The paper discusses the forwarding-pointer / broadcast / home-manager
+trade-off qualitatively; this bench measures it under migration churn on
+the synthetic workload, where *every* other node visits the new home each
+turn — precisely the case the paper calls out as broadcast's sweet spot
+("if after a home migration, all the other nodes need to visit the new
+home, then the broadcast mechanism is superior").
+"""
+
+from repro.bench.ablation import run_notification_ablation
+
+
+def test_notification_mechanisms_tradeoff(run_benched):
+    rows = run_benched(lambda: run_notification_ablation(repetition=8))
+    fp = rows["forwarding-pointer"]
+    bc = rows["broadcast"]
+    hm = rows["home-manager"]
+    # forwarding pointer: no notification traffic, pays redirections
+    assert fp["notify_msgs"] == 0
+    assert fp["redir"] > 0
+    # broadcast: pays notification messages, eliminates redirections
+    assert bc["notify_msgs"] > 0
+    assert bc["redir"] == 0
+    # home manager: posts updates and answers queries; redirection
+    # accumulation bounded (one miss resolves via the manager)
+    assert hm["notify_msgs"] > 0
+    assert hm["redir"] <= fp["redir"]
+    # on this all-nodes-visit workload, broadcast is the fastest (§3.2)
+    assert bc["time_s"] <= fp["time_s"]
+    assert bc["time_s"] <= hm["time_s"]
+    # every mechanism kept the protocol functional
+    assert fp["migrations"] == bc["migrations"] == hm["migrations"] > 0

@@ -1,0 +1,45 @@
+"""Ablation — the paper's protocol vs related-work migration policies.
+
+JUMP's migrating-home follows every writer (§2: "the worst case happens
+when the shared page is written by processes sequentially"), Jackal's
+lazy flushing caps transitions at five, JiaJia migrates only at barriers.
+"""
+
+from repro.bench.ablation import (
+    run_barrier_policy_ablation,
+    run_policy_ablation,
+)
+
+
+def test_policy_ablation_transient_pattern(run_benched):
+    """r=2: the sequential-writer pathology. JUMP keeps chasing writers
+    while AT's feedback shuts migration down."""
+    rows = run_benched(lambda: run_policy_ablation(repetition=2))
+    assert rows["JUMP"]["migrations"] > 5 * max(rows["AT"]["migrations"], 1)
+    assert rows["JUMP"]["redir"] > 5 * max(rows["AT"]["redir"], 1)
+    # Jackal's cap limits it to five transitions of this object
+    assert rows["LF"]["migrations"] <= 5
+    # AT is the fastest or tied-fastest protocol on the transient pattern
+    best = min(r["time_s"] for r in rows.values())
+    assert rows["AT"]["time_s"] <= 1.05 * best
+
+
+def test_policy_ablation_lasting_pattern(run_benched):
+    """r=8: everything that migrates beats NM; AT ties the best."""
+    rows = run_benched(lambda: run_policy_ablation(repetition=8))
+    for name in ("FT1", "AT", "JUMP"):
+        assert rows[name]["time_s"] < rows["NM"]["time_s"]
+    best = min(r["time_s"] for r in rows.values())
+    assert rows["AT"]["time_s"] <= 1.05 * best
+
+
+def test_policy_ablation_barrier_apps(run_benched):
+    rows = run_benched(lambda: run_barrier_policy_ablation(size=48))
+    # all migration policies beat NoMigration on SOR
+    for name in ("AT", "JIAJIA"):
+        assert rows[name]["time_s"] < rows["NM"]["time_s"]
+    # JiaJia piggybacks locations on barriers: zero redirections
+    assert rows["JIAJIA"]["redir"] == 0
+    # AT and JiaJia land within 25% of each other on this barrier workload
+    ratio = rows["AT"]["time_s"] / rows["JIAJIA"]["time_s"]
+    assert 0.75 < ratio < 1.25

@@ -1,0 +1,61 @@
+"""Ablation — synchronized method shipping vs home migration.
+
+§5.1 lists both among the GOS optimizations.  Shipping moves the
+*computation* to the data (two small messages per update, wherever the
+home is); migration moves the *data* to the computation (free updates
+once the home arrives, but redirections on the way).  On the lasting
+single-writer pattern the two compose: consecutive ships build the same
+consecutive-writes chain diffs do, the home migrates to the shipper, and
+the remaining ships become free local home writes.
+"""
+
+from repro.apps import SingleWriterBenchmark
+from repro.bench.runner import run_once
+
+NODES = 9
+
+
+def _run(policy, use_shipping, repetition=8, updates=512):
+    return run_once(
+        SingleWriterBenchmark(
+            total_updates=updates,
+            repetition=repetition,
+            use_shipping=use_shipping,
+        ),
+        policy=policy,
+        nodes=NODES,
+    )
+
+
+def test_shipping_beats_faulting_without_migration(run_benched):
+    pair = run_benched(
+        lambda: (_run("NM", False), _run("NM", True))
+    )
+    faulting, shipping = pair
+    # shipping avoids object fault-ins and diffs entirely
+    assert shipping.stats.events.get("ship", 0) > 0
+    assert shipping.stats.events["diff"] == 0
+    assert shipping.stats.total_bytes() < faulting.stats.total_bytes()
+    assert shipping.execution_time_us < faulting.execution_time_us
+
+
+def test_shipping_composes_with_migration(run_benched):
+    pair = run_benched(lambda: (_run("NM", True), _run("AT", True)))
+    ship_only, ship_plus_at = pair
+    # consecutive ships attract the home; later updates are local
+    assert ship_plus_at.migrations > 0
+    assert (
+        ship_plus_at.stats.events.get("ship", 0)
+        < ship_only.stats.events.get("ship", 0)
+    )
+    assert ship_plus_at.execution_time_us < ship_only.execution_time_us
+
+
+def test_migration_alone_comparable_to_shipping_on_lasting_pattern(
+    run_benched,
+):
+    pair = run_benched(lambda: (_run("AT", False), _run("AT", True)))
+    migrate_only, ship_plus_at = pair
+    # both end with local home writes; times land in the same ballpark
+    ratio = ship_plus_at.execution_time_us / migrate_only.execution_time_us
+    assert 0.5 < ratio < 1.5

@@ -1,0 +1,27 @@
+"""Ablation — sensitivity of AT to the feedback coefficient lambda.
+
+The paper fixes lambda = 1 "to make the home migration threshold be
+sensitive enough to the feedback" (§4.2).  Shape target: on the transient
+pattern, lambda = 0 (no feedback at all — a frozen T=1 protocol, i.e.
+FT1) migrates far more than any feedback-driven setting, and the r=4
+behaviour is stable across a wide lambda range — the protocol does not
+need fine tuning.
+"""
+
+from repro.bench.ablation import run_lambda_ablation
+
+
+def test_lambda_zero_degenerates_to_ft1(run_benched):
+    rows = run_benched(
+        lambda: run_lambda_ablation(lambdas=(0.0, 1.0), repetition=2)
+    )
+    assert rows[0.0]["migrations"] > 5 * max(rows[1.0]["migrations"], 1)
+    assert rows[0.0]["redir"] > rows[1.0]["redir"]
+
+
+def test_lambda_choice_not_critical(run_benched):
+    rows = run_benched(
+        lambda: run_lambda_ablation(lambdas=(0.5, 1.0, 2.0, 4.0), repetition=4)
+    )
+    times = [r["time_s"] for r in rows.values()]
+    assert max(times) <= 1.15 * min(times)

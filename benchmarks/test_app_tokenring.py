@@ -1,0 +1,55 @@
+"""Beyond-paper application bench: migratory data (TokenRing).
+
+The sequential-writers pathology of §2, swept by the tenure burst: at
+burst=1 the pattern is purely migratory (migration must NOT fire); at
+burst=8 each tenure is a short single-writer run (migration should fire
+and pay).  The adaptive threshold handles both ends of the sweep.
+"""
+
+from repro.apps import TokenRing
+from repro.bench.runner import run_once
+
+NODES = 5
+ROUNDS = 16
+
+
+def test_migratory_end_of_sweep(run_benched):
+    results = run_benched(
+        lambda: {
+            policy: run_once(
+                TokenRing(rounds=ROUNDS, burst=1), policy=policy, nodes=NODES
+            )
+            for policy in ("NM", "AT", "JUMP")
+        }
+    )
+    # AT tracks NM (no profitable migrations exist)
+    assert (
+        results["AT"].execution_time_us
+        <= 1.02 * results["NM"].execution_time_us
+    )
+    # JUMP pays the §2 pathology
+    assert (
+        results["JUMP"].execution_time_us
+        > 1.5 * results["AT"].execution_time_us
+    )
+    assert results["JUMP"].migrations > 50
+
+
+def test_single_writer_end_of_sweep(run_benched):
+    results = run_benched(
+        lambda: {
+            policy: run_once(
+                TokenRing(rounds=ROUNDS, burst=8), policy=policy, nodes=NODES
+            )
+            for policy in ("NM", "AT", "FT1")
+        }
+    )
+    assert (
+        results["AT"].execution_time_us
+        < results["NM"].execution_time_us
+    )
+    assert results["AT"].migrations < results["FT1"].migrations
+    assert (
+        results["AT"].execution_time_us
+        <= 1.05 * results["FT1"].execution_time_us
+    )

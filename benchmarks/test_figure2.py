@@ -1,0 +1,48 @@
+"""Figure 2 — execution time vs processors, HM vs NoHM (paper §5.1).
+
+Shape targets: HM (the adaptive protocol) substantially beats NoHM on ASP
+and SOR, is neutral on NBody and TSP, and times decrease with processors.
+"""
+
+import pytest
+
+from repro.apps import Asp, NBody, Sor, Tsp
+from repro.bench.figure2 import run_figure2
+
+
+APPS_QUICK = {
+    "ASP": lambda: Asp(size=96),
+    "SOR": lambda: Sor(size=96, iterations=8),
+    "NBody": lambda: NBody(bodies=96, steps=2),
+    "TSP": lambda: Tsp(cities=11),
+}
+
+
+@pytest.mark.parametrize("app_name", list(APPS_QUICK))
+def test_figure2_app(run_benched, app_name):
+    data = run_benched(
+        lambda: run_figure2(
+            processor_counts=(2, 4, 8),
+            apps={app_name: APPS_QUICK[app_name]},
+        )
+    )
+    times = data["times"][app_name]
+    ratio_at_8 = times["HM"][8] / times["NoHM"][8]
+    if app_name in ("ASP", "SOR"):
+        assert ratio_at_8 < 0.7, f"{app_name}: HM should win big, got {ratio_at_8:.2f}"
+    else:
+        assert 0.9 < ratio_at_8 < 1.1, (
+            f"{app_name}: HM should be neutral, got {ratio_at_8:.2f}"
+        )
+    # parallelism helps under HM between 2 and 8 processors
+    assert times["HM"][8] < times["HM"][2]
+
+
+def test_figure2_messages_drop_under_hm(run_benched):
+    data = run_benched(
+        lambda: run_figure2(
+            processor_counts=(8,), apps={"SOR": APPS_QUICK["SOR"]}
+        )
+    )
+    messages = data["messages"]["SOR"]
+    assert messages["HM"][8] < 0.6 * messages["NoHM"][8]

@@ -1,0 +1,33 @@
+"""Figure 3 — AT improvement over FT2 vs problem size on 8 nodes (§5.1).
+
+Shape targets: AT never loses on time/messages/traffic for either app;
+SOR's improvement grows with the matrix size.
+"""
+
+from repro.bench.figure3 import run_figure3
+
+SIZES = (32, 64, 128)
+
+
+def test_figure3_at_never_loses(run_benched):
+    data = run_benched(lambda: run_figure3(sizes=SIZES))
+    for app_name in ("ASP", "SOR"):
+        for size, vals in data["improvements"][app_name].items():
+            assert vals["time"] >= -1.0, (
+                f"{app_name}@{size}: AT lost on time ({vals['time']:.1f}%)"
+            )
+            assert vals["messages"] >= 0.0
+            assert vals["traffic"] >= 0.0
+
+
+def test_figure3_sor_improvement_grows_with_size(run_benched):
+    data = run_benched(lambda: run_figure3(sizes=SIZES))
+    sor = data["improvements"]["SOR"]
+    series = [sor[size]["time"] for size in SIZES]
+    assert series[-1] > series[0]
+
+
+def test_figure3_asp_improvement_positive_everywhere(run_benched):
+    data = run_benched(lambda: run_figure3(sizes=SIZES))
+    asp = data["improvements"]["ASP"]
+    assert all(asp[size]["time"] > 0 for size in SIZES)

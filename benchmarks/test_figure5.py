@@ -1,0 +1,69 @@
+"""Figure 5 — sensitivity/robustness sweep of NM/FT1/FT2/AT (§5.2).
+
+Shape targets (the paper's four observations):
+
+1. large repetition => home migration wins big (FT1 and AT eliminate most
+   object fault-ins and diff propagations);
+2. small repetition => migration may not pay off;
+3. FT1 is more sensitive than FT2 at every repetition; AT matches FT1 at
+   r in {8, 16};
+4. fixed thresholds blow up redirections at r in {2, 4}; AT suppresses
+   them.
+"""
+
+from repro.bench.figure5 import run_figure5
+
+UPDATES = 512
+
+
+def _sweep():
+    return run_figure5(total_updates=UPDATES)
+
+
+def test_figure5_large_repetition_elimination(run_benched):
+    data = run_benched(_sweep)
+    b = data["breakdowns"][16]
+    nm_traffic = b["NM"]["obj"] + b["NM"]["diff"]
+    for proto in ("FT1", "AT"):
+        traffic = b[proto]["obj"] + b[proto]["diff"] + b[proto]["mig"]
+        assert traffic < 0.2 * nm_traffic
+
+
+def test_figure5_ft1_more_sensitive_than_ft2(run_benched):
+    data = run_benched(_sweep)
+    for r in (4, 8, 16):
+        b = data["breakdowns"][r]
+        assert (
+            b["FT1"]["obj"] + b["FT1"]["diff"]
+            < b["FT2"]["obj"] + b["FT2"]["diff"]
+        )
+
+
+def test_figure5_at_matches_ft1_at_large_repetition(run_benched):
+    data = run_benched(_sweep)
+    for r in (8, 16):
+        times = data["times"][r]
+        assert times["AT"] <= 1.05 * times["FT1"]
+
+
+def test_figure5_fixed_thresholds_redirect_blowup_at_small_repetition(
+    run_benched,
+):
+    data = run_benched(_sweep)
+    for r in (2, 4):
+        b = data["breakdowns"][r]
+        assert b["FT1"]["redir"] > 4 * max(b["AT"]["redir"], 1)
+
+
+def test_figure5_at_robust_at_small_repetition(run_benched):
+    data = run_benched(_sweep)
+    times = data["times"][2]
+    assert times["AT"] <= 1.05 * times["NM"]
+    assert times["FT1"] > times["NM"]
+
+
+def test_figure5_normalization_well_formed(run_benched):
+    data = run_benched(_sweep)
+    for r, bars in data["normalized_times"].items():
+        assert max(bars.values()) == 1.0
+        assert all(0 < v <= 1.0 for v in bars.values())

@@ -1,0 +1,101 @@
+"""Microbenchmarks of the simulator's hot paths.
+
+Unlike the figure benches (which run once and assert shapes), these are
+true repeated-timing benchmarks guarding the harness's own performance:
+the event loop, the twin/diff pipeline, and the end-to-end cost of one
+simulated DSM operation.  Regressions here make the --full sweeps slow.
+"""
+
+import numpy as np
+
+from repro.cluster.hockney import FAST_ETHERNET
+from repro.core.policies import AdaptiveThreshold
+from repro.gos.space import GlobalObjectSpace
+from repro.gos.thread import ThreadContext
+from repro.memory.diff import apply_diff, compute_diff
+from repro.sim.engine import Simulator
+from repro.sim.process import Delay
+
+
+def test_event_loop_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(float(i % 97), lambda: None)
+        return sim.run()
+
+    benchmark(run_10k_events)
+
+
+def test_process_switch_throughput(benchmark):
+    def run_process_chain():
+        sim = Simulator()
+
+        def body():
+            for _ in range(2_000):
+                yield Delay(1.0)
+
+        for _ in range(4):
+            sim.spawn(body(), name="p")
+        return sim.run()
+
+    benchmark(run_process_chain)
+
+
+def test_diff_pipeline(benchmark):
+    twin = np.zeros(2048)
+    current = twin.copy()
+    current[100:130] = 1.0
+    current[1000] = 2.0
+    target = twin.copy()
+
+    def diff_roundtrip():
+        diff = compute_diff(1, twin, current)
+        apply_diff(target, diff)
+        return diff.size_bytes
+
+    benchmark(diff_roundtrip)
+
+
+def test_dsm_lock_increment_op_cost(benchmark):
+    """End-to-end harness cost of one synchronized remote counter update
+    (fault-in + twin + diff + ack + lock round trip)."""
+
+    def thousand_updates():
+        gos = GlobalObjectSpace(
+            2, FAST_ETHERNET, policy=AdaptiveThreshold()
+        )
+        obj = gos.alloc_fields(("v",), home=0)
+        lock = gos.alloc_lock(home=0)
+
+        def body():
+            ctx = ThreadContext(gos, tid=0, node=1)
+            for _ in range(1_000):
+                yield from ctx.acquire(lock)
+                payload = yield from ctx.write(obj)
+                payload[0] += 1.0
+                yield from ctx.release(lock)
+
+        gos.sim.spawn(body(), name="w")
+        gos.sim.run()
+        return gos.read_global(obj)[0]
+
+    result = benchmark(thousand_updates)
+    assert result == 1000.0
+
+
+def test_dsm_barrier_round_cost(benchmark):
+    def hundred_barriers():
+        gos = GlobalObjectSpace(4, FAST_ETHERNET)
+        barrier = gos.alloc_barrier(parties=4, home=0)
+
+        def body(tid):
+            ctx = ThreadContext(gos, tid=tid, node=tid)
+            for _ in range(100):
+                yield from ctx.barrier(barrier)
+
+        for tid in range(4):
+            gos.sim.spawn(body(tid), name=f"t{tid}")
+        return gos.sim.run()
+
+    benchmark(hundred_barriers)

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Tour of the adaptive threshold on the paper's synthetic benchmark.
+
+Reproduces Figure 5 at reduced scale: for each repetition ``r`` of the
+single-writer pattern, runs the synthetic shared-counter benchmark under
+NM / FT1 / FT2 / AT and prints the normalized execution times and the
+obj/mig/diff/redir message breakdown — showing AT's *sensitivity* to the
+lasting pattern (matches FT1 at large r) and *robustness* against the
+transient one (suppresses FT1's redirection storm at small r).
+
+Run:  python examples/adaptive_threshold_tour.py
+"""
+
+from repro.bench.figure5 import render_figure5, run_figure5
+
+
+def main() -> None:
+    data = run_figure5(total_updates=512)
+    print(render_figure5(data))
+    print()
+    at_small = data["breakdowns"][2]["AT"]["redir"]
+    ft1_small = data["breakdowns"][2]["FT1"]["redir"]
+    print(
+        f"At r=2 (transient pattern) AT paid {at_small} redirections where "
+        f"FT1 paid {ft1_small}: the negative feedback R_i raised the "
+        "per-object threshold and shut migration down."
+    )
+    at_large = data["times"][16]["AT"]
+    nm_large = data["times"][16]["NM"]
+    print(
+        f"At r=16 (lasting pattern) AT runs in {at_large:.3f}s vs NM's "
+        f"{nm_large:.3f}s: the positive feedback E_i (exclusive home "
+        "writes) kept the threshold at its floor, migrating eagerly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Quickstart: run one application with and without home migration.
+
+Builds a simulated 8-node Fast-Ethernet cluster, runs red-black SOR on
+the home-based DSM with migration disabled (the paper's NoHM) and with
+the adaptive-threshold protocol (AT), verifies both results against the
+sequential oracle, and prints the comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AdaptiveThreshold, DistributedJVM, FAST_ETHERNET, NoMigration
+from repro.apps import Sor
+
+
+def main() -> None:
+    print("Simulated cluster: 8 nodes, Fast Ethernet "
+          f"(t0={FAST_ETHERNET.startup_us} us, "
+          f"r_inf={FAST_ETHERNET.bandwidth_mb_s} MB/s)\n")
+
+    results = {}
+    for label, policy in (("NoHM", NoMigration()), ("HM/AT", AdaptiveThreshold())):
+        app = Sor(size=128, iterations=10)
+        jvm = DistributedJVM(nodes=8, comm_model=FAST_ETHERNET, policy=policy)
+        result = jvm.run(app)
+        app.verify(result.output)  # raises if the DSM diverged from the oracle
+        results[label] = result
+        print(
+            f"{label:6s} time={result.execution_time_s:7.3f}s  "
+            f"messages={result.stats.total_messages():6d}  "
+            f"traffic={result.stats.total_bytes() / 1e6:6.2f} MB  "
+            f"migrations={result.migrations}"
+        )
+
+    speedup = (
+        results["NoHM"].execution_time_s / results["HM/AT"].execution_time_s
+    )
+    print(f"\nAdaptive home migration made SOR {speedup:.2f}x faster:")
+    print("each matrix row is written by exactly one thread (a lasting")
+    print("single-writer pattern), so its home migrates to the writer and")
+    print("the per-iteration fault-in/diff round trips disappear.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Scaling study of the four paper applications (Figure-2 style).
+
+Runs ASP, SOR, NBody and TSP on 2..8 simulated processors with home
+migration off (NoHM) and on (HM = adaptive threshold), verifying every
+run against its sequential oracle, and prints per-application scaling
+tables — the reproduction of the paper's Figure 2 at reduced problem
+sizes.
+
+Run:  python examples/scientific_kernels.py          (quick sizes)
+      python examples/scientific_kernels.py --full   (paper sizes, slow)
+"""
+
+import sys
+
+from repro.bench.figure2 import render_figure2, run_figure2
+
+
+def main() -> None:
+    mode = "full" if "--full" in sys.argv[1:] else "quick"
+    data = run_figure2(mode=mode, processor_counts=(2, 4, 8))
+    print(render_figure2(data))
+    print()
+    print("Reading the tables: the HM/NoHM row is the paper's headline —")
+    print("well below 1.0x for ASP and SOR (row objects start round-robin")
+    print("homed, migrate to their single writers), and ~1.0x for NBody")
+    print("and TSP (no exploitable single-writer pattern, and the adaptive")
+    print("protocol is light enough to cost nothing).")
+
+
+if __name__ == "__main__":
+    main()

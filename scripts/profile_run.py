@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Maintainer tool: profile the simulation harness on a representative run.
+
+The guides' rule — no optimization without measuring — applied to the
+harness itself.  Profiles one ASP run (the heaviest figure workload) with
+cProfile and prints the top functions by cumulative and internal time,
+so hot-path regressions in the engine/protocol are easy to localise.
+
+Usage:
+    python scripts/profile_run.py [--size N] [--nodes P] [--top K]
+"""
+
+import argparse
+import cProfile
+import pstats
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--size", type=int, default=256)
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--top", type=int, default=20)
+    args = parser.parse_args()
+
+    from repro.apps import Asp
+    from repro.bench.runner import run_once
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_once(Asp(size=args.size), policy="AT", nodes=args.nodes)
+    profiler.disable()
+
+    print(
+        f"ASP({args.size}) on {args.nodes} nodes: simulated "
+        f"{result.execution_time_s:.2f}s, "
+        f"{result.stats.total_messages()} messages, "
+        f"{result.gos.sim.events_processed} engine events\n"
+    )
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    print("=== top by cumulative time ===")
+    stats.print_stats(args.top)
+    stats.sort_stats("tottime")
+    print("=== top by internal time ===")
+    stats.print_stats(args.top)
+
+
+if __name__ == "__main__":
+    main()

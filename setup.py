@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The offline toolchain here (pip 23.2 + setuptools 65.5, no `wheel`)
+cannot build PEP 660 editable wheels, so `pip install -e .` needs the
+legacy setup.py code path; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Result analysis helpers: normalization, improvements, speedups."""
+
+from repro.analysis.metrics import (
+    improvement_percent,
+    normalize_map,
+    normalize_series,
+    speedup,
+)
+from repro.analysis.scaling import (
+    crossover_size,
+    parallel_efficiency,
+    speedup_curve,
+)
+
+__all__ = [
+    "crossover_size",
+    "improvement_percent",
+    "normalize_map",
+    "normalize_series",
+    "parallel_efficiency",
+    "speedup",
+    "speedup_curve",
+]

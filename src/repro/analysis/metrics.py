@@ -1,0 +1,49 @@
+"""Small numeric helpers shared by the benchmark harness and tests.
+
+These mirror how the paper presents its data: Figure 5 normalizes each
+group of bars "to the largest one among them"; Figure 3 reports the
+*improvement* of AT over FT as a percentage reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def normalize_series(values: Iterable[float]) -> list[float]:
+    """Scale values to the largest one (paper's Figure-5 normalization)."""
+    values = list(values)
+    if not values:
+        return []
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError(f"cannot normalize series with peak {peak}")
+    return [v / peak for v in values]
+
+
+def normalize_map(values: Mapping[str, float]) -> dict[str, float]:
+    """Normalize a labelled group of bars to its largest member."""
+    keys = list(values)
+    normed = normalize_series(values[k] for k in keys)
+    return dict(zip(keys, normed))
+
+
+def improvement_percent(baseline: float, improved: float) -> float:
+    """Percentage reduction of ``improved`` relative to ``baseline``.
+
+    Positive means the improved variant is better (smaller); the paper's
+    Figure 3 reports exactly this for execution time, message number and
+    network traffic (AT over FT).
+    """
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return 100.0 * (baseline - improved) / baseline
+
+
+def speedup(time_low_parallelism: float, time_high_parallelism: float) -> float:
+    """Classic speedup ratio between two execution times."""
+    if time_high_parallelism <= 0:
+        raise ValueError(
+            f"time must be positive, got {time_high_parallelism}"
+        )
+    return time_low_parallelism / time_high_parallelism

@@ -1,0 +1,44 @@
+"""Scaling analysis helpers for processor sweeps (Figure-2-style data)."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def speedup_curve(times: Mapping[int, float]) -> dict[int, float]:
+    """Speedup relative to the smallest processor count in the sweep.
+
+    ``times`` maps processor count -> execution time; the baseline is the
+    entry with the fewest processors (the paper's sweeps start at P=2,
+    so this is *relative* speedup, as in Figure 2).
+    """
+    if not times:
+        return {}
+    base_p = min(times)
+    base_time = times[base_p]
+    if base_time <= 0:
+        raise ValueError(f"non-positive baseline time {base_time}")
+    return {p: base_time / t for p, t in sorted(times.items())}
+
+
+def parallel_efficiency(times: Mapping[int, float]) -> dict[int, float]:
+    """Efficiency = speedup / (P / P_base) for each sweep point."""
+    curve = speedup_curve(times)
+    if not curve:
+        return {}
+    base_p = min(curve)
+    return {p: s / (p / base_p) for p, s in curve.items()}
+
+
+def crossover_size(
+    improvements: Mapping[int, float], threshold: float = 0.0
+) -> int | None:
+    """Smallest problem size whose improvement exceeds ``threshold``.
+
+    Used to locate where a protocol starts paying off in a size sweep
+    (Figure-3-style data); returns None if it never does.
+    """
+    for size in sorted(improvements):
+        if improvements[size] > threshold:
+            return size
+    return None

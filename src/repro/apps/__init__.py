@@ -1,0 +1,38 @@
+"""The paper's evaluation applications (§5.1) and synthetic benchmark (§5.2).
+
+* :class:`~repro.apps.asp.Asp` — all-pairs shortest paths, parallel Floyd;
+* :class:`~repro.apps.sor.Sor` — red-black successive over-relaxation;
+* :class:`~repro.apps.nbody.NBody` — Barnes–Hut gravitational N-body;
+* :class:`~repro.apps.tsp.Tsp` — branch-and-bound travelling salesman;
+* :class:`~repro.apps.lu.Lu` — blocked LU factorisation (beyond-paper
+  application with a shrinking single-writer pattern);
+* :class:`~repro.apps.pingpong.TokenRing` — migratory-data ring
+  (beyond-paper; the sequential-writers pathology of §2);
+* :class:`~repro.apps.synthetic.SingleWriterBenchmark` — the Figure-4
+  skeleton: a shared counter updated ``r`` consecutive times per lock
+  tenure, the knob that sweeps transient vs lasting single-writer
+  patterns.
+
+All applications compute *real results* on the simulated DSM and are
+verified against sequential oracles.
+"""
+
+from repro.apps.asp import Asp
+from repro.apps.base import DsmApplication
+from repro.apps.lu import Lu
+from repro.apps.nbody import NBody
+from repro.apps.pingpong import TokenRing
+from repro.apps.sor import Sor
+from repro.apps.synthetic import SingleWriterBenchmark
+from repro.apps.tsp import Tsp
+
+__all__ = [
+    "Asp",
+    "DsmApplication",
+    "Lu",
+    "NBody",
+    "SingleWriterBenchmark",
+    "TokenRing",
+    "Sor",
+    "Tsp",
+]

@@ -1,0 +1,73 @@
+"""Application framework for the simulated distributed JVM.
+
+A :class:`DsmApplication` bundles:
+
+* ``setup`` — allocate shared objects/locks/barriers on a fresh
+  :class:`~repro.gos.space.GlobalObjectSpace` and initialise their data
+  (initialisation is sequential and pre-parallel-phase, so it uses
+  ``write_global`` and is not charged as DSM traffic — the paper measures
+  the parallel phase);
+* ``thread_body`` — the generator each simulated Java thread runs;
+* ``finalize`` — gather the result from home copies after the run;
+* ``verify`` — check the result against a sequential oracle (raises
+  ``VerificationError`` on mismatch), so every benchmark run also proves
+  protocol correctness.
+
+Compute-time charging: thread bodies call ``ctx.compute(ops * FLOP_US)``.
+``FLOP_US`` models a 2 GHz Pentium 4 running Kaffe-JIT-compiled Java: the
+paper's JVM executes a simple shared-array element update in the order of
+hundreds of cycles (JIT quality of the era plus the GOS's software access
+checks), i.e. ~0.15 us per op — calibrated so the compute/communication
+balance, and hence the Figure-2 speedup shapes, match the testbed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Generator, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gos.space import GlobalObjectSpace
+    from repro.gos.thread import ThreadContext
+
+#: Charged CPU time per simple array element operation (microseconds).
+FLOP_US = 0.15
+
+
+class VerificationError(AssertionError):
+    """An application's DSM result disagreed with its sequential oracle."""
+
+
+class DsmApplication(ABC):
+    """One multi-threaded DSM application."""
+
+    #: Report name ("ASP", "SOR", ...).
+    name: str = "app"
+
+    def default_threads(self, nnodes: int) -> int:
+        """Threads to run when the caller does not say (paper: one per node)."""
+        return nnodes
+
+    def placement(self, tid: int, nnodes: int, nthreads: int) -> int:
+        """Node hosting thread ``tid`` (default round-robin from node 0)."""
+        return tid % nnodes
+
+    @abstractmethod
+    def setup(self, gos: "GlobalObjectSpace", nthreads: int) -> None:
+        """Allocate and initialise shared state for a run with ``nthreads``."""
+
+    @abstractmethod
+    def thread_body(
+        self, ctx: "ThreadContext", tid: int
+    ) -> Generator[Any, Any, None]:
+        """The generator executed by thread ``tid``."""
+
+    def finalize(self, gos: "GlobalObjectSpace") -> Any:
+        """Collect the application result from home copies after the run."""
+        return None
+
+    def verify(self, output: Any) -> None:
+        """Check ``output`` against a sequential oracle; raise on mismatch."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"

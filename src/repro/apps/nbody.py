@@ -1,0 +1,267 @@
+"""NBody: 2-D Barnes–Hut gravitational simulation (§5.1).
+
+Every body is one shared fields object ``(x, y, vx, vy, m)``.  Each step,
+every thread reads all body positions, builds a *local* Barnes–Hut
+quadtree (pure local compute), evaluates accelerations for its owned
+block with the theta-criterion, and writes the new state of its own
+bodies; a barrier separates steps.
+
+This is the paper's "little single-writer benefit" workload: although
+each body is written by exactly one thread, every thread re-reads every
+body every step, so relocating homes to the writers saves only the
+writers' own fault-in/diff pairs — a small fraction of the traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.apps.base import DsmApplication, FLOP_US, VerificationError
+from repro.gos.distribution import block_range
+
+#: Gravitational constant (arbitrary units) and softening length.
+G = 1.0
+SOFTENING = 0.05
+#: Barnes–Hut opening angle.
+THETA = 0.5
+#: Integration time step.
+DT = 0.01
+
+#: Charged cost per tree insertion step and per accepted interaction.
+INSERT_OPS = 8
+INTERACT_OPS = 12
+
+#: Cells smaller than this stop splitting: coincident (or nearly so)
+#: bodies aggregate into one leaf instead of recursing forever.
+MIN_HALF = 1e-9
+
+
+@dataclass
+class _Node:
+    """One quadtree cell: square [cx +/- half, cy +/- half]."""
+
+    cx: float
+    cy: float
+    half: float
+    mass: float = 0.0
+    mx: float = 0.0  # mass-weighted position sums
+    my: float = 0.0
+    body: int = -1  # body index if leaf with one body, else -1
+    children: list | None = None
+
+    def quadrant(self, x: float, y: float) -> int:
+        return (1 if x >= self.cx else 0) | (2 if y >= self.cy else 0)
+
+    def child_for(self, quadrant: int) -> "_Node":
+        assert self.children is not None
+        if self.children[quadrant] is None:
+            q = self.half / 2.0
+            cx = self.cx + (q if quadrant & 1 else -q)
+            cy = self.cy + (q if quadrant & 2 else -q)
+            self.children[quadrant] = _Node(cx, cy, q)
+        return self.children[quadrant]
+
+
+class BarnesHutTree:
+    """A 2-D Barnes–Hut quadtree over point masses."""
+
+    def __init__(self, xs: np.ndarray, ys: np.ndarray, ms: np.ndarray):
+        if xs.size == 0:
+            raise ValueError("cannot build a tree over zero bodies")
+        cx = (float(xs.min()) + float(xs.max())) / 2.0
+        cy = (float(ys.min()) + float(ys.max())) / 2.0
+        half = max(
+            float(xs.max()) - float(xs.min()), float(ys.max()) - float(ys.min())
+        ) / 2.0 + 1e-9
+        self.root = _Node(cx, cy, half)
+        self.xs, self.ys, self.ms = xs, ys, ms
+        self.operations = 0  # inserts + interactions, for compute charging
+        for i in range(xs.size):
+            self._insert(self.root, i)
+
+    def _insert(self, node: _Node, i: int) -> None:
+        x, y, m = float(self.xs[i]), float(self.ys[i]), float(self.ms[i])
+        while True:
+            self.operations += 1
+            node.mass += m
+            node.mx += m * x
+            node.my += m * y
+            if node.children is None:
+                if node.body < 0 and node.mass == m:
+                    node.body = i  # first body in an empty leaf
+                    return
+                if node.half < MIN_HALF:
+                    # coincident bodies: aggregate in this leaf (mass and
+                    # center of mass already updated above)
+                    return
+                # occupied leaf: split and reinsert the resident
+                resident = node.body
+                node.body = -1
+                node.children = [None, None, None, None]
+                if resident >= 0:
+                    rx, ry = float(self.xs[resident]), float(self.ys[resident])
+                    child = node.child_for(node.quadrant(rx, ry))
+                    child.mass += float(self.ms[resident])
+                    child.mx += float(self.ms[resident]) * rx
+                    child.my += float(self.ms[resident]) * ry
+                    child.body = resident
+            node = node.child_for(node.quadrant(x, y))
+
+    def acceleration(self, i: int) -> tuple[float, float]:
+        """Barnes–Hut acceleration on body ``i`` with opening angle THETA."""
+        x, y = float(self.xs[i]), float(self.ys[i])
+        ax = ay = 0.0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node is None or node.mass == 0.0:
+                continue
+            if node.body == i and node.children is None:
+                continue
+            px = node.mx / node.mass
+            py = node.my / node.mass
+            dx = px - x
+            dy = py - y
+            dist2 = dx * dx + dy * dy + SOFTENING * SOFTENING
+            if node.children is None or (
+                (2.0 * node.half) ** 2 < THETA * THETA * dist2
+            ):
+                self.operations += 1
+                inv = 1.0 / (dist2 * np.sqrt(dist2))
+                ax += G * node.mass * dx * inv
+                ay += G * node.mass * dy * inv
+            else:
+                stack.extend(node.children)
+        return ax, ay
+
+
+def nbody_oracle(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    vxs: np.ndarray,
+    vys: np.ndarray,
+    ms: np.ndarray,
+    steps: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sequential Barnes–Hut with identical arithmetic and update order."""
+    xs, ys, vxs, vys = xs.copy(), ys.copy(), vxs.copy(), vys.copy()
+    for _ in range(steps):
+        tree = BarnesHutTree(xs, ys, ms)
+        axs = np.empty_like(xs)
+        ays = np.empty_like(ys)
+        for i in range(xs.size):
+            axs[i], ays[i] = tree.acceleration(i)
+        vxs += DT * axs
+        vys += DT * ays
+        xs += DT * vxs
+        ys += DT * vys
+    return xs, ys
+
+
+class NBody(DsmApplication):
+    """Barnes–Hut N-body over per-body shared objects."""
+
+    name = "NBody"
+
+    def __init__(self, bodies: int = 256, steps: int = 4, seed: int = 13):
+        if bodies < 2:
+            raise ValueError(f"need >= 2 bodies, got {bodies}")
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        self.nbodies = bodies
+        self.steps = steps
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self._x0 = rng.uniform(-1.0, 1.0, bodies)
+        self._y0 = rng.uniform(-1.0, 1.0, bodies)
+        self._vx0 = rng.uniform(-0.1, 0.1, bodies)
+        self._vy0 = rng.uniform(-0.1, 0.1, bodies)
+        self._m0 = rng.uniform(0.5, 1.5, bodies)
+        self.body_objs: list = []
+        self.barrier_handle = None
+        self._nthreads = 0
+
+    def setup(self, gos, nthreads: int) -> None:
+        self._nthreads = nthreads
+        self.body_objs = []
+        for i in range(self.nbodies):
+            # Creation node = default home: bodies are created by the
+            # thread that will own them (the paper's creation-site rule).
+            owner_node = None
+            for tid in range(nthreads):
+                if i in block_range(tid, self.nbodies, nthreads):
+                    owner_node = self.placement(tid, gos.nnodes, nthreads)
+                    break
+            body = gos.alloc_fields(
+                ("x", "y", "vx", "vy", "m"), home=owner_node, label=f"body{i}"
+            )
+            gos.write_global(
+                body,
+                np.array(
+                    [self._x0[i], self._y0[i], self._vx0[i], self._vy0[i],
+                     self._m0[i]]
+                ),
+            )
+            self.body_objs.append(body)
+        self.barrier_handle = gos.alloc_barrier(parties=nthreads, home=0)
+
+    def thread_body(self, ctx, tid: int) -> Generator[Any, Any, None]:
+        mine = block_range(tid, self.nbodies, self._nthreads)
+        n = self.nbodies
+        for _ in range(self.steps):
+            xs = np.empty(n)
+            ys = np.empty(n)
+            vxs = np.empty(n)
+            vys = np.empty(n)
+            ms = np.empty(n)
+            # Batched snapshot of all bodies (object pushing, §5.1) —
+            # one fault-in message per remote home instead of per body.
+            yield from ctx.read_many(self.body_objs)
+            for i in range(n):
+                payload = yield from ctx.read(self.body_objs[i])
+                xs[i], ys[i], vxs[i], vys[i], ms[i] = payload
+            # Phase barrier: nobody may publish step t+1 state while a
+            # peer is still snapshotting step t (keeps all threads' trees
+            # bit-identical to the sequential oracle's).
+            yield from ctx.barrier(self.barrier_handle)
+            tree = BarnesHutTree(xs, ys, ms)
+            updates = []
+            for i in mine:
+                ax, ay = tree.acceleration(i)
+                nvx = vxs[i] + DT * ax
+                nvy = vys[i] + DT * ay
+                nx = xs[i] + DT * nvx
+                ny = ys[i] + DT * nvy
+                updates.append((i, nx, ny, nvx, nvy))
+            yield from ctx.compute(
+                tree.operations * (INSERT_OPS + INTERACT_OPS) / 2 * FLOP_US
+            )
+            for i, nx, ny, nvx, nvy in updates:
+                payload = yield from ctx.write(self.body_objs[i])
+                payload[0] = nx
+                payload[1] = ny
+                payload[2] = nvx
+                payload[3] = nvy
+            yield from ctx.barrier(self.barrier_handle)
+
+    def finalize(self, gos) -> tuple[np.ndarray, np.ndarray]:
+        xs = np.empty(self.nbodies)
+        ys = np.empty(self.nbodies)
+        for i, body in enumerate(self.body_objs):
+            payload = gos.read_global(body)
+            xs[i], ys[i] = payload[0], payload[1]
+        return xs, ys
+
+    def verify(self, output: Any) -> None:
+        xs, ys = output
+        ex, ey = nbody_oracle(
+            self._x0, self._y0, self._vx0, self._vy0, self._m0, self.steps
+        )
+        if not (np.allclose(xs, ex, rtol=1e-9) and np.allclose(ys, ey, rtol=1e-9)):
+            raise VerificationError(
+                f"NBody({self.nbodies}, {self.steps} steps) diverged from "
+                "the sequential Barnes-Hut oracle"
+            )

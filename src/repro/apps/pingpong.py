@@ -1,0 +1,114 @@
+"""Migratory-data workload: a data buffer handed around a ring of threads.
+
+The classic DSM access pattern the synthetic counter does *not* cover:
+each thread in turn *overwrites* part of a shared buffer (write-first —
+no read precedes the write) and passes the turn on, so the buffer is
+"written by processes sequentially" — exactly the pathology the paper
+cites for JUMP's migrating-home protocol (§2).
+
+* With ``burst = 1`` (one synchronized update per tenure) the pattern is
+  purely migratory: no lasting single writer exists.  JUMP drags the
+  home around the ring on every write fault and pays redirection chains;
+  the adaptive threshold learns that migrations never earn exclusive
+  home writes and pins the home down.
+* With a large ``burst`` each tenure is a short single-writer run:
+  migration starts paying again, and AT follows it.
+
+The turn token itself lives in a separate small object so the buffer is
+only ever touched with write intent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.apps.base import DsmApplication, VerificationError
+
+
+class TokenRing(DsmApplication):
+    """A buffer overwritten in turns around a ring of threads."""
+
+    name = "TokenRing"
+
+    def __init__(
+        self,
+        rounds: int = 16,
+        burst: int = 1,
+        buffer_len: int = 64,
+        compute_us: float = 20.0,
+    ):
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        if buffer_len < 1:
+            raise ValueError(f"buffer_len must be >= 1, got {buffer_len}")
+        self.rounds = rounds
+        self.burst = burst
+        self.buffer_len = buffer_len
+        self.compute_us = compute_us
+        self.buffer = None
+        self.turn_obj = None
+        self.lock = None
+        self._nthreads = 1
+
+    def setup(self, gos, nthreads: int) -> None:
+        self._nthreads = nthreads
+        self.buffer = gos.alloc_array(
+            self.buffer_len, home=0, label="ring-buffer"
+        )
+        self.turn_obj = gos.alloc_fields(("turn",), home=0, label="ring-turn")
+        self.lock = gos.alloc_lock(home=0)
+
+    def thread_body(self, ctx, tid: int) -> Generator[Any, Any, None]:
+        total_turns = self.rounds * self._nthreads
+        while True:
+            yield from ctx.acquire(self.lock)
+            token = yield from ctx.read(self.turn_obj)
+            turn = int(token[0])
+            if turn >= total_turns:
+                yield from ctx.release(self.lock)
+                break
+            if turn % self._nthreads != tid:
+                yield from ctx.release(self.lock)
+                yield from ctx.compute(self.compute_us)
+                continue
+            # our tenure: `burst` synchronized write-first updates
+            for i in range(self.burst):
+                payload = yield from ctx.write(self.buffer)
+                payload[(turn + i) % self.buffer_len] = float(tid + 1)
+                if i < self.burst - 1:
+                    yield from ctx.release(self.lock)
+                    yield from ctx.acquire(self.lock)
+            token = yield from ctx.write(self.turn_obj)
+            token[0] = turn + 1
+            yield from ctx.release(self.lock)
+            yield from ctx.compute(self.compute_us)
+
+    def finalize(self, gos) -> tuple[int, np.ndarray]:
+        return (
+            int(gos.read_global(self.turn_obj)[0]),
+            gos.read_global(self.buffer),
+        )
+
+    def verify(self, output: Any) -> None:
+        turn, buffer = output
+        total_turns = self.rounds * self._nthreads
+        if turn != total_turns:
+            raise VerificationError(
+                f"token finished at {turn}, expected {total_turns}"
+            )
+        # reconstruct the final buffer: slot s was last written at the
+        # largest (turn + i) hitting it; replay the deterministic schedule
+        expected = np.zeros(self.buffer_len)
+        for t in range(total_turns):
+            writer = t % self._nthreads
+            for i in range(self.burst):
+                expected[(t + i) % self.buffer_len] = float(writer + 1)
+        if not np.array_equal(buffer, expected):
+            bad = int(np.count_nonzero(buffer != expected))
+            raise VerificationError(
+                f"ring buffer differs from the schedule replay in {bad} slots"
+            )

@@ -1,0 +1,154 @@
+"""The Figure-4 synthetic single-writer benchmark (§5.2).
+
+Each working thread repeatedly wins ``lock0`` and then performs ``r``
+consecutive synchronized updates of one shared counter object (the first
+under ``lock0``, the remaining ``r-1`` each inside its own
+``synchronized(lock1)`` block, exactly like the paper's code skeleton),
+followed by some local computation.  ``r`` — the *repetition of the
+single-writer pattern* — is the experiment knob: small ``r`` produces a
+transient single-writer pattern (home migration should be inhibited),
+large ``r`` a lasting one (migration should fire early).
+
+Per the paper's §5.2 setup, the working threads run on nodes other than
+node 0 (where the application — and thus both locks and the counter's
+initial home — lives), so *all* synchronization is remote and every
+performance difference comes from the home migration protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.apps.base import DsmApplication, VerificationError
+
+
+class SingleWriterBenchmark(DsmApplication):
+    """Shared-counter benchmark parameterised by the repetition ``r``."""
+
+    name = "synthetic"
+
+    def __init__(
+        self,
+        total_updates: int = 1024,
+        repetition: int = 4,
+        compute_us: float = 50.0,
+        workers_off_master: bool = True,
+        use_shipping: bool = False,
+        schedule: list[tuple[int, int]] | None = None,
+    ):
+        if total_updates < 1:
+            raise ValueError(f"total_updates must be >= 1, got {total_updates}")
+        if repetition < 1:
+            raise ValueError(f"repetition must be >= 1, got {repetition}")
+        if schedule is not None:
+            if not schedule:
+                raise ValueError("schedule must have at least one phase")
+            for count, rep in schedule:
+                if count < 1 or rep < 1:
+                    raise ValueError(
+                        f"schedule phases need positive counts and "
+                        f"repetitions, got ({count}, {rep})"
+                    )
+            total_updates = sum(count for count, _rep in schedule)
+        if compute_us < 0:
+            raise ValueError(f"compute_us must be >= 0, got {compute_us}")
+        self.total_updates = total_updates
+        self.repetition = repetition
+        self.compute_us = compute_us
+        self.workers_off_master = workers_off_master
+        #: Perform the counter updates via synchronized method shipping
+        #: instead of fault-in + local write (the alternative GOS
+        #: optimization; see the shipping ablation).
+        self.use_shipping = use_shipping
+        #: Optional phase schedule [(updates, repetition), ...]: the
+        #: repetition changes once the counter passes each phase — the
+        #: workload-phase-change scenario used to study threshold decay.
+        self.schedule = schedule
+        self.counter = None
+        self.lock0 = None
+        self.lock1 = None
+        self._nthreads = 1
+
+    def default_threads(self, nnodes: int) -> int:
+        # Working threads live on the nodes other than the master (§5.2).
+        return nnodes - 1 if (self.workers_off_master and nnodes > 1) else nnodes
+
+    def placement(self, tid: int, nnodes: int, nthreads: int) -> int:
+        if self.workers_off_master and nnodes > 1:
+            return 1 + (tid % (nnodes - 1))
+        return tid % nnodes
+
+    def setup(self, gos, nthreads: int) -> None:
+        self._nthreads = nthreads
+        # The application starts on node 0: locks and the counter's
+        # initial home are there.
+        self.counter = gos.alloc_fields(("internal",), home=0, label="counter")
+        self.lock0 = gos.alloc_lock(home=0)
+        self.lock1 = gos.alloc_lock(home=0)
+
+    def thread_body(self, ctx, tid: int) -> Generator[Any, Any, None]:
+        # The paper's Figure-4 skeleton: the whole turn runs inside
+        # synchronized(lock0) — the counter check, the first update, and
+        # the r-1 further updates each inside its own synchronized(lock1)
+        # block, so every update is flushed to the home at a
+        # synchronization point and the r updates of a turn form one
+        # uninterrupted run of consecutive remote writes.
+        n = self.total_updates
+
+        def _increment(payload):
+            payload[0] += 1
+            return float(payload[0])
+
+        def _repetition_at(count: float) -> int:
+            if self.schedule is None:
+                return self.repetition
+            boundary = 0
+            for phase_count, phase_rep in self.schedule:
+                boundary += phase_count
+                if count < boundary:
+                    return phase_rep
+            return self.schedule[-1][1]
+
+        while True:
+            yield from ctx.acquire(self.lock0)
+            payload = yield from ctx.read(self.counter)
+            current = payload[0]
+            if current >= n:
+                yield from ctx.release(self.lock0)
+                break
+            r = _repetition_at(current)
+            if self.use_shipping:
+                yield from ctx.ship(self.counter, _increment)
+            else:
+                payload = yield from ctx.write(self.counter)
+                payload[0] += 1
+            for _ in range(r - 1):
+                yield from ctx.acquire(self.lock1)
+                if self.use_shipping:
+                    yield from ctx.ship(self.counter, _increment)
+                else:
+                    payload = yield from ctx.write(self.counter)
+                    payload[0] += 1
+                yield from ctx.release(self.lock1)
+            yield from ctx.release(self.lock0)
+            # "Some simple arithmetic computation goes here."
+            yield from ctx.compute(self.compute_us)
+
+    def finalize(self, gos) -> int:
+        return int(round(float(gos.read_global(self.counter)[0])))
+
+    def verify(self, output: Any) -> None:
+        # Turns are atomic under lock0, so the only overshoot is the last
+        # turn's: the check can pass at n-1 and still add r updates.
+        max_rep = (
+            max(rep for _count, rep in self.schedule)
+            if self.schedule is not None
+            else self.repetition
+        )
+        low = self.total_updates
+        high = self.total_updates + max_rep - 1
+        if not low <= output <= high:
+            raise VerificationError(
+                f"counter finished at {output}, expected within "
+                f"[{low}, {high}]"
+            )

@@ -1,0 +1,198 @@
+"""TSP: branch-and-bound travelling salesman (§5.1).
+
+Work decomposition follows the paper's parallel branch-and-bound: the
+search tree is split into tasks by fixing the first two cities after the
+start city; tasks are handed out through a shared work-queue counter
+(guarded by a lock), and the incumbent best tour length lives in a shared
+bound object that any thread may improve — a *multiple-writer* object, so
+home migration gains nothing here (the paper's point for TSP).
+
+The per-task depth-first search with pruning is pure local compute; its
+visited-node count is charged to the simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.apps.base import DsmApplication, FLOP_US, VerificationError
+
+#: Charged cost per visited search node.
+NODE_OPS = 6
+
+
+def random_cities(n: int, seed: int) -> np.ndarray:
+    """Euclidean distance matrix over ``n`` random points in [0, 100]^2."""
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, 100.0, size=(n, 2))
+    delta = points[:, None, :] - points[None, :, :]
+    return np.sqrt((delta**2).sum(axis=2))
+
+
+def nearest_neighbour_tour(dist: np.ndarray) -> float:
+    """Greedy tour length — the initial incumbent bound."""
+    n = dist.shape[0]
+    unvisited = set(range(1, n))
+    current, total = 0, 0.0
+    while unvisited:
+        nxt = min(unvisited, key=lambda c: dist[current, c])
+        total += dist[current, nxt]
+        unvisited.remove(nxt)
+        current = nxt
+    return total + dist[current, 0]
+
+
+def held_karp_oracle(dist: np.ndarray) -> float:
+    """Exact optimum via Held–Karp dynamic programming (n <= ~16)."""
+    n = dist.shape[0]
+    if n > 16:
+        raise ValueError(f"Held-Karp oracle limited to 16 cities, got {n}")
+    full = 1 << (n - 1)  # subsets of cities 1..n-1
+    dp = np.full((full, n - 1), np.inf)
+    for c in range(n - 1):
+        dp[1 << c, c] = dist[0, c + 1]
+    for mask in range(1, full):
+        for last in range(n - 1):
+            if not mask & (1 << last) or not np.isfinite(dp[mask, last]):
+                continue
+            base = dp[mask, last]
+            for nxt in range(n - 1):
+                if mask & (1 << nxt):
+                    continue
+                nmask = mask | (1 << nxt)
+                cand = base + dist[last + 1, nxt + 1]
+                if cand < dp[nmask, nxt]:
+                    dp[nmask, nxt] = cand
+    closing = dist[1:, 0]
+    return float(np.min(dp[full - 1] + closing))
+
+
+def _dfs(
+    dist: np.ndarray,
+    current: int,
+    visited_mask: int,
+    length: float,
+    depth: int,
+    n: int,
+    best: float,
+    min_out: np.ndarray,
+) -> tuple[float, int]:
+    """Depth-first branch and bound; returns (best found, nodes visited)."""
+    visited = 1
+    if depth == n:
+        total = length + dist[current, 0]
+        return (total if total < best else best), visited
+    # Lower bound: current length + cheapest outgoing edge of each
+    # remaining city (admissible, cheap to evaluate).
+    remaining_bound = length
+    for city in range(n):
+        if not visited_mask & (1 << city):
+            remaining_bound += min_out[city]
+    if remaining_bound >= best:
+        return best, visited
+    for city in range(1, n):
+        if visited_mask & (1 << city):
+            continue
+        nlen = length + dist[current, city]
+        if nlen >= best:
+            visited += 1
+            continue
+        best, sub = _dfs(
+            dist, city, visited_mask | (1 << city), nlen, depth + 1, n,
+            best, min_out,
+        )
+        visited += sub
+    return best, visited
+
+
+class Tsp(DsmApplication):
+    """Parallel branch-and-bound TSP on the DSM."""
+
+    name = "TSP"
+
+    def __init__(self, cities: int = 10, seed: int = 17):
+        if not 4 <= cities <= 16:
+            raise ValueError(f"cities must be in [4, 16], got {cities}")
+        self.ncities = cities
+        self.seed = seed
+        self.dist = random_cities(cities, seed)
+        self._min_out = np.array(
+            [
+                np.min(np.delete(self.dist[c], c))
+                for c in range(cities)
+            ]
+        )
+        self._tasks = [
+            (a, b)
+            for a in range(1, cities)
+            for b in range(1, cities)
+            if a != b
+        ]
+        self.dist_rows: list = []
+        self.bound_obj = None
+        self.queue_obj = None
+        self.queue_lock = None
+        self.bound_lock = None
+
+    def setup(self, gos, nthreads: int) -> None:
+        # Distance matrix rows: read-only shared arrays, round-robin homes.
+        self.dist_rows = []
+        for i in range(self.ncities):
+            row = gos.alloc_array(
+                self.ncities, home=i % gos.nnodes, label=f"tsp-dist{i}"
+            )
+            gos.write_global(row, self.dist[i])
+            self.dist_rows.append(row)
+        self.bound_obj = gos.alloc_fields(("best",), home=0, label="tsp-bound")
+        gos.write_global(
+            self.bound_obj, np.array([nearest_neighbour_tour(self.dist)])
+        )
+        self.queue_obj = gos.alloc_fields(("next",), home=0, label="tsp-queue")
+        self.queue_lock = gos.alloc_lock(home=0)
+        self.bound_lock = gos.alloc_lock(home=0)
+
+    def thread_body(self, ctx, tid: int) -> Generator[Any, Any, None]:
+        n = self.ncities
+        # Fetch the distance matrix once up front (read-only thereafter,
+        # though Java-consistency re-faults it after each sync), with
+        # batched fault-ins.
+        yield from ctx.read_many(self.dist_rows)
+        local_dist = np.empty((n, n))
+        for i in range(n):
+            row = yield from ctx.read(self.dist_rows[i])
+            local_dist[i] = row
+        while True:
+            yield from ctx.acquire(self.queue_lock)
+            queue = yield from ctx.write(self.queue_obj)
+            task_idx = int(queue[0])
+            queue[0] += 1
+            yield from ctx.release(self.queue_lock)
+            if task_idx >= len(self._tasks):
+                break
+            a, b = self._tasks[task_idx]
+            bound_payload = yield from ctx.read(self.bound_obj)
+            best = float(bound_payload[0])
+            prefix_len = local_dist[0, a] + local_dist[a, b]
+            mask = 1 | (1 << a) | (1 << b)
+            found, visited = _dfs(
+                local_dist, b, mask, prefix_len, 3, n, best, self._min_out
+            )
+            yield from ctx.compute(visited * NODE_OPS * FLOP_US)
+            if found < best:
+                yield from ctx.acquire(self.bound_lock)
+                payload = yield from ctx.write(self.bound_obj)
+                if found < payload[0]:
+                    payload[0] = found
+                yield from ctx.release(self.bound_lock)
+
+    def finalize(self, gos) -> float:
+        return float(gos.read_global(self.bound_obj)[0])
+
+    def verify(self, output: Any) -> None:
+        expected = held_karp_oracle(self.dist)
+        if not np.isclose(output, expected, rtol=1e-9):
+            raise VerificationError(
+                f"TSP({self.ncities}) found {output}, optimum is {expected}"
+            )

@@ -1,0 +1,20 @@
+"""Benchmark harness: regenerates every figure of the paper's evaluation.
+
+* :mod:`repro.bench.figure2` — execution time vs processors, HM vs NoHM,
+  four applications (paper Figure 2);
+* :mod:`repro.bench.figure3` — AT-over-FT improvement vs problem size on
+  8 nodes for ASP and SOR (paper Figure 3);
+* :mod:`repro.bench.figure5` — normalized execution time and message
+  breakdown vs single-writer repetition for NM/FT1/FT2/AT (paper
+  Figure 5a/5b);
+* :mod:`repro.bench.ablation` — extensions beyond the paper: notification
+  mechanisms, related-work policies, threshold-parameter sensitivity;
+* :mod:`repro.bench.cli` — ``python -m repro.bench <figure> [--full]``.
+
+Every driver returns plain dicts (JSON-friendly) and can render an ASCII
+table via :mod:`repro.bench.report`.
+"""
+
+from repro.bench.runner import POLICIES, make_policy, run_once
+
+__all__ = ["POLICIES", "make_policy", "run_once"]

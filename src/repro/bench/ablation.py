@@ -1,0 +1,295 @@
+"""Ablations beyond the paper's figures.
+
+* **Notification mechanisms** (§3.2): forwarding pointer vs broadcast vs
+  home manager under migration churn — the trade-off the paper discusses
+  qualitatively but does not measure;
+* **Related-work policies**: the paper's AT against JUMP's migrating-home,
+  Jackal's lazy flushing and JiaJia's barrier migration;
+* **Threshold parameters**: sensitivity of AT to the feedback coefficient
+  ``lambda`` and the initial threshold.
+"""
+
+from __future__ import annotations
+
+from repro.apps import SingleWriterBenchmark, Sor
+from repro.bench.report import format_table
+from repro.bench.runner import MECHANISMS, run_once
+from repro.core.policies import AdaptiveThreshold
+
+NODES = 9
+
+
+def run_notification_ablation(
+    repetition: int = 8, total_updates: int = 512, verify: bool = True
+) -> dict:
+    """AT under each §3.2 notification mechanism on the synthetic load."""
+    rows: dict[str, dict] = {}
+    for name in MECHANISMS:
+        result = run_once(
+            SingleWriterBenchmark(
+                total_updates=total_updates, repetition=repetition
+            ),
+            policy="AT",
+            nodes=NODES,
+            mechanism=name,
+            verify=verify,
+        )
+        from repro.cluster.message import MsgCategory
+
+        notify_msgs = sum(
+            result.stats.msg_count.get(cat, 0)
+            for cat in (
+                MsgCategory.HOME_BCAST,
+                MsgCategory.HOME_UPDATE,
+                MsgCategory.HOME_QUERY,
+                MsgCategory.HOME_ANSWER,
+            )
+        )
+        rows[name] = {
+            "time_s": result.execution_time_s,
+            "messages": result.stats.total_messages(),
+            "bytes": result.stats.total_bytes(),
+            "redir": result.stats.events.get("redir", 0),
+            "notify_msgs": notify_msgs,
+            "migrations": result.migrations,
+        }
+    return rows
+
+
+def run_policy_ablation(
+    repetition: int = 8, total_updates: int = 512, verify: bool = True
+) -> dict:
+    """All implemented policies (paper + related work) on the synthetic
+    workload, plus SOR for the barrier-driven JiaJia protocol."""
+    rows: dict[str, dict] = {}
+    for policy in ("NM", "FT1", "FT2", "AT", "JUMP", "LF"):
+        result = run_once(
+            SingleWriterBenchmark(
+                total_updates=total_updates, repetition=repetition
+            ),
+            policy=policy,
+            nodes=NODES,
+            verify=verify,
+        )
+        rows[policy] = {
+            "time_s": result.execution_time_s,
+            "messages": result.stats.total_messages(),
+            "migrations": result.migrations,
+            "redir": result.stats.events.get("redir", 0),
+        }
+    return rows
+
+
+def run_barrier_policy_ablation(
+    size: int = 64, iterations: int = 6, verify: bool = True
+) -> dict:
+    """Barrier-driven comparison on SOR: NM / AT / JiaJia / JUMP / LF."""
+    rows: dict[str, dict] = {}
+    for policy in ("NM", "AT", "JIAJIA", "JUMP", "LF"):
+        result = run_once(
+            Sor(size=size, iterations=iterations),
+            policy=policy,
+            nodes=8,
+            verify=verify,
+        )
+        rows[policy] = {
+            "time_s": result.execution_time_s,
+            "messages": result.stats.total_messages(),
+            "migrations": result.migrations,
+            "redir": result.stats.events.get("redir", 0),
+        }
+    return rows
+
+
+def run_homeless_ablation(
+    repetition: int = 4, total_updates: int = 512, verify: bool = True
+) -> dict:
+    """Home-based (NM / AT) vs homeless (TreadMarks-style) LRC — the §1
+    motivation.  Homeless-specific columns: on-demand fetch round trips
+    and cumulative diff bytes retained at writers (never GC'd)."""
+    from repro.cluster.hockney import FAST_ETHERNET
+    from repro.gos.jvm import DistributedJVM
+
+    rows: dict[str, dict] = {}
+    for label, kwargs in (
+        ("home-based NM", {"policy": make_dsm_policy("NM")}),
+        ("home-based AT", {"policy": make_dsm_policy("AT")}),
+        ("homeless", {"protocol": "homeless"}),
+    ):
+        app = SingleWriterBenchmark(
+            total_updates=total_updates, repetition=repetition
+        )
+        jvm = DistributedJVM(nodes=NODES, comm_model=FAST_ETHERNET, **kwargs)
+        result = jvm.run(app)
+        if verify:
+            app.verify(result.output)
+        rows[label] = {
+            "time_s": result.execution_time_s,
+            "messages": result.stats.total_messages(),
+            "bytes": result.stats.total_bytes(),
+            "fetch_rtts": result.stats.events.get("homeless_fetch", 0),
+            "stored_diff_bytes": result.stats.events.get(
+                "homeless_diff_bytes", 0
+            ),
+        }
+    return rows
+
+
+def make_dsm_policy(name: str):
+    """Late-bound policy factory (avoids an import cycle with runner)."""
+    from repro.bench.runner import make_policy
+
+    return make_policy(name)
+
+
+def run_lock_discipline_ablation(
+    repetition: int = 2,
+    total_updates: int = 512,
+    seed: int = 3,
+    verify: bool = True,
+) -> dict:
+    """FIFO vs retry lock grants on the synthetic benchmark.
+
+    The paper's runtime had no FIFO queue: a releasing thread could win
+    the lock again, making the consecutive writing times "a multiple of
+    r ... randomly".  This measures how that randomness changes the
+    Figure-5 picture for FT2 and AT at a transient repetition.
+    """
+    from repro.cluster.hockney import FAST_ETHERNET
+    from repro.gos.jvm import DistributedJVM
+
+    rows: dict[str, dict] = {}
+    for policy_name in ("FT2", "AT"):
+        for discipline in ("fifo", "retry"):
+            app = SingleWriterBenchmark(
+                total_updates=total_updates,
+                repetition=repetition,
+            )
+            jvm = DistributedJVM(
+                nodes=NODES,
+                comm_model=FAST_ETHERNET,
+                policy=make_dsm_policy(policy_name),
+                lock_discipline=discipline,
+                seed=seed,
+            )
+            result = jvm.run(app)
+            if verify:
+                app.verify(result.output)
+            rows[f"{policy_name}/{discipline}"] = {
+                "time_s": result.execution_time_s,
+                "migrations": result.migrations,
+                "redir": result.stats.events.get("redir", 0),
+            }
+    return rows
+
+
+def run_network_ablation(
+    size: int = 64, iterations: int = 8, verify: bool = True
+) -> dict:
+    """AT's benefit across interconnects (Fast Ethernet / GigE / Myrinet).
+
+    The home access coefficient alpha = 3/2 + (o+d)/(2*m_half) follows
+    the network's half-peak length, so each interconnect gets its own
+    migration eagerness — and the absolute benefit of migration shrinks
+    along with all communication, while remaining a win everywhere.
+    """
+    from repro.cluster.hockney import FAST_ETHERNET, GIGABIT, MYRINET
+    from repro.gos.jvm import DistributedJVM
+
+    rows: dict[str, dict] = {}
+    for model in (FAST_ETHERNET, GIGABIT, MYRINET):
+        per_policy = {}
+        for policy_name in ("NM", "AT"):
+            app = Sor(size=size, iterations=iterations)
+            jvm = DistributedJVM(
+                nodes=8, comm_model=model, policy=make_dsm_policy(policy_name)
+            )
+            result = jvm.run(app)
+            if verify:
+                app.verify(result.output)
+            per_policy[policy_name] = result
+        at = per_policy["AT"]
+        nm = per_policy["NM"]
+        rows[model.name] = {
+            "m_half_B": model.half_peak_bytes,
+            "nm_time_s": nm.execution_time_s,
+            "at_time_s": at.execution_time_s,
+            "at_speedup": nm.execution_time_us / at.execution_time_us,
+            "migrations": at.migrations,
+        }
+    return rows
+
+
+def run_decay_ablation(
+    phase_updates: int = 512, seedless: bool = True, verify: bool = True
+) -> dict:
+    """Future-work heuristic (§6): feedback decay, on a phase change.
+
+    Workload: a transient phase (r=2) followed by a lasting phase (r=16)
+    on the same object.  Finding (a negative result, kept honestly): the
+    paper's cumulative feedback already re-sensitizes quickly — the
+    positive feedback E grows within a single lasting turn — so decaying
+    the memory only erodes transient-phase robustness.
+    """
+    from repro.cluster.hockney import FAST_ETHERNET
+    from repro.core.policies import AdaptiveThresholdDecay
+    from repro.gos.jvm import DistributedJVM
+
+    schedule = [(phase_updates, 2), (phase_updates, 16)]
+    rows: dict[str, dict] = {}
+    policies = [
+        ("FT1", make_dsm_policy("FT1")),
+        ("AT", make_dsm_policy("AT")),
+        ("ATD g=0.9", AdaptiveThresholdDecay(gamma=0.9)),
+        ("ATD g=0.5", AdaptiveThresholdDecay(gamma=0.5)),
+    ]
+    for label, policy in policies:
+        app = SingleWriterBenchmark(schedule=schedule)
+        jvm = DistributedJVM(
+            nodes=NODES, comm_model=FAST_ETHERNET, policy=policy
+        )
+        result = jvm.run(app)
+        if verify:
+            app.verify(result.output)
+        rows[label] = {
+            "time_s": result.execution_time_s,
+            "migrations": result.migrations,
+            "redir": result.stats.events.get("redir", 0),
+        }
+    return rows
+
+
+def run_lambda_ablation(
+    repetition: int = 4,
+    total_updates: int = 512,
+    lambdas: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    verify: bool = True,
+) -> dict:
+    """Sensitivity of AT to the feedback coefficient ``lambda`` (§4.2
+    fixes it at 1; this measures how much that choice matters)."""
+    rows: dict[float, dict] = {}
+    for lam in lambdas:
+        result = run_once(
+            SingleWriterBenchmark(
+                total_updates=total_updates, repetition=repetition
+            ),
+            policy=AdaptiveThreshold(lam=lam),
+            nodes=NODES,
+            verify=verify,
+        )
+        rows[lam] = {
+            "time_s": result.execution_time_s,
+            "migrations": result.migrations,
+            "redir": result.stats.events.get("redir", 0),
+        }
+    return rows
+
+
+def render_ablation(rows: dict, title: str) -> str:
+    """Generic ASCII table for the ablation dicts above."""
+    if not rows:
+        raise ValueError("no ablation rows to render")
+    first = next(iter(rows.values()))
+    headers = ["variant"] + list(first)
+    table_rows = [[str(k)] + [v[c] for c in first] for k, v in rows.items()]
+    return format_table(headers, table_rows, title=title)

@@ -1,0 +1,105 @@
+"""Command-line entry point: ``python -m repro.bench <target> [--full]``.
+
+Targets: ``figure2``, ``figure3``, ``figure5``, ``ablation``, ``all``.
+``--full`` uses the paper's problem sizes (slow); the default quick sizes
+preserve every qualitative shape.  ``--json PATH`` additionally dumps the
+raw result dictionaries to a JSON file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.ablation import (
+    render_ablation,
+    run_barrier_policy_ablation,
+    run_decay_ablation,
+    run_homeless_ablation,
+    run_lambda_ablation,
+    run_lock_discipline_ablation,
+    run_network_ablation,
+    run_notification_ablation,
+    run_policy_ablation,
+)
+from repro.bench.figure2 import render_figure2, run_figure2
+from repro.bench.figure3 import render_figure3, run_figure3
+from repro.bench.figure5 import render_figure5, run_figure5
+
+TARGETS = ("figure2", "figure3", "figure5", "ablation", "all")
+
+
+def _run_ablations() -> dict:
+    return {
+        "notification": run_notification_ablation(),
+        "policies": run_policy_ablation(),
+        "barrier_policies": run_barrier_policy_ablation(),
+        "homeless": run_homeless_ablation(),
+        "lambda": run_lambda_ablation(),
+        "lock_discipline": run_lock_discipline_ablation(),
+        "network": run_network_ablation(),
+        "decay": run_decay_ablation(),
+    }
+
+
+def _render_ablations(data: dict) -> str:
+    titles = {
+        "notification": "Ablation — notification mechanisms (AT, synthetic r=8)",
+        "policies": "Ablation — migration policies (synthetic r=8)",
+        "barrier_policies": "Ablation — barrier-driven policies (SOR)",
+        "homeless": "Ablation — home-based vs homeless LRC (synthetic r=4)",
+        "lambda": "Ablation — AT feedback coefficient lambda (synthetic r=4)",
+        "lock_discipline": "Ablation — FIFO vs retry lock grants (synthetic r=2)",
+        "network": "Ablation — interconnect sweep (SOR, NM vs AT)",
+        "decay": "Ablation — feedback decay heuristic (phase change r=2 -> r=16)",
+    }
+    return "\n\n".join(
+        render_ablation(rows, titles[key]) for key, rows in data.items()
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the figures of Fang et al., CLUSTER 2004.",
+    )
+    parser.add_argument("target", choices=TARGETS)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's problem sizes (slow) instead of quick ones",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also dump the raw result dictionaries as JSON",
+    )
+    args = parser.parse_args(argv)
+    mode = "full" if args.full else "quick"
+
+    collected: dict = {}
+    targets = TARGETS[:-1] if args.target == "all" else (args.target,)
+    for target in targets:
+        if target == "figure2":
+            collected["figure2"] = run_figure2(mode=mode)
+            print(render_figure2(collected["figure2"]))
+        elif target == "figure3":
+            collected["figure3"] = run_figure3(mode=mode)
+            print(render_figure3(collected["figure3"]))
+        elif target == "figure5":
+            collected["figure5"] = run_figure5(mode=mode)
+            print(render_figure5(collected["figure5"]))
+        elif target == "ablation":
+            collected["ablation"] = _run_ablations()
+            print(_render_ablations(collected["ablation"]))
+        print()
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(collected, handle, indent=2, default=str)
+        print(f"raw results written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Figure 2: execution time vs number of processors, HM vs NoHM (§5.1).
+
+The paper runs ASP (1024-node graph), SOR (2048x2048), NBody (2048
+bodies) and TSP (12 cities) on 2..16 processors with the adaptive home
+migration protocol enabled (HM) and disabled (NoHM).  Expected shape:
+
+* ASP and SOR improve substantially under HM (their row objects exhibit
+  a lasting single-writer pattern but start round-robin-homed);
+* NBody and TSP are essentially unchanged (no exploitable single-writer
+  pattern), demonstrating the protocol's low overhead;
+* execution time decreases with processors for every app.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps import Asp, NBody, Sor, Tsp
+from repro.apps.base import DsmApplication
+from repro.bench.report import format_table
+from repro.bench.runner import run_once
+
+#: Paper problem sizes (``full``) and scaled-down defaults (``quick``).
+SIZES = {
+    "quick": {
+        "ASP": lambda: Asp(size=192),
+        "SOR": lambda: Sor(size=192, iterations=10),
+        "NBody": lambda: NBody(bodies=192, steps=3),
+        "TSP": lambda: Tsp(cities=11),
+    },
+    "full": {
+        "ASP": lambda: Asp(size=1024),
+        "SOR": lambda: Sor(size=2048, iterations=10),
+        "NBody": lambda: NBody(bodies=2048, steps=4),
+        "TSP": lambda: Tsp(cities=12),
+    },
+}
+
+PROCESSOR_COUNTS = (2, 4, 8, 16)
+VARIANTS = {"NoHM": "NM", "HM": "AT"}
+
+
+def run_figure2(
+    mode: str = "quick",
+    processor_counts: tuple[int, ...] = PROCESSOR_COUNTS,
+    apps: dict[str, Callable[[], DsmApplication]] | None = None,
+    verify: bool = True,
+) -> dict:
+    """Run the Figure-2 sweep; returns ``{app: {variant: {P: seconds}}}``
+    plus message counts under ``"messages"``."""
+    factories = apps if apps is not None else SIZES[mode]
+    times: dict[str, dict[str, dict[int, float]]] = {}
+    messages: dict[str, dict[str, dict[int, int]]] = {}
+    for app_name, factory in factories.items():
+        times[app_name] = {v: {} for v in VARIANTS}
+        messages[app_name] = {v: {} for v in VARIANTS}
+        for variant, policy in VARIANTS.items():
+            for nodes in processor_counts:
+                result = run_once(
+                    factory(), policy=policy, nodes=nodes, verify=verify
+                )
+                times[app_name][variant][nodes] = result.execution_time_s
+                messages[app_name][variant][nodes] = (
+                    result.stats.total_messages()
+                )
+    return {"times": times, "messages": messages, "mode": mode}
+
+
+def render_figure2(data: dict) -> str:
+    """ASCII rendition of Figure 2 (one table per application)."""
+    from repro.analysis.scaling import speedup_curve
+
+    blocks = []
+    for app_name, variants in data["times"].items():
+        processor_counts = sorted(next(iter(variants.values())))
+        headers = ["variant"] + [f"P={p}" for p in processor_counts]
+        rows = []
+        for variant, series in variants.items():
+            rows.append(
+                [variant] + [f"{series[p]:.3f}s" for p in processor_counts]
+            )
+        ratio_row = ["HM/NoHM"]
+        for p in processor_counts:
+            ratio = variants["HM"][p] / variants["NoHM"][p]
+            ratio_row.append(f"{ratio:.2f}x")
+        rows.append(ratio_row)
+        curve = speedup_curve(variants["HM"])
+        rows.append(
+            ["HM speedup"] + [f"{curve[p]:.2f}x" for p in processor_counts]
+        )
+        messages = data.get("messages", {}).get(app_name)
+        if messages:
+            for variant in ("NoHM", "HM"):
+                rows.append(
+                    [f"{variant} msgs"]
+                    + [f"{messages[variant][p]:,}" for p in processor_counts]
+                )
+        blocks.append(
+            format_table(
+                headers,
+                rows,
+                title=f"Figure 2 — {app_name} execution time "
+                f"({data['mode']} sizes)",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,106 @@
+"""Figure 3: AT improvement over FT against problem size (§5.1).
+
+The paper compares the adaptive-threshold protocol (AT) with the earlier
+fixed-threshold protocol at threshold 2 (FT) on eight nodes, scaling the
+ASP graph and the SOR matrix through {128, 256, 512, 1024}, and reports
+the improvement of AT over FT in execution time, number of messages and
+network traffic.  Expected shape: AT never loses; SOR's improvement grows
+with the problem size; ASP's stays roughly constant (amortized over its
+``n`` iterations).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import improvement_percent
+from repro.apps import Asp, Sor
+from repro.bench.report import format_table
+from repro.bench.runner import run_once
+
+PROBLEM_SIZES = {
+    "quick": (32, 64, 128, 256),
+    "full": (128, 256, 512, 1024),
+}
+
+NODES = 8
+BASELINE_POLICY = "FT2"
+IMPROVED_POLICY = "AT"
+
+#: SOR iteration count (fixed while the matrix scales, as in the paper).
+SOR_ITERATIONS = 10
+
+
+def _make_app(app_name: str, size: int):
+    if app_name == "ASP":
+        return Asp(size=size)
+    if app_name == "SOR":
+        return Sor(size=size, iterations=SOR_ITERATIONS)
+    raise ValueError(f"Figure 3 covers ASP and SOR, not {app_name!r}")
+
+
+def run_figure3(
+    mode: str = "quick",
+    sizes: tuple[int, ...] | None = None,
+    verify: bool = True,
+) -> dict:
+    """Run the Figure-3 sweep.
+
+    Returns ``{app: {size: {"time": %, "messages": %, "traffic": %}}}`` —
+    improvement percentages of AT over FT2 — plus the raw numbers under
+    ``"raw"``.
+    """
+    sweep = sizes if sizes is not None else PROBLEM_SIZES[mode]
+    improvements: dict[str, dict[int, dict[str, float]]] = {}
+    raw: dict[str, dict[int, dict[str, dict[str, float]]]] = {}
+    for app_name in ("ASP", "SOR"):
+        improvements[app_name] = {}
+        raw[app_name] = {}
+        for size in sweep:
+            per_policy = {}
+            for policy in (BASELINE_POLICY, IMPROVED_POLICY):
+                result = run_once(
+                    _make_app(app_name, size),
+                    policy=policy,
+                    nodes=NODES,
+                    verify=verify,
+                )
+                per_policy[policy] = {
+                    "time": result.execution_time_us,
+                    "messages": float(result.stats.total_messages()),
+                    "traffic": float(result.stats.total_bytes()),
+                }
+            raw[app_name][size] = per_policy
+            improvements[app_name][size] = {
+                metric: improvement_percent(
+                    per_policy[BASELINE_POLICY][metric],
+                    per_policy[IMPROVED_POLICY][metric],
+                )
+                for metric in ("time", "messages", "traffic")
+            }
+    return {"improvements": improvements, "raw": raw, "mode": mode}
+
+
+def render_figure3(data: dict) -> str:
+    """ASCII rendition of Figure 3."""
+    blocks = []
+    for app_name, per_size in data["improvements"].items():
+        headers = ["size", "exec time", "messages", "traffic"]
+        rows = [
+            [
+                str(size),
+                f"{vals['time']:+.1f}%",
+                f"{vals['messages']:+.1f}%",
+                f"{vals['traffic']:+.1f}%",
+            ]
+            for size, vals in sorted(per_size.items())
+        ]
+        blocks.append(
+            format_table(
+                headers,
+                rows,
+                title=(
+                    f"Figure 3 — {app_name}: improvement of AT over FT2 on "
+                    f"{NODES} nodes ({data['mode']} sizes)"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,116 @@
+"""Figure 5: sensitivity/robustness of NM, FT1, FT2 and AT (§5.2).
+
+The synthetic single-writer benchmark runs with eight working threads on
+the nodes other than node 0 (all synchronization remote, §5.2) while the
+repetition ``r`` of the single-writer pattern sweeps {2, 4, 8, 16}.
+
+* Figure 5a: execution time per repetition, normalized to the largest
+  protocol's time at that repetition;
+* Figure 5b: data message counts broken into ``obj`` (fault-in without
+  migration), ``mig`` (fault-in with migration), ``diff`` (diff
+  propagation) and ``redir`` (home redirection), normalized per
+  repetition; synchronization messages excluded, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import normalize_map
+from repro.apps import SingleWriterBenchmark
+from repro.bench.report import format_bar_groups, format_table
+from repro.bench.runner import run_once
+
+REPETITIONS = (2, 4, 8, 16)
+PROTOCOLS = ("NM", "FT1", "FT2", "AT")
+
+#: 8 working threads on non-master nodes => 9-node cluster (§5.2).
+NODES = 9
+TOTAL_UPDATES = {"quick": 512, "full": 4096}
+
+
+def run_figure5(
+    mode: str = "quick",
+    repetitions: tuple[int, ...] = REPETITIONS,
+    total_updates: int | None = None,
+    verify: bool = True,
+) -> dict:
+    """Run the Figure-5 sweep.
+
+    Returns::
+
+        {
+          "times": {r: {protocol: seconds}},
+          "normalized_times": {r: {protocol: 0..1}},
+          "breakdowns": {r: {protocol: {obj, mig, diff, redir}}},
+          "normalized_messages": {r: {protocol: 0..1}},
+        }
+    """
+    updates = (
+        total_updates if total_updates is not None else TOTAL_UPDATES[mode]
+    )
+    times: dict[int, dict[str, float]] = {}
+    breakdowns: dict[int, dict[str, dict[str, int]]] = {}
+    for repetition in repetitions:
+        times[repetition] = {}
+        breakdowns[repetition] = {}
+        for protocol in PROTOCOLS:
+            result = run_once(
+                SingleWriterBenchmark(
+                    total_updates=updates, repetition=repetition
+                ),
+                policy=protocol,
+                nodes=NODES,
+                verify=verify,
+            )
+            times[repetition][protocol] = result.execution_time_s
+            breakdowns[repetition][protocol] = result.stats.breakdown()
+    normalized_times = {r: normalize_map(ts) for r, ts in times.items()}
+    message_totals = {
+        r: {p: float(sum(b.values())) for p, b in per_proto.items()}
+        for r, per_proto in breakdowns.items()
+    }
+    normalized_messages = {
+        r: normalize_map(totals) for r, totals in message_totals.items()
+    }
+    return {
+        "times": times,
+        "normalized_times": normalized_times,
+        "breakdowns": breakdowns,
+        "normalized_messages": normalized_messages,
+        "mode": mode,
+    }
+
+
+def render_figure5(data: dict) -> str:
+    """ASCII rendition of Figures 5a and 5b."""
+    groups_5a = {
+        f"r={r}": bars for r, bars in data["normalized_times"].items()
+    }
+    part_a = format_bar_groups(
+        groups_5a,
+        title="Figure 5a — normalized execution time per repetition",
+    )
+    headers = ["r", "protocol", "obj", "mig", "diff", "redir", "total",
+               "normalized"]
+    rows = []
+    for r, per_proto in data["breakdowns"].items():
+        for protocol, b in per_proto.items():
+            total = sum(b.values())
+            rows.append(
+                [
+                    str(r),
+                    protocol,
+                    b["obj"],
+                    b["mig"],
+                    b["diff"],
+                    b["redir"],
+                    total,
+                    f"{data['normalized_messages'][r][protocol] * 100:.1f}%",
+                ]
+            )
+    part_b = format_table(
+        headers,
+        rows,
+        title="Figure 5b — message breakdown per repetition "
+        "(sync messages excluded)",
+    )
+    return part_a + "\n\n" + part_b

@@ -1,0 +1,85 @@
+"""Single-run driver and the policy registry used by all figures."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.base import DsmApplication
+from repro.cluster.hockney import FAST_ETHERNET, HockneyModel
+from repro.core.policies import (
+    AdaptiveThreshold,
+    BarrierMigration,
+    FixedThreshold,
+    LazyFlushing,
+    MigratingHome,
+    MigrationPolicy,
+    NoMigration,
+)
+from repro.dsm.redirection import (
+    BroadcastMechanism,
+    ForwardingPointerMechanism,
+    HomeManagerMechanism,
+    NotificationMechanism,
+)
+from repro.gos.jvm import DistributedJVM, RunResult
+
+#: Policy factories by report name.
+POLICIES: dict[str, Callable[[], MigrationPolicy]] = {
+    "NM": NoMigration,
+    "FT1": lambda: FixedThreshold(1),
+    "FT2": lambda: FixedThreshold(2),
+    "AT": AdaptiveThreshold,
+    "JUMP": MigratingHome,
+    "LF": LazyFlushing,
+    "JIAJIA": BarrierMigration,
+}
+
+#: Notification mechanism factories by report name.
+MECHANISMS: dict[str, Callable[[], NotificationMechanism]] = {
+    "forwarding-pointer": ForwardingPointerMechanism,
+    "broadcast": BroadcastMechanism,
+    "home-manager": HomeManagerMechanism,
+}
+
+
+def make_policy(name: str) -> MigrationPolicy:
+    """Instantiate a migration policy from its report name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None
+
+
+def make_mechanism(name: str) -> NotificationMechanism:
+    """Instantiate a notification mechanism from its report name."""
+    try:
+        return MECHANISMS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown mechanism {name!r}; choose from {sorted(MECHANISMS)}"
+        ) from None
+
+
+def run_once(
+    app: DsmApplication,
+    policy: str | MigrationPolicy = "AT",
+    nodes: int = 8,
+    mechanism: str | NotificationMechanism = "forwarding-pointer",
+    comm_model: HockneyModel = FAST_ETHERNET,
+    nthreads: int | None = None,
+    verify: bool = True,
+) -> RunResult:
+    """Run one application once under one configuration; verify by default."""
+    policy_obj = make_policy(policy) if isinstance(policy, str) else policy
+    mech_obj = (
+        make_mechanism(mechanism) if isinstance(mechanism, str) else mechanism
+    )
+    jvm = DistributedJVM(
+        nodes=nodes, comm_model=comm_model, policy=policy_obj, mechanism=mech_obj
+    )
+    result = jvm.run(app, nthreads=nthreads)
+    if verify:
+        app.verify(result.output)
+    return result

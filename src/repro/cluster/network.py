@@ -1,0 +1,112 @@
+"""Switched cluster network with Hockney latency and per-NIC serialization.
+
+Timing model for a message of ``m`` bytes from ``src`` to ``dst``:
+
+* the sender's NIC is busy injecting for ``transfer_us(m) = m / r_inf``;
+  injections from one node serialize (``nic_free`` bookkeeping), modelling
+  a single full-duplex link into the switch;
+* the wire+stack latency adds the start-up term, so arrival is
+  ``injection_end + t0``;
+* the receiving :class:`~repro.cluster.node.Node` charges its service
+  overhead before the protocol handler runs.
+
+End-to-end latency of an isolated message is therefore exactly the Hockney
+``t(m) = t0 + m/r_inf`` (plus receiver service time), while bursts of
+messages from one node back-pressure each other — enough fidelity for the
+message-count/traffic/ordering behaviour the protocol depends on.
+
+Local messages (``src == dst``) are not allowed: the DSM layer handles
+node-local operations without the network, as the real system does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+from repro.cluster.hockney import HockneyModel
+from repro.cluster.message import HEADER_BYTES, Message, MsgCategory
+from repro.cluster.node import Node
+from repro.cluster.stats import ClusterStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class Network:
+    """The cluster interconnect: owns the nodes and delivers messages."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        comm_model: HockneyModel,
+        nnodes: int,
+        stats: ClusterStats | None = None,
+        service_us: float | None = None,
+    ):
+        if nnodes < 1:
+            raise ValueError(f"need at least one node, got {nnodes}")
+        self.sim = sim
+        self.comm_model = comm_model
+        self.stats = stats if stats is not None else ClusterStats()
+        node_kwargs = {} if service_us is None else {"service_us": service_us}
+        self.nodes = [Node(i, sim, **node_kwargs) for i in range(nnodes)]
+        self._nic_free = [0.0] * nnodes
+
+    @property
+    def nnodes(self) -> int:
+        return len(self.nodes)
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        category: MsgCategory,
+        size_bytes: int,
+        payload: Any = None,
+    ) -> Message:
+        """Inject a message; schedules its delivery and returns it.
+
+        ``size_bytes`` is the payload size; the fixed header is added here.
+        """
+        if src == dst:
+            raise ValueError(
+                f"local message {category.value} on node {src}; node-local "
+                "operations must bypass the network"
+            )
+        if not (0 <= src < self.nnodes and 0 <= dst < self.nnodes):
+            raise ValueError(f"endpoints {src}->{dst} outside cluster")
+        message = Message(
+            src=src,
+            dst=dst,
+            category=category,
+            size_bytes=size_bytes + HEADER_BYTES,
+            payload=payload,
+        )
+        self.stats.record_message(message)
+
+        now = self.sim.now
+        injection_start = max(now, self._nic_free[src])
+        injection_end = injection_start + self.comm_model.transfer_us(
+            message.size_bytes
+        )
+        self._nic_free[src] = injection_end
+        arrival = injection_end + self.comm_model.startup_us
+        self.sim.at(arrival, lambda: self.nodes[dst].deliver(message))
+        return message
+
+    def broadcast(
+        self,
+        src: int,
+        category: MsgCategory,
+        size_bytes: int,
+        payload: Any = None,
+    ) -> list[Message]:
+        """Send one copy to every other node (switch has no multicast here)."""
+        return [
+            self.send(src, dst, category, size_bytes, payload)
+            for dst in range(self.nnodes)
+            if dst != src
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Network {self.nnodes} nodes, {self.comm_model.name}>"

@@ -1,0 +1,45 @@
+"""The paper's contribution: adaptive home migration.
+
+* :mod:`repro.core.state` — the per-object access bookkeeping kept at an
+  object's home (§3.3/§4.1: consecutive remote writes ``C``, exclusive home
+  writes ``E``, redirected requests ``R``, lifetime access counts);
+* :mod:`repro.core.coefficient` — the home access coefficient ``alpha``
+  derived from the Hockney model (Appendix A);
+* :mod:`repro.core.threshold` — the pure adaptive-threshold update rule
+  ``T_i = max(T_{i-1} + lam*(R_i - alpha*E_i), T_init)`` (Equation 2);
+* :mod:`repro.core.policies` — the policy family: the paper's
+  :class:`~repro.core.policies.AdaptiveThreshold`, the authors' earlier
+  :class:`~repro.core.policies.FixedThreshold`, and related-work baselines
+  (JUMP :class:`~repro.core.policies.MigratingHome`, Jackal
+  :class:`~repro.core.policies.LazyFlushing`, JiaJia
+  :class:`~repro.core.policies.BarrierMigration`).
+"""
+
+from repro.core.coefficient import home_access_coefficient
+from repro.core.policies import (
+    AdaptiveThreshold,
+    AdaptiveThresholdDecay,
+    BarrierMigration,
+    FixedThreshold,
+    LazyFlushing,
+    MigratingHome,
+    MigrationPolicy,
+    NoMigration,
+)
+from repro.core.state import HOME_WRITER, ObjectAccessState
+from repro.core.threshold import adaptive_threshold
+
+__all__ = [
+    "AdaptiveThreshold",
+    "AdaptiveThresholdDecay",
+    "BarrierMigration",
+    "FixedThreshold",
+    "HOME_WRITER",
+    "LazyFlushing",
+    "MigratingHome",
+    "MigrationPolicy",
+    "NoMigration",
+    "ObjectAccessState",
+    "adaptive_threshold",
+    "home_access_coefficient",
+]

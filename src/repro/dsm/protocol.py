@@ -1,0 +1,1504 @@
+"""The per-node home-based LRC protocol engine.
+
+One :class:`DsmEngine` runs on every cluster node.  It owns the node's
+object cache, the home entries of objects homed here, the forwarding
+pointers of objects that migrated away, and the manager-side state of
+locks and barriers homed here.  Thread-facing operations (``read``,
+``write``, ``acquire``, ``release``, ``barrier``) are generators driven by
+the simulation engine; message handling is plain callbacks.
+
+Protocol summary
+----------------
+
+**Fault-in.**  A faulting node sends OBJ_REQUEST to its best-known home.
+An obsolete home answers with a redirect directive per the configured
+:class:`~repro.dsm.redirection.NotificationMechanism` (each miss is one
+*redirection*, the accumulation travels in the request's ``hops`` field
+and feeds the adaptive threshold's negative feedback ``R``).  The home
+records a remote read, asks the migration policy, and replies with the
+object image — plus the home itself when the policy fires (OBJ_REPLY_MIG),
+leaving a forwarding pointer behind.
+
+**Diff propagation.**  At release/barrier, each dirty cached object's diff
+is shipped to the home, which applies it, bumps the version, records a
+remote write (the consecutive-writes chain ``C``), and acks with the new
+version.  Release blocks on the acks, so a lock grant (which carries the
+write notices) can never overtake the data it announces.
+
+**Home accesses** are trapped once per local synchronization interval,
+mirroring §3.3's invalid-on-acquire / read-only-on-release protection of
+the home copy; an exclusive home write increments the positive feedback
+``E``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, TYPE_CHECKING
+
+import numpy as np
+
+from repro.cluster.message import Message, MsgCategory, NOTICE_ENTRY_BYTES
+from repro.cluster.network import Network
+from repro.cluster.stats import ClusterStats
+from repro.core.coefficient import home_access_coefficient
+from repro.core.policies import MigrationPolicy
+from repro.core.state import ObjectAccessState
+from repro.dsm.barrier import BarrierHandle, BarrierState
+from repro.dsm.cache import AccessMode, CacheEntry
+from repro.dsm.home import HomeEntry
+from repro.dsm.locks import LockHandle, LockTable
+from repro.dsm.redirection import NotificationMechanism
+from repro.memory.diff import Diff, apply_diff, compute_diff
+from repro.memory.heap import ObjectHeap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+from repro.sim.future import Future
+
+#: Payload bytes of small fixed-size protocol fields.
+REQUEST_BYTES = 8
+REPLY_EXTRA_BYTES = 8  # version stamp on an object reply
+MONITOR_BYTES = 48  # serialized ObjectAccessState on migration
+ACK_BYTES = 8
+SYNC_BASE_BYTES = 8
+
+#: Abort a fault-in after this many redirections (protocol-bug guard).
+MAX_REDIRECTIONS = 1000
+
+#: Retry-discipline lock backoff: base + U(0, jitter) microseconds.
+LOCK_RETRY_BASE_US = 150.0
+LOCK_RETRY_JITTER_US = 450.0
+
+
+# ---------------------------------------------------------------------------
+# wire payloads
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ObjRequest:
+    oid: int
+    requester: int
+    request_id: tuple[int, int]
+    min_version: int
+    hops: int
+    for_write: bool
+
+
+@dataclass
+class ObjReply:
+    oid: int
+    request_id: tuple[int, int]
+    version: int
+    data: np.ndarray
+    home: int
+    migrated: bool = False
+    monitor: ObjectAccessState | None = None
+
+
+@dataclass
+class RedirectReply:
+    oid: int
+    request_id: tuple[int, int]
+    directive: dict[str, Any]
+
+
+@dataclass
+class ObjBatchRequest:
+    """Batched read fault-in — models the GOS's connectivity-based object
+    pushing (§5.1): objects co-homed with the faulted one travel in one
+    message instead of one round trip each."""
+
+    oids: list[int]
+    requester: int
+    request_id: tuple[int, int]
+
+
+@dataclass
+class ObjBatchReply:
+    request_id: tuple[int, int]
+    #: (oid, version, payload copy) for every object served.
+    items: list[tuple[int, int, np.ndarray]]
+    #: oids not homed here (requester falls back to the singular path).
+    missing: list[int]
+    home: int
+
+
+@dataclass
+class DiffMsg:
+    oid: int
+    writer: int
+    request_id: tuple[int, int]
+    diff: Diff
+    hops: int = 0
+
+
+@dataclass
+class DiffAck:
+    oid: int
+    request_id: tuple[int, int]
+    version: int
+    home: int
+
+
+@dataclass
+class LockAcquireMsg:
+    lock_id: int
+    requester: int
+    request_id: tuple[int, int]
+    #: Write notices of the interval the acquirer just closed — diffs are
+    #: flushed at *every* synchronization point (acquire and release), so
+    #: each synchronized update reaches the home as its own diff.
+    notices: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class LockGrantMsg:
+    lock_id: int
+    request_id: tuple[int, int]
+    notices: dict[int, int]
+    #: Retry discipline: the lock was held; try again after a backoff.
+    busy: bool = False
+
+
+@dataclass
+class LockReleaseMsg:
+    lock_id: int
+    releaser: int
+    notices: dict[int, int]
+
+
+@dataclass
+class BarrierArriveMsg:
+    barrier_id: int
+    node: int
+    round_no: int
+    notices: dict[int, int]
+
+
+@dataclass
+class BarrierReleaseMsg:
+    barrier_id: int
+    round_no: int
+    notices: dict[int, int]
+    new_homes: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class MigrateOrderMsg:
+    oid: int
+    new_home: int
+
+
+@dataclass
+class HomeTransferMsg:
+    oid: int
+    version: int
+    data: np.ndarray
+    monitor: ObjectAccessState
+
+
+@dataclass
+class ShipRequest:
+    """Synchronized method shipping (§5.1's GOS optimization): execute a
+    mutator at the object's home instead of faulting the object over."""
+
+    oid: int
+    requester: int
+    request_id: tuple[int, int]
+    fn: Any  # callable(payload) -> result, runs at the home
+    compute_us: float
+    args_bytes: int
+    hops: int = 0
+
+
+@dataclass
+class ShipReply:
+    oid: int
+    request_id: tuple[int, int]
+    version: int
+    home: int
+    result: Any = None
+    #: Home migrated instead of executing: the requester must run fn
+    #: locally after installing the home.
+    migrated: bool = False
+    data: np.ndarray | None = None
+    monitor: ObjectAccessState | None = None
+
+
+@dataclass
+class HomeQueryMsg:
+    oid: int
+    requester: int
+    request_id: tuple[int, int]
+
+
+@dataclass
+class HomeAnswerMsg:
+    oid: int
+    request_id: tuple[int, int]
+    home: int
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+
+class DsmEngine:
+    """Home-based LRC protocol instance on one node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: "Simulator",
+        network: Network,
+        heap: ObjectHeap,
+        stats: ClusterStats,
+        policy: MigrationPolicy,
+        mechanism: NotificationMechanism,
+        tracer=None,
+        lock_discipline: str = "fifo",
+        seed: int = 0,
+    ):
+        if lock_discipline not in ("fifo", "retry"):
+            raise ValueError(
+                f"lock_discipline must be 'fifo' or 'retry', got "
+                f"{lock_discipline!r}"
+            )
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.heap = heap
+        self.stats = stats
+        self.policy = policy
+        self.mechanism = mechanism
+        self.tracer = tracer
+        self.lock_discipline = lock_discipline
+        import random
+
+        self._rng = random.Random(10_007 * (node_id + 1) + seed)
+
+        self.cache: dict[int, CacheEntry] = {}
+        self.homes: dict[int, HomeEntry] = {}
+        self.forwards: dict[int, int] = {}
+        self.home_hint: dict[int, int] = {}
+        self.required_version: dict[int, int] = {}
+        self.dirty: set[int] = set()
+        self.home_dirty: set[int] = set()
+        self.carry_notices: dict[int, int] = {}
+        self.interval: int = 0
+
+        self.lock_table = LockTable()
+        self.barriers: dict[int, BarrierState] = {}
+        self.manager_home_map: dict[int, int] = {}
+
+        self._reply_waiters: dict[tuple[int, int], Future] = {}
+        self._lock_waiters: dict[tuple[int, tuple[int, int]], Future] = {}
+        self._barrier_waiters: dict[tuple[int, int], list[Future]] = {}
+        self.pending_foreign: dict[int, list[ObjRequest]] = {}
+        self._pending_diffs: dict[int, list[DiffMsg]] = {}
+        #: Local threads waiting for an inbound home transfer (a barrier
+        #: release can announce this node as the new home before the
+        #: transfer message arrives).
+        self._local_home_waits: dict[int, list[Future]] = {}
+        #: Fault coalescing: one outstanding fault-in per object per node;
+        #: co-located threads piggyback on it.
+        self._inflight: dict[int, Future] = {}
+        self._req_counter = 0
+
+        network.nodes[node_id].install_handler(self.on_message)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _next_request_id(self) -> tuple[int, int]:
+        self._req_counter += 1
+        return (self.node_id, self._req_counter)
+
+    def install_initial_home(self, oid: int) -> None:
+        """Materialise the home entry for an object initially homed here."""
+        obj = self.heap.get(oid)
+        self.homes[oid] = HomeEntry(
+            payload=obj.new_payload(),
+            version=0,
+            state=ObjectAccessState(oid=oid, object_bytes=obj.size_bytes),
+        )
+
+    def best_home_hint(self, oid: int) -> int:
+        """This node's best guess at ``oid``'s current home (initial-home
+        fallback; updated by replies, acks, redirects, broadcasts)."""
+        return self.home_hint.get(oid, self.heap.initial_home(oid))
+
+    def alpha(self, oid: int, state: ObjectAccessState) -> float:
+        """The home access coefficient for this object right now."""
+        obj = self.heap.get(oid)
+        return home_access_coefficient(
+            obj.size_bytes,
+            state.diff_bytes_avg,
+            self.network.comm_model.half_peak_bytes,
+        )
+
+    def _send(
+        self, dst: int, category: MsgCategory, size_bytes: int, payload: Any
+    ) -> None:
+        self.network.send(self.node_id, dst, category, size_bytes, payload)
+
+    def _notice_size(self, notices: dict[int, int]) -> int:
+        return SYNC_BASE_BYTES + NOTICE_ENTRY_BYTES * len(notices)
+
+    # ------------------------------------------------------------------
+    # thread-facing operations (generators)
+    # ------------------------------------------------------------------
+
+    def read(self, oid: int) -> Generator[Any, Any, np.ndarray]:
+        """Ensure a readable copy of ``oid``; return its payload array."""
+        entry = self.homes.get(oid)
+        if entry is not None:
+            entry.trap_home_read(self.interval)
+            return entry.payload
+        cached = self.cache.get(oid)
+        if cached is not None and cached.readable():
+            return cached.payload
+        payload = yield from self._fault_in(oid, for_write=False)
+        return payload
+
+    def write(self, oid: int) -> Generator[Any, Any, np.ndarray]:
+        """Ensure a writable copy of ``oid``; return its payload array.
+
+        On a cached copy this makes the twin (first write of the interval);
+        on the home copy it traps the home write for the monitor.
+        """
+        entry = self.homes.get(oid)
+        if entry is not None:
+            trapped, exclusive = entry.trap_home_write(self.interval)
+            if trapped:
+                self.stats.incr("home_write")
+                if exclusive:
+                    self.stats.incr("exclusive_home_write")
+            self.home_dirty.add(oid)
+            return entry.payload
+        cached = self.cache.get(oid)
+        if cached is None or not cached.readable():
+            yield from self._fault_in(oid, for_write=True)
+            # migration may have made us the home; re-dispatch
+            payload = yield from self.write(oid)
+            return payload
+        cached.upgrade_to_write()
+        self.dirty.add(oid)
+        return cached.payload
+
+    def read_many(self, oids: list[int]) -> Generator[Any, Any, None]:
+        """Batched read fault-in: one request per (presumed) home node.
+
+        Ensures a readable copy of every object; objects already valid
+        locally cost nothing.  Objects the presumed home no longer hosts
+        fall back to the singular redirect-following path.  Models the
+        paper's connectivity-based object pushing optimization.
+        """
+        by_target: dict[int, list[int]] = {}
+        leftover_local: list[int] = []
+        for oid in oids:
+            if oid in self.homes:
+                continue
+            cached = self.cache.get(oid)
+            if cached is not None and cached.readable():
+                continue
+            if oid in self._inflight:
+                # a co-located thread is already fetching it
+                leftover_local.append(oid)
+                continue
+            target = self.best_home_hint(oid)
+            if target == self.node_id:
+                if oid not in self.forwards:
+                    # inbound transfer in flight: take the singular path,
+                    # which waits for it
+                    leftover_local.append(oid)
+                    continue
+                target = self.forwards[oid]
+                self.home_hint[oid] = target
+            by_target.setdefault(target, []).append(oid)
+        pending: list[Future] = []
+        for target, group in sorted(by_target.items()):
+            request_id = self._next_request_id()
+            fut = Future(label=f"batchreq-{target}-{request_id}")
+            self._reply_waiters[request_id] = fut
+            self._send(
+                target,
+                MsgCategory.OBJ_REQUEST,
+                REQUEST_BYTES + 8 * len(group),
+                ObjBatchRequest(
+                    oids=group, requester=self.node_id, request_id=request_id
+                ),
+            )
+            pending.append(fut)
+        leftovers: list[int] = list(leftover_local)
+        for fut in pending:
+            reply: ObjBatchReply = yield fut
+            for oid, version, data in reply.items:
+                if version < self.required_version.get(oid, 0):
+                    leftovers.append(oid)  # stale (rare race): refetch singly
+                    continue
+                self.home_hint[oid] = reply.home
+                self.cache[oid] = CacheEntry(
+                    payload=data, version=version, mode=AccessMode.READ
+                )
+            leftovers.extend(reply.missing)
+        for oid in leftovers:
+            if oid in self.homes:
+                continue
+            cached = self.cache.get(oid)
+            if cached is not None and cached.readable():
+                continue
+            yield from self._fault_in(oid, for_write=False)
+
+    def _handle_batch_request(self, request: ObjBatchRequest) -> None:
+        items: list[tuple[int, int, np.ndarray]] = []
+        missing: list[int] = []
+        for oid in request.oids:
+            entry = self.homes.get(oid)
+            if entry is None:
+                missing.append(oid)
+                continue
+            entry.state.record_remote_read(request.requester)
+            self.stats.incr("remote_read")
+            self.stats.incr("obj")
+            items.append((oid, entry.version, entry.payload.copy()))
+        size = REQUEST_BYTES + sum(
+            self.heap.get(oid).size_bytes + REPLY_EXTRA_BYTES
+            for oid, _v, _d in items
+        )
+        self._send(
+            request.requester,
+            MsgCategory.OBJ_REPLY,
+            size,
+            ObjBatchReply(
+                request_id=request.request_id,
+                items=items,
+                missing=missing,
+                home=self.node_id,
+            ),
+        )
+
+    def ship(
+        self,
+        oid: int,
+        fn: Any,
+        compute_us: float = 0.0,
+        args_bytes: int = 8,
+    ) -> Generator[Any, Any, Any]:
+        """Synchronized method shipping: run ``fn(payload)`` at the home.
+
+        The caller must hold the lock guarding the object (as a shipped
+        ``synchronized`` method would).  At the home, the execution counts
+        as a remote write by the requester — consecutive ships from one
+        node build the same ``C`` chain diffs do, so the migration policy
+        can still decide to move the home to a persistent shipper, in
+        which case the reply carries the home instead and ``fn`` runs
+        locally.  Returns ``fn``'s result.
+        """
+        entry = self.homes.get(oid)
+        if entry is not None:
+            trapped, exclusive = entry.trap_home_write(self.interval)
+            if trapped:
+                self.stats.incr("home_write")
+                if exclusive:
+                    self.stats.incr("exclusive_home_write")
+            self.home_dirty.add(oid)
+            if compute_us > 0:
+                from repro.sim.process import Delay
+
+                yield Delay(compute_us)
+            return fn(entry.payload)
+        hops = 0
+        for _attempt in range(MAX_REDIRECTIONS):
+            target = self.best_home_hint(oid)
+            if target == self.node_id:
+                if oid in self.homes:
+                    result = yield from self.ship(oid, fn, compute_us, args_bytes)
+                    return result
+                if oid in self.forwards:
+                    self.home_hint[oid] = self.forwards[oid]
+                    continue
+                fut = Future(label=f"inbound-home-{oid}")
+                self._local_home_waits.setdefault(oid, []).append(fut)
+                yield fut
+                continue
+            request_id = self._next_request_id()
+            fut = Future(label=f"ship-{oid}-{request_id}")
+            self._reply_waiters[request_id] = fut
+            self._send(
+                target,
+                MsgCategory.SHIP_REQUEST,
+                REQUEST_BYTES + args_bytes,
+                ShipRequest(
+                    oid=oid,
+                    requester=self.node_id,
+                    request_id=request_id,
+                    fn=fn,
+                    compute_us=compute_us,
+                    args_bytes=args_bytes,
+                    hops=hops,
+                ),
+            )
+            reply = yield fut
+            if isinstance(reply, RedirectReply):
+                hops += 1
+                directive = reply.directive
+                if directive["kind"] == "redirect":
+                    self.home_hint[oid] = directive["target"]
+                else:
+                    home = yield from self._query_manager(
+                        oid, directive["manager"]
+                    )
+                    self.home_hint[oid] = home
+                continue
+            if reply.migrated:
+                # the policy moved the home to us; install it and run
+                # fn locally as a home write
+                self.cache.pop(oid, None)
+                self.forwards.pop(oid, None)
+                self.homes[oid] = HomeEntry(
+                    payload=reply.data,
+                    version=reply.version,
+                    state=reply.monitor,
+                )
+                self.home_hint[oid] = self.node_id
+                self._serve_pending_foreign(oid)
+                self._serve_pending_diffs(oid)
+                for waiter in self._local_home_waits.pop(oid, []):
+                    waiter.resolve(None)
+                result = yield from self.ship(oid, fn, compute_us, args_bytes)
+                return result
+            self.home_hint[oid] = reply.home
+            if self.carry_notices.get(oid, 0) < reply.version:
+                self.carry_notices[oid] = reply.version
+            cached = self.cache.get(oid)
+            if cached is not None and cached.mode is AccessMode.READ:
+                cached.invalidate()
+            return reply.result
+        raise RuntimeError(
+            f"shipping to oid {oid} exceeded {MAX_REDIRECTIONS} redirections"
+        )
+
+    def _handle_ship(self, request: ShipRequest) -> None:
+        entry = self.homes.get(request.oid)
+        if entry is None:
+            if request.oid in self.forwards:
+                self.stats.incr("redir")
+                if self.tracer is not None:
+                    self.tracer.record(
+                        "redirect",
+                        self.sim.now,
+                        request.oid,
+                        self.node_id,
+                        obsolete_home=self.node_id,
+                        requester=request.requester,
+                    )
+                directive = self.mechanism.miss_directive(self, request.oid)
+                self._send(
+                    request.requester,
+                    MsgCategory.REDIRECT,
+                    REQUEST_BYTES,
+                    RedirectReply(
+                        oid=request.oid,
+                        request_id=request.request_id,
+                        directive=directive,
+                    ),
+                )
+            else:
+                self.stats.incr("deferred_request")
+                self.pending_foreign.setdefault(request.oid, []).append(request)
+            return
+        state = entry.state
+        state.record_redirections(request.hops)
+        alpha = self.alpha(request.oid, state)
+        obj = self.heap.get(request.oid)
+        migrate = self.policy.should_migrate(
+            state, request.requester, alpha, for_write=True
+        )
+        self._trace_decision(
+            request.oid, state, request.requester, alpha, migrate
+        )
+        if migrate:
+            self.policy.on_migrated(state, alpha)
+            self._trace_migration(request.oid, request.requester, state)
+            self.stats.incr("mig")
+            self.stats.incr("migration")
+            self._close_dirty_home_interval(request.oid, entry)
+            self._send(
+                request.requester,
+                MsgCategory.SHIP_REPLY,
+                obj.size_bytes + REPLY_EXTRA_BYTES + MONITOR_BYTES,
+                ShipReply(
+                    oid=request.oid,
+                    request_id=request.request_id,
+                    version=entry.version,
+                    home=request.requester,
+                    migrated=True,
+                    data=entry.payload.copy(),
+                    monitor=state,
+                ),
+            )
+            self._demote_home(request.oid, entry, request.requester)
+            for pending in entry.pending:
+                self._handle_obj_request(pending)
+            entry.pending = []
+            return
+        # execute here; the execution is a remote write by the requester
+        self.stats.incr("ship")
+        self.stats.incr("remote_write")
+        state.record_remote_write(request.requester, request.args_bytes)
+        result = request.fn(entry.payload)
+        entry.version += 1
+        self._recheck_pending(request.oid)
+        reply = ShipReply(
+            oid=request.oid,
+            request_id=request.request_id,
+            version=entry.version,
+            home=self.node_id,
+            result=result,
+        )
+        send = lambda: self._send(  # noqa: E731
+            request.requester,
+            MsgCategory.SHIP_REPLY,
+            REQUEST_BYTES + request.args_bytes,
+            reply,
+        )
+        if request.compute_us > 0:
+            self.sim.schedule(request.compute_us, send)
+        else:
+            send()
+
+    def _fault_in(
+        self, oid: int, for_write: bool
+    ) -> Generator[Any, Any, np.ndarray]:
+        """Fetch a valid copy from the home, following redirections.
+
+        Concurrent faults by co-located threads coalesce: only one
+        request per object is outstanding per node, and the piggybacking
+        threads re-check local state once it completes.
+        """
+        while oid in self._inflight:
+            yield self._inflight[oid]
+            entry = self.homes.get(oid)
+            if entry is not None:
+                return entry.payload
+            cached = self.cache.get(oid)
+            if cached is not None and cached.readable():
+                return cached.payload
+        marker = Future(label=f"inflight-{oid}")
+        self._inflight[oid] = marker
+        try:
+            payload = yield from self._fault_in_primary(oid, for_write)
+            return payload
+        finally:
+            del self._inflight[oid]
+            marker.resolve(None)
+
+    def _fault_in_primary(
+        self, oid: int, for_write: bool
+    ) -> Generator[Any, Any, np.ndarray]:
+        min_version = self.required_version.get(oid, 0)
+        hops = 0
+        for _attempt in range(MAX_REDIRECTIONS):
+            target = self.best_home_hint(oid)
+            if target == self.node_id:
+                if oid in self.homes:
+                    return self.homes[oid].payload
+                if oid in self.forwards:
+                    # stale self-hint after we migrated the home away
+                    self.home_hint[oid] = self.forwards[oid]
+                    continue
+                # we were announced as the new home but the transfer is
+                # still in flight: wait for it
+                fut = Future(label=f"inbound-home-{oid}")
+                self._local_home_waits.setdefault(oid, []).append(fut)
+                yield fut
+                continue
+            request_id = self._next_request_id()
+            fut = Future(label=f"objreq-{oid}-{request_id}")
+            self._reply_waiters[request_id] = fut
+            self._send(
+                target,
+                MsgCategory.OBJ_REQUEST,
+                REQUEST_BYTES,
+                ObjRequest(
+                    oid=oid,
+                    requester=self.node_id,
+                    request_id=request_id,
+                    min_version=min_version,
+                    hops=hops,
+                    for_write=for_write,
+                ),
+            )
+            reply = yield fut
+            if isinstance(reply, ObjReply):
+                return self._install_reply(oid, reply)
+            # redirected: one more accumulated redirection
+            hops += 1
+            directive = reply.directive
+            if directive["kind"] == "redirect":
+                self.home_hint[oid] = directive["target"]
+            elif directive["kind"] == "manager":
+                home = yield from self._query_manager(oid, directive["manager"])
+                self.home_hint[oid] = home
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown miss directive {directive!r}")
+        raise RuntimeError(
+            f"fault-in of oid {oid} at node {self.node_id} exceeded "
+            f"{MAX_REDIRECTIONS} redirections"
+        )
+
+    def _query_manager(
+        self, oid: int, manager: int
+    ) -> Generator[Any, Any, int]:
+        if manager == self.node_id:
+            # we are the manager: answer from the local map
+            return self.manager_home_map.get(oid, self.heap.initial_home(oid))
+        request_id = self._next_request_id()
+        fut = Future(label=f"homequery-{oid}-{request_id}")
+        self._reply_waiters[request_id] = fut
+        self._send(
+            manager,
+            MsgCategory.HOME_QUERY,
+            REQUEST_BYTES,
+            HomeQueryMsg(oid=oid, requester=self.node_id, request_id=request_id),
+        )
+        answer: HomeAnswerMsg = yield fut
+        return answer.home
+
+    def _install_reply(self, oid: int, reply: ObjReply) -> np.ndarray:
+        self.home_hint[oid] = reply.home
+        if reply.migrated:
+            assert reply.monitor is not None
+            self.cache.pop(oid, None)
+            self.forwards.pop(oid, None)  # we are home again: drop stale pointer
+            self.homes[oid] = HomeEntry(
+                payload=reply.data, version=reply.version, state=reply.monitor
+            )
+            self.home_hint[oid] = self.node_id
+            self._serve_pending_foreign(oid)
+            self._serve_pending_diffs(oid)
+            return self.homes[oid].payload
+        required = self.required_version.get(oid, 0)
+        if reply.version < required:  # pragma: no cover - protocol invariant
+            raise RuntimeError(
+                f"home replied version {reply.version} < required {required} "
+                f"for oid {oid}"
+            )
+        self.cache[oid] = CacheEntry(
+            payload=reply.data, version=reply.version, mode=AccessMode.READ
+        )
+        return reply.data
+
+    # -- diff flushing --------------------------------------------------
+
+    def flush_diffs(self) -> Generator[Any, Any, dict[int, int]]:
+        """Ship diffs of all dirty objects to their homes; wait for acks.
+
+        Returns the write notices of this interval (oid -> new version),
+        covering cached-copy diffs, home-copy writes, and any carried
+        notices from migrations that closed a dirty home interval.
+        """
+        notices: dict[int, int] = {}
+        waits: list[tuple[int, CacheEntry, Future]] = []
+        for oid in sorted(self.dirty):
+            cached = self.cache.get(oid)
+            if cached is None or cached.twin is None:
+                continue
+            diff = compute_diff(oid, cached.twin, cached.payload)
+            if diff is None:
+                cached.downgrade_clean()
+                continue
+            request_id = self._next_request_id()
+            fut = Future(label=f"diffack-{oid}-{request_id}")
+            self._reply_waiters[request_id] = fut
+            self._send(
+                self.best_home_hint(oid),
+                MsgCategory.DIFF,
+                diff.size_bytes + REQUEST_BYTES,
+                DiffMsg(
+                    oid=oid, writer=self.node_id, request_id=request_id, diff=diff
+                ),
+            )
+            waits.append((oid, cached, fut))
+        self.dirty.clear()
+        for oid, cached, fut in waits:
+            ack: DiffAck = yield fut
+            self.home_hint[oid] = ack.home
+            cached.downgrade_after_flush(ack.version)
+            notices[oid] = ack.version
+        for oid in sorted(self.home_dirty):
+            entry = self.homes.get(oid)
+            if entry is None:
+                continue  # migrated away mid-interval; notice already carried
+            entry.version += 1
+            notices[oid] = entry.version
+            self._recheck_pending(oid)
+        self.home_dirty.clear()
+        if self.carry_notices:
+            for oid, version in self.carry_notices.items():
+                if notices.get(oid, 0) < version:
+                    notices[oid] = version
+            self.carry_notices.clear()
+        return notices
+
+    def apply_notices(self, notices: dict[int, int]) -> None:
+        """Record incoming write notices (version floor for fault-ins).
+
+        Hot path: barrier releases carry O(#written objects) notices per
+        round.  Cache invalidation is *not* done here — both call sites
+        (acquire, barrier) follow with :meth:`invalidate_all_cached`
+        (Java consistency), which subsumes per-notice invalidation.
+        """
+        required = self.required_version
+        for oid, version in notices.items():
+            if version > required.get(oid, 0):
+                required[oid] = version
+
+    def invalidate_all_cached(self) -> None:
+        """Java-consistency cache flush at a synchronization point.
+
+        The paper's GOS follows the (pre-JSR-133) Java memory model, under
+        which acquiring a monitor invalidates the thread's working copies
+        of shared objects wholesale — *every* cached (non-home) copy is
+        re-faulted after a synchronization, while home copies stay valid.
+        This asymmetry is precisely what home migration exploits, and it
+        is what makes the per-access fault stream of Figure 5 come out:
+        each synchronized update by a non-home writer re-faults the object.
+
+        Dirty WRITE copies are spared: their diffs have not been flushed
+        yet (LRC multiple-writer semantics keep them coherent via twins).
+        """
+        for cached in self.cache.values():
+            if cached.mode is AccessMode.READ:
+                cached.mode = AccessMode.INVALID
+
+    # -- locks ------------------------------------------------------------
+
+    def acquire(self, handle: LockHandle) -> Generator[Any, Any, None]:
+        """Acquire a distributed lock; applies piggybacked write notices.
+
+        Acquiring closes the current interval: pending diffs are flushed
+        first (so every synchronized update propagates separately — the
+        GOS reflects remote writes at each synchronization point), and the
+        interval's notices ride on the acquire message.
+        """
+        self.stats.incr("lock_acquire")
+        own_notices = yield from self.flush_diffs()
+        if self.lock_discipline == "retry":
+            notices = yield from self._acquire_retry(handle, own_notices)
+        else:
+            notices = yield from self._acquire_fifo(handle, own_notices)
+        self.apply_notices(notices)
+        self.invalidate_all_cached()
+        self.interval += 1
+
+    def _acquire_fifo(
+        self, handle: LockHandle, own_notices: dict[int, int]
+    ) -> Generator[Any, Any, dict[int, int]]:
+        request_id = self._next_request_id()
+        if handle.home == self.node_id:
+            self.lock_table.add_notices(handle.lock_id, own_notices)
+            granted = self.lock_table.try_acquire(
+                handle.lock_id, self.node_id, request_id
+            )
+            if granted:
+                return self.lock_table.grant_notices(
+                    handle.lock_id, self.node_id
+                )
+            fut = Future(label=f"lock-{handle.lock_id}-{request_id}")
+            self._lock_waiters[(handle.lock_id, request_id)] = fut
+            grant: LockGrantMsg = yield fut
+            return grant.notices
+        fut = Future(label=f"lock-{handle.lock_id}-{request_id}")
+        self._lock_waiters[(handle.lock_id, request_id)] = fut
+        self._send(
+            handle.home,
+            MsgCategory.LOCK_ACQUIRE,
+            self._notice_size(own_notices),
+            LockAcquireMsg(
+                lock_id=handle.lock_id,
+                requester=self.node_id,
+                request_id=request_id,
+                notices=own_notices,
+            ),
+        )
+        grant = yield fut
+        return grant.notices
+
+    def _acquire_retry(
+        self, handle: LockHandle, own_notices: dict[int, int]
+    ) -> Generator[Any, Any, dict[int, int]]:
+        """Retry discipline: no wait queue — a busy lock is re-tried after
+        a seeded random backoff.  Models the paper's runtime, where the
+        releasing thread can win the lock again ("the actual consecutive
+        writing times could be a multiple of r ... randomly at runtime")."""
+        from repro.sim.process import Delay
+
+        send_notices = own_notices
+        while True:
+            request_id = self._next_request_id()
+            if handle.home == self.node_id:
+                self.lock_table.add_notices(handle.lock_id, send_notices)
+                if self.lock_table.state(handle.lock_id).holder is None:
+                    self.lock_table.try_acquire(
+                        handle.lock_id, self.node_id, request_id
+                    )
+                    return self.lock_table.grant_notices(
+                        handle.lock_id, self.node_id
+                    )
+            else:
+                fut = Future(label=f"lock-{handle.lock_id}-{request_id}")
+                self._lock_waiters[(handle.lock_id, request_id)] = fut
+                self._send(
+                    handle.home,
+                    MsgCategory.LOCK_ACQUIRE,
+                    self._notice_size(send_notices),
+                    LockAcquireMsg(
+                        lock_id=handle.lock_id,
+                        requester=self.node_id,
+                        request_id=request_id,
+                        notices=send_notices,
+                    ),
+                )
+                grant: LockGrantMsg = yield fut
+                if not grant.busy:
+                    return grant.notices
+            send_notices = {}  # notices were delivered on the first try
+            yield Delay(
+                LOCK_RETRY_BASE_US
+                + self._rng.uniform(0.0, LOCK_RETRY_JITTER_US)
+            )
+
+    def release(self, handle: LockHandle) -> Generator[Any, Any, None]:
+        """Flush this interval's diffs, then release the lock with notices."""
+        notices = yield from self.flush_diffs()
+        if handle.home == self.node_id:
+            self._manager_release(handle.lock_id, self.node_id, notices)
+        else:
+            self._send(
+                handle.home,
+                MsgCategory.LOCK_RELEASE,
+                self._notice_size(notices),
+                LockReleaseMsg(
+                    lock_id=handle.lock_id,
+                    releaser=self.node_id,
+                    notices=notices,
+                ),
+            )
+
+    def _manager_release(
+        self, lock_id: int, releaser: int, notices: dict[int, int]
+    ) -> None:
+        waiter = self.lock_table.release(lock_id, releaser, notices)
+        if waiter is None:
+            return
+        grant = self.lock_table.grant_notices(lock_id, waiter.node)
+        if waiter.node == self.node_id:
+            fut = self._lock_waiters.pop((lock_id, waiter.request_id))
+            fut.resolve(
+                LockGrantMsg(
+                    lock_id=lock_id,
+                    request_id=waiter.request_id,
+                    notices=grant,
+                )
+            )
+        else:
+            self._send(
+                waiter.node,
+                MsgCategory.LOCK_GRANT,
+                self._notice_size(grant),
+                LockGrantMsg(
+                    lock_id=lock_id,
+                    request_id=waiter.request_id,
+                    notices=grant,
+                ),
+            )
+
+    # -- barriers ---------------------------------------------------------
+
+    def register_barrier(self, handle: BarrierHandle) -> None:
+        """Install manager state for a barrier homed at this node."""
+        if handle.home != self.node_id:
+            raise ValueError(
+                f"barrier {handle.barrier_id} homed at {handle.home}, "
+                f"not {self.node_id}"
+            )
+        self.barriers[handle.barrier_id] = BarrierState(handle)
+
+    def barrier(
+        self, handle: BarrierHandle, round_no: int
+    ) -> Generator[Any, Any, None]:
+        """One barrier round: flush diffs, arrive, wait for the release."""
+        notices = yield from self.flush_diffs()
+        fut = Future(label=f"barrier-{handle.barrier_id}-{round_no}")
+        self._barrier_waiters.setdefault(
+            (handle.barrier_id, round_no), []
+        ).append(fut)
+        arrive = BarrierArriveMsg(
+            barrier_id=handle.barrier_id,
+            node=self.node_id,
+            round_no=round_no,
+            notices=notices,
+        )
+        if handle.home == self.node_id:
+            self._manager_barrier_arrive(arrive)
+        else:
+            self._send(
+                handle.home,
+                MsgCategory.BARRIER_ARRIVE,
+                self._notice_size(notices),
+                arrive,
+            )
+        release: BarrierReleaseMsg = yield fut
+        self.apply_notices(release.notices)
+        self.home_hint.update(release.new_homes)
+        self.invalidate_all_cached()
+        self.interval += 1
+
+    def _manager_barrier_arrive(self, msg: BarrierArriveMsg) -> None:
+        state = self.barriers[msg.barrier_id]
+        complete = state.arrive(msg.node, msg.notices, msg.round_no)
+        if not complete:
+            return
+        round_no, merged, writers = state.complete_round()
+        self.stats.incr("barrier_round")
+        new_homes: dict[int, int] = {}
+        if self.policy.wants_barrier_migration():
+            new_homes = self._order_barrier_migrations(writers)
+        release = BarrierReleaseMsg(
+            barrier_id=msg.barrier_id,
+            round_no=round_no,
+            notices=merged,
+            new_homes=new_homes,
+        )
+        size = self._notice_size(merged) + REQUEST_BYTES * len(new_homes)
+        for dst in range(self.network.nnodes):
+            if dst == self.node_id:
+                continue
+            self._send(dst, MsgCategory.BARRIER_RELEASE, size, release)
+        self._deliver_barrier_release(release)
+
+    def _order_barrier_migrations(
+        self, writers: dict[int, set[int]]
+    ) -> dict[int, int]:
+        """JiaJia-style: migrate single-writer objects to their writer."""
+        new_homes: dict[int, int] = {}
+        for oid in sorted(writers):
+            writer_set = writers[oid]
+            if len(writer_set) != 1:
+                continue
+            writer = next(iter(writer_set))
+            current = self.manager_home_map.get(oid, self.heap.initial_home(oid))
+            if current == writer:
+                continue
+            self.manager_home_map[oid] = writer
+            new_homes[oid] = writer
+            order = MigrateOrderMsg(oid=oid, new_home=writer)
+            if current == self.node_id:
+                self._execute_migrate_order(order)
+            else:
+                self._send(
+                    current, MsgCategory.CONTROL, REQUEST_BYTES, order
+                )
+        return new_homes
+
+    def _deliver_barrier_release(self, release: BarrierReleaseMsg) -> None:
+        waiters = self._barrier_waiters.pop(
+            (release.barrier_id, release.round_no), []
+        )
+        for fut in waiters:
+            fut.resolve(release)
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        """Single dispatch point for every message arriving at this node."""
+        payload = message.payload
+        category = message.category
+        if category is MsgCategory.OBJ_REQUEST:
+            if isinstance(payload, ObjBatchRequest):
+                self._handle_batch_request(payload)
+            else:
+                self._handle_obj_request(payload)
+        elif category in (MsgCategory.OBJ_REPLY, MsgCategory.OBJ_REPLY_MIG):
+            self._reply_waiters.pop(payload.request_id).resolve(payload)
+        elif category is MsgCategory.REDIRECT:
+            self._reply_waiters.pop(payload.request_id).resolve(payload)
+        elif category is MsgCategory.SHIP_REQUEST:
+            self._handle_ship(payload)
+        elif category is MsgCategory.SHIP_REPLY:
+            self._reply_waiters.pop(payload.request_id).resolve(payload)
+        elif category is MsgCategory.DIFF:
+            self._handle_diff(payload)
+        elif category is MsgCategory.DIFF_ACK:
+            self._reply_waiters.pop(payload.request_id).resolve(payload)
+        elif category is MsgCategory.LOCK_ACQUIRE:
+            self._handle_lock_acquire(payload)
+        elif category is MsgCategory.LOCK_GRANT:
+            fut = self._lock_waiters.pop((payload.lock_id, payload.request_id))
+            fut.resolve(payload)
+        elif category is MsgCategory.LOCK_RELEASE:
+            self._manager_release(payload.lock_id, payload.releaser, payload.notices)
+        elif category is MsgCategory.BARRIER_ARRIVE:
+            self._manager_barrier_arrive(payload)
+        elif category is MsgCategory.BARRIER_RELEASE:
+            self._deliver_barrier_release(payload)
+        elif category is MsgCategory.HOME_BCAST:
+            self.home_hint[payload["oid"]] = payload["new_home"]
+        elif category is MsgCategory.HOME_UPDATE:
+            self.manager_home_map[payload["oid"]] = payload["new_home"]
+        elif category is MsgCategory.HOME_QUERY:
+            self._handle_home_query(payload)
+        elif category is MsgCategory.HOME_ANSWER:
+            self._reply_waiters.pop(payload.request_id).resolve(payload)
+        elif category is MsgCategory.CONTROL:
+            if isinstance(payload, MigrateOrderMsg):
+                self._execute_migrate_order(payload)
+            elif isinstance(payload, HomeTransferMsg):
+                self._install_home_transfer(payload)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown control payload {payload!r}")
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unhandled message {message!r}")
+
+    # -- home side ---------------------------------------------------------
+
+    def _handle_obj_request(self, request: ObjRequest) -> None:
+        entry = self.homes.get(request.oid)
+        if entry is None:
+            if request.oid in self.forwards:
+                self.stats.incr("redir")
+                if self.tracer is not None:
+                    self.tracer.record(
+                        "redirect",
+                        self.sim.now,
+                        request.oid,
+                        self.node_id,
+                        obsolete_home=self.node_id,
+                        requester=request.requester,
+                    )
+                directive = self.mechanism.miss_directive(self, request.oid)
+                self._send(
+                    request.requester,
+                    MsgCategory.REDIRECT,
+                    REQUEST_BYTES,
+                    RedirectReply(
+                        oid=request.oid,
+                        request_id=request.request_id,
+                        directive=directive,
+                    ),
+                )
+            else:
+                # Home transfer in flight towards this node: defer.
+                self.stats.incr("deferred_request")
+                self.pending_foreign.setdefault(request.oid, []).append(request)
+            return
+        if entry.version < request.min_version:
+            self.stats.incr("deferred_request")
+            entry.pending.append(request)
+            return
+        self._serve_request(entry, request)
+
+    def _serve_request(self, entry: HomeEntry, request: ObjRequest) -> None:
+        oid = request.oid
+        state = entry.state
+        state.record_remote_read(request.requester)
+        state.record_redirections(request.hops)
+        self.stats.incr("remote_read")
+        alpha = self.alpha(oid, state)
+        migrate = self.policy.should_migrate(
+            state, request.requester, alpha, request.for_write
+        )
+        self._trace_decision(oid, state, request.requester, alpha, migrate)
+        obj = self.heap.get(oid)
+        if not migrate:
+            self.stats.incr("obj")
+            self._send(
+                request.requester,
+                MsgCategory.OBJ_REPLY,
+                obj.size_bytes + REPLY_EXTRA_BYTES,
+                ObjReply(
+                    oid=oid,
+                    request_id=request.request_id,
+                    version=entry.version,
+                    data=entry.payload.copy(),
+                    home=self.node_id,
+                ),
+            )
+            return
+        # -- migration fires ------------------------------------------------
+        self.policy.on_migrated(state, alpha)
+        self._trace_migration(oid, request.requester, state)
+        self.stats.incr("mig")
+        self.stats.incr("migration")
+        self._close_dirty_home_interval(oid, entry)
+        self._send(
+            request.requester,
+            MsgCategory.OBJ_REPLY_MIG,
+            obj.size_bytes + REPLY_EXTRA_BYTES + MONITOR_BYTES,
+            ObjReply(
+                oid=oid,
+                request_id=request.request_id,
+                version=entry.version,
+                data=entry.payload.copy(),
+                home=request.requester,
+                migrated=True,
+                monitor=state,
+            ),
+        )
+        self._demote_home(oid, entry, request.requester)
+        # Any version-deferred requests now chase the new home.
+        for pending in entry.pending:
+            self._handle_obj_request(pending)
+        entry.pending = []
+
+    def _trace_decision(
+        self,
+        oid: int,
+        state: ObjectAccessState,
+        requester: int,
+        alpha: float,
+        migrated: bool,
+    ) -> None:
+        if self.tracer is None or not self.tracer.wants("decision"):
+            return
+        self.tracer.record(
+            "decision",
+            self.sim.now,
+            oid,
+            self.node_id,
+            requester=requester,
+            threshold=self.policy.current_threshold(state, alpha),
+            consecutive=state.consecutive_writes,
+            exclusive_home_writes=state.exclusive_home_writes,
+            redirections=state.redirections,
+            migrated=migrated,
+        )
+
+    def _trace_migration(self, oid: int, new_home: int, state) -> None:
+        if self.tracer is not None:
+            self.tracer.record(
+                "migration",
+                self.sim.now,
+                oid,
+                self.node_id,
+                old_home=self.node_id,
+                new_home=new_home,
+                frozen_threshold=state.threshold_base,
+            )
+
+    def _close_dirty_home_interval(self, oid: int, entry: HomeEntry) -> None:
+        """If the local thread wrote the home copy this interval, bump the
+        version before shipping the home away, and carry the notice so the
+        next local release still announces the write."""
+        if oid in self.home_dirty:
+            entry.version += 1
+            self.home_dirty.discard(oid)
+            if self.carry_notices.get(oid, 0) < entry.version:
+                self.carry_notices[oid] = entry.version
+
+    def _demote_home(self, oid: int, entry: HomeEntry, new_home: int) -> None:
+        """Convert our home entry to a valid cached copy + forwarding pointer.
+
+        Keeps the payload array object itself so local threads holding a
+        reference from a ``read``/``write`` this interval keep writing into
+        the node's own (now cached) copy; the shipped image was a snapshot.
+        """
+        del self.homes[oid]
+        self.forwards[oid] = new_home
+        self.home_hint[oid] = new_home
+        self.cache[oid] = CacheEntry(
+            payload=entry.payload, version=entry.version, mode=AccessMode.READ
+        )
+        self.mechanism.on_migration(self, oid, new_home)
+
+    def _handle_diff(self, msg: DiffMsg) -> None:
+        entry = self.homes.get(msg.oid)
+        if entry is None:
+            if msg.oid in self.forwards:
+                # Forward the diff along the chain (writer's hint was stale).
+                self.stats.incr("diff_forward")
+                msg.hops += 1
+                self._send(
+                    self.forwards[msg.oid],
+                    MsgCategory.DIFF,
+                    msg.diff.size_bytes + REQUEST_BYTES,
+                    msg,
+                )
+            else:
+                # Home transfer towards this node still in flight: defer.
+                self.stats.incr("deferred_diff")
+                self._pending_diffs.setdefault(msg.oid, []).append(msg)
+            return
+        apply_diff(entry.payload, msg.diff)
+        entry.version += 1
+        entry.state.record_remote_write(msg.writer, msg.diff.size_bytes)
+        self.stats.incr("diff")
+        self.stats.incr("remote_write")
+        self._send(
+            msg.writer,
+            MsgCategory.DIFF_ACK,
+            ACK_BYTES,
+            DiffAck(
+                oid=msg.oid,
+                request_id=msg.request_id,
+                version=entry.version,
+                home=self.node_id,
+            ),
+        )
+        self._recheck_pending(msg.oid)
+
+    def _recheck_pending(self, oid: int) -> None:
+        entry = self.homes.get(oid)
+        if entry is None or not entry.pending:
+            return
+        still_pending: list[ObjRequest] = []
+        for request in entry.pending:
+            if entry.version >= request.min_version and oid in self.homes:
+                self._serve_request(entry, request)
+            else:
+                still_pending.append(request)
+        if oid in self.homes:
+            entry.pending = still_pending
+
+    def _serve_pending_foreign(self, oid: int) -> None:
+        for request in self.pending_foreign.pop(oid, []):
+            if isinstance(request, ShipRequest):
+                self._handle_ship(request)
+            else:
+                self._handle_obj_request(request)
+
+    def _serve_pending_diffs(self, oid: int) -> None:
+        for diff_msg in self._pending_diffs.pop(oid, []):
+            self._handle_diff(diff_msg)
+
+    # -- lock manager --------------------------------------------------------
+
+    def _handle_lock_acquire(self, msg: LockAcquireMsg) -> None:
+        self.lock_table.add_notices(msg.lock_id, msg.notices)
+        if (
+            self.lock_discipline == "retry"
+            and self.lock_table.state(msg.lock_id).holder is not None
+        ):
+            self._send(
+                msg.requester,
+                MsgCategory.LOCK_GRANT,
+                SYNC_BASE_BYTES,
+                LockGrantMsg(
+                    lock_id=msg.lock_id,
+                    request_id=msg.request_id,
+                    notices={},
+                    busy=True,
+                ),
+            )
+            return
+        granted = self.lock_table.try_acquire(
+            msg.lock_id, msg.requester, msg.request_id
+        )
+        if not granted:
+            return  # queued; the grant is sent when the holder releases
+        notices = self.lock_table.grant_notices(msg.lock_id, msg.requester)
+        self._send(
+            msg.requester,
+            MsgCategory.LOCK_GRANT,
+            self._notice_size(notices),
+            LockGrantMsg(
+                lock_id=msg.lock_id, request_id=msg.request_id, notices=notices
+            ),
+        )
+
+    # -- home manager / barrier migration ------------------------------------
+
+    def _handle_home_query(self, msg: HomeQueryMsg) -> None:
+        home = self.manager_home_map.get(msg.oid, self.heap.initial_home(msg.oid))
+        self._send(
+            msg.requester,
+            MsgCategory.HOME_ANSWER,
+            REQUEST_BYTES,
+            HomeAnswerMsg(oid=msg.oid, request_id=msg.request_id, home=home),
+        )
+
+    def _execute_migrate_order(self, order: MigrateOrderMsg) -> None:
+        """Barrier-ordered migration (JiaJia): ship the home to the writer."""
+        entry = self.homes.get(order.oid)
+        if entry is None:  # pragma: no cover - manager orders serially
+            raise RuntimeError(
+                f"migrate order for oid {order.oid} at node {self.node_id}, "
+                "which is not the home"
+            )
+        state = entry.state
+        self.policy.on_migrated(state, self.alpha(order.oid, state))
+        self._trace_migration(order.oid, order.new_home, state)
+        self.stats.incr("mig")
+        self.stats.incr("migration")
+        self._close_dirty_home_interval(order.oid, entry)
+        obj = self.heap.get(order.oid)
+        self._send(
+            order.new_home,
+            MsgCategory.CONTROL,
+            obj.size_bytes + REPLY_EXTRA_BYTES + MONITOR_BYTES,
+            HomeTransferMsg(
+                oid=order.oid,
+                version=entry.version,
+                data=entry.payload.copy(),
+                monitor=state,
+            ),
+        )
+        self._demote_home(order.oid, entry, order.new_home)
+        for pending in entry.pending:
+            self._handle_obj_request(pending)
+        entry.pending = []
+
+    def _install_home_transfer(self, msg: HomeTransferMsg) -> None:
+        """Become the home of ``oid`` (barrier-ordered migration).
+
+        If we hold a cached copy, the home payload reuses *that array
+        object* (updated in place), so any reference a local thread took
+        this interval keeps pointing at the node's authoritative copy.  A
+        dirty WRITE copy (the local thread started writing before the
+        transfer arrived) additionally has its uncommitted changes replayed
+        on top of the transferred image and becomes a pending home write.
+        """
+        oid = msg.oid
+        self.forwards.pop(oid, None)  # we are home again: drop stale pointer
+        cached = self.cache.pop(oid, None)
+        if cached is None:
+            payload = msg.data
+        else:
+            payload = cached.payload
+            local_diff = None
+            if cached.twin is not None:
+                local_diff = compute_diff(oid, cached.twin, cached.payload)
+            payload[:] = msg.data
+            if local_diff is not None:
+                apply_diff(payload, local_diff)
+                self.dirty.discard(oid)
+                self.home_dirty.add(oid)
+                msg.monitor.record_home_write()
+        self.homes[oid] = HomeEntry(
+            payload=payload, version=msg.version, state=msg.monitor
+        )
+        self.home_hint[oid] = self.node_id
+        self._serve_pending_foreign(oid)
+        self._serve_pending_diffs(oid)
+        for fut in self._local_home_waits.pop(oid, []):
+            fut.resolve(None)
+
+    # -- interval bookkeeping (JiaJia) ----------------------------------------
+
+    def clear_interval_writers(self) -> None:
+        """Reset per-barrier-interval writer sets of local home entries."""
+        for entry in self.homes.values():
+            entry.state.interval_writers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<DsmEngine node={self.node_id} homes={len(self.homes)} "
+            f"cached={len(self.cache)}>"
+        )

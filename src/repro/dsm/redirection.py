@@ -1,0 +1,123 @@
+"""New-home notification mechanisms (paper §3.2).
+
+After a home migration the other nodes must be able to find the new home.
+The paper discusses three mechanisms and adopts the forwarding pointer;
+all three are implemented here so the trade-off can be measured
+(``benchmarks/test_ablation_notification.py``):
+
+* **forwarding pointer** — the old home keeps a pointer and answers
+  requests with the current hint; chains accumulate (and the hop count is
+  the protocol's negative feedback ``R``);
+* **broadcast** — the old home announces the new location to every node at
+  migration time (N-2 extra messages; the requester that triggered the
+  migration learns it from the reply itself);
+* **home manager** — a designated manager node records every migration; a
+  node that misses asks the manager, paying old-home → manager → new-home.
+
+Every old home always retains the local pointer (it costs nothing and the
+real implementation needs it to forward in-flight traffic); mechanisms
+differ in the *extra messages* they send at migration time and in how an
+obsolete home tells a requester to proceed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, TYPE_CHECKING
+
+from repro.cluster.message import MsgCategory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dsm.protocol import DsmEngine
+
+#: Wire payload bytes of a notification control message (oid + node id).
+NOTIFY_BYTES = 8
+
+
+class NotificationMechanism(ABC):
+    """Strategy for publishing a new home location."""
+
+    name: str = "mechanism"
+
+    @abstractmethod
+    def on_migration(self, old_home: "DsmEngine", oid: int, new_home: int) -> None:
+        """Called at the old home right after it shipped the object away."""
+
+    @abstractmethod
+    def miss_directive(self, obsolete_home: "DsmEngine", oid: int) -> dict[str, Any]:
+        """What an obsolete home tells a requester that missed.
+
+        Returns ``{"kind": "redirect", "target": node}`` or
+        ``{"kind": "manager", "manager": node}``.
+        """
+
+
+class ForwardingPointerMechanism(NotificationMechanism):
+    """The paper's choice: no action on migration; obsolete homes redirect
+    via their local pointer, and redirections may accumulate along
+    migration chains."""
+
+    name = "forwarding-pointer"
+
+    def on_migration(self, old_home, oid, new_home) -> None:
+        pass  # the pointer itself is installed by the engine
+
+    def miss_directive(self, obsolete_home, oid) -> dict[str, Any]:
+        return {"kind": "redirect", "target": obsolete_home.forwards[oid]}
+
+
+class BroadcastMechanism(NotificationMechanism):
+    """Broadcast the new location to all other nodes at migration time.
+
+    Heavyweight when migrations are frequent, but later requesters go
+    straight to the new home.  A request racing the broadcast still hits
+    the retained pointer and is redirected.
+    """
+
+    name = "broadcast"
+
+    def on_migration(self, old_home, oid, new_home) -> None:
+        for dst in range(old_home.network.nnodes):
+            if dst in (old_home.node_id, new_home):
+                continue
+            old_home.network.send(
+                old_home.node_id,
+                dst,
+                MsgCategory.HOME_BCAST,
+                NOTIFY_BYTES,
+                payload={"oid": oid, "new_home": new_home},
+            )
+
+    def miss_directive(self, obsolete_home, oid) -> dict[str, Any]:
+        return {"kind": "redirect", "target": obsolete_home.forwards[oid]}
+
+
+class HomeManagerMechanism(NotificationMechanism):
+    """A designated manager node tracks the authoritative home map.
+
+    On migration the old home posts the new location to the manager.  A
+    requester that misses is told to query the manager, then retries at
+    the manager's answer — the old-home/manager/new-home sequence of §3.2.
+    """
+
+    name = "home-manager"
+
+    def __init__(self, manager_node: int = 0):
+        if manager_node < 0:
+            raise ValueError(f"manager node must be >= 0, got {manager_node}")
+        self.manager_node = manager_node
+
+    def on_migration(self, old_home, oid, new_home) -> None:
+        if old_home.node_id == self.manager_node:
+            old_home.manager_home_map[oid] = new_home
+        else:
+            old_home.network.send(
+                old_home.node_id,
+                self.manager_node,
+                MsgCategory.HOME_UPDATE,
+                NOTIFY_BYTES,
+                payload={"oid": oid, "new_home": new_home},
+            )
+
+    def miss_directive(self, obsolete_home, oid) -> dict[str, Any]:
+        return {"kind": "manager", "manager": self.manager_node}

@@ -1,0 +1,62 @@
+"""Home assignment rules of the paper's GOS (§5).
+
+"When an object is created, the creation node becomes its default home
+node.  Exceptionally, we distribute the homes of large objects, such as
+array objects, among the nodes in a round-robin fashion in order to
+achieve load balance."
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def round_robin_homes(count: int, nnodes: int, start: int = 0) -> Iterator[int]:
+    """Yield ``count`` home node ids cycling over the cluster.
+
+    This is the initial placement used for the rows of the ASP/SOR
+    matrices: load-balanced, but — crucially for the paper's story —
+    generally *not* on the node that will write them, which is what home
+    migration then repairs at runtime.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if nnodes < 1:
+        raise ValueError(f"need at least one node, got {nnodes}")
+    if not 0 <= start < nnodes:
+        raise ValueError(f"start node {start} outside cluster of {nnodes}")
+    for i in range(count):
+        yield (start + i) % nnodes
+
+
+def block_owner(index: int, total: int, nthreads: int) -> int:
+    """The thread owning item ``index`` under contiguous block partitioning.
+
+    Used by the applications to split rows/bodies among threads the way
+    the paper's Java programs do (each thread works on a contiguous
+    block).
+    """
+    if not 0 <= index < total:
+        raise ValueError(f"index {index} outside [0, {total})")
+    if nthreads < 1:
+        raise ValueError(f"need at least one thread, got {nthreads}")
+    base = total // nthreads
+    extra = total % nthreads
+    # First `extra` threads own (base+1) items.
+    boundary = extra * (base + 1)
+    if index < boundary:
+        return index // (base + 1)
+    return extra + (index - boundary) // base
+
+
+def block_range(tid: int, total: int, nthreads: int) -> range:
+    """The contiguous index range owned by thread ``tid``."""
+    if not 0 <= tid < nthreads:
+        raise ValueError(f"tid {tid} outside [0, {nthreads})")
+    base = total // nthreads
+    extra = total % nthreads
+    if tid < extra:
+        start = tid * (base + 1)
+        return range(start, start + base + 1)
+    start = extra * (base + 1) + (tid - extra) * base
+    return range(start, start + base)

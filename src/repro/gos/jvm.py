@@ -1,0 +1,166 @@
+"""DistributedJVM: build the simulated machine, run an application.
+
+Mirrors the paper's execution model (§5): "A Java application is started
+in one cluster node.  When a Java thread is created, it is automatically
+dispatched to a free cluster node" — thread placement defaults to
+``tid -> node tid % nnodes`` and can be overridden by the application
+(the synthetic benchmark places its workers on nodes other than node 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, TYPE_CHECKING
+
+from repro.cluster.hockney import HockneyModel
+from repro.cluster.stats import ClusterStats
+from repro.core.policies import MigrationPolicy, NoMigration
+from repro.dsm.redirection import (
+    ForwardingPointerMechanism,
+    NotificationMechanism,
+)
+from repro.gos.space import GlobalObjectSpace
+from repro.gos.thread import ThreadContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.base import DsmApplication
+
+
+@dataclass
+class RunResult:
+    """Everything one run produced: timing, traffic, and application output."""
+
+    app_name: str
+    policy_name: str
+    mechanism_name: str
+    nnodes: int
+    nthreads: int
+    execution_time_us: float
+    stats: ClusterStats
+    output: Any = None
+    gos: GlobalObjectSpace = field(repr=False, default=None)
+
+    @property
+    def execution_time_s(self) -> float:
+        return self.execution_time_us / 1e6
+
+    @property
+    def migrations(self) -> int:
+        return self.stats.events.get("migration", 0)
+
+    def summary(self) -> dict:
+        """Stable plain-dict summary used by the bench harness and tests."""
+        return {
+            "app": self.app_name,
+            "policy": self.policy_name,
+            "mechanism": self.mechanism_name,
+            "nodes": self.nnodes,
+            "threads": self.nthreads,
+            "time_us": self.execution_time_us,
+            "messages": self.stats.total_messages(),
+            "data_messages": self.stats.data_messages(),
+            "bytes": self.stats.total_bytes(),
+            "data_bytes": self.stats.data_bytes(),
+            "migrations": self.migrations,
+            "breakdown": self.stats.breakdown(),
+        }
+
+
+class DistributedJVM:
+    """One-call façade: configure the cluster once, run applications."""
+
+    def __init__(
+        self,
+        nodes: int,
+        comm_model: HockneyModel,
+        policy: MigrationPolicy | None = None,
+        mechanism: NotificationMechanism | None = None,
+        service_us: float | None = None,
+        protocol: str = "home-based",
+        tracer=None,
+        lock_discipline: str = "fifo",
+        seed: int = 0,
+    ):
+        if nodes < 1:
+            raise ValueError(f"need at least one node, got {nodes}")
+        if protocol not in ("home-based", "homeless"):
+            raise ValueError(
+                f"protocol must be 'home-based' or 'homeless', got {protocol!r}"
+            )
+        self.nodes = nodes
+        self.comm_model = comm_model
+        self.policy = policy if policy is not None else NoMigration()
+        self.mechanism = (
+            mechanism if mechanism is not None else ForwardingPointerMechanism()
+        )
+        self.service_us = service_us
+        self.protocol = protocol
+        self.tracer = tracer
+        self.lock_discipline = lock_discipline
+        self.seed = seed
+
+    def run(
+        self, app: "DsmApplication", nthreads: int | None = None
+    ) -> RunResult:
+        """Execute ``app`` on a freshly built cluster; verify its output.
+
+        Each run constructs a new :class:`GlobalObjectSpace` (fresh
+        simulator, network, heap, engines), so runs are independent and
+        deterministic.
+        """
+        threads = nthreads if nthreads is not None else app.default_threads(self.nodes)
+        if threads < 1:
+            raise ValueError(f"need at least one thread, got {threads}")
+        if self.protocol == "homeless":
+            from repro.gos.homeless import HomelessObjectSpace
+
+            gos = HomelessObjectSpace(
+                nnodes=self.nodes,
+                comm_model=self.comm_model,
+                service_us=self.service_us,
+            )
+        else:
+            gos = GlobalObjectSpace(
+                nnodes=self.nodes,
+                comm_model=self.comm_model,
+                policy=self.policy,
+                mechanism=self.mechanism,
+                service_us=self.service_us,
+                tracer=self.tracer,
+                lock_discipline=self.lock_discipline,
+                seed=self.seed,
+            )
+        app.setup(gos, threads)
+        processes = []
+        for tid in range(threads):
+            node = app.placement(tid, self.nodes, threads)
+            ctx = ThreadContext(gos, tid, node)
+            processes.append(
+                gos.sim.spawn(app.thread_body(ctx, tid), name=f"{app.name}-t{tid}")
+            )
+        try:
+            execution_time = gos.sim.run()
+        except Exception:
+            # a thread failure often surfaces as a deadlock of its peers;
+            # report the root cause instead
+            for process in processes:
+                if process.done and process.finished.exception is not None:
+                    raise process.finished.exception from None
+            raise
+        for process in processes:
+            if process.finished.exception is not None:
+                raise process.finished.exception
+        output = app.finalize(gos)
+        return RunResult(
+            app_name=app.name,
+            policy_name=(
+                "HOMELESS" if self.protocol == "homeless" else self.policy.name
+            ),
+            mechanism_name=self.mechanism.name,
+            nnodes=self.nodes,
+            nthreads=threads,
+            execution_time_us=execution_time,
+            stats=gos.stats,
+            output=output,
+            gos=gos,
+        )

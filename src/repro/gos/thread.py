@@ -1,0 +1,129 @@
+"""ThreadContext: the API simulated Java threads program against.
+
+All blocking methods are generators; application thread bodies are
+generator functions that compose them with ``yield from``::
+
+    def body(ctx, tid):
+        yield from ctx.acquire(lock)
+        counter = yield from ctx.write(counter_obj)
+        counter[0] += 1
+        yield from ctx.release(lock)
+        yield from ctx.barrier()
+
+Element-level mutation happens directly on the returned numpy payload —
+protocol-equivalent under LRC because access states only change at
+synchronization points (DESIGN.md, decision 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, TYPE_CHECKING
+
+import numpy as np
+
+from repro.dsm.barrier import BarrierHandle
+from repro.dsm.locks import LockHandle
+from repro.memory.objects import FieldsSpec, SharedObject
+from repro.sim.process import Delay
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gos.space import GlobalObjectSpace
+
+
+class ThreadContext:
+    """One simulated application thread pinned to one cluster node."""
+
+    def __init__(self, gos: "GlobalObjectSpace", tid: int, node: int):
+        if not 0 <= node < gos.nnodes:
+            raise ValueError(f"thread {tid} placed on node {node} outside cluster")
+        self.gos = gos
+        self.tid = tid
+        self.node = node
+        self.engine = gos.engines[node]
+        self._barrier_rounds: dict[int, int] = {}
+
+    # -- object access --------------------------------------------------
+
+    def read(self, obj: SharedObject) -> Generator[Any, Any, np.ndarray]:
+        """Readable payload of ``obj`` (may fault in from the home)."""
+        payload = yield from self.engine.read(obj.oid)
+        return payload
+
+    def write(self, obj: SharedObject) -> Generator[Any, Any, np.ndarray]:
+        """Writable payload of ``obj`` (faults, twins, or home-write traps)."""
+        payload = yield from self.engine.write(obj.oid)
+        return payload
+
+    def read_many(
+        self, objs: list[SharedObject]
+    ) -> Generator[Any, Any, None]:
+        """Prefetch readable copies of many objects with batched fault-ins
+        (one message per home node — the GOS's object pushing, §5.1).
+        Subsequent :meth:`read` calls in the same interval are local hits.
+        """
+        yield from self.engine.read_many([obj.oid for obj in objs])
+
+    def get_field(
+        self, obj: SharedObject, name: str
+    ) -> Generator[Any, Any, float]:
+        """Read one named field of a fields object."""
+        payload = yield from self.read(obj)
+        return float(payload[self._slot(obj, name)])
+
+    def put_field(
+        self, obj: SharedObject, name: str, value: float
+    ) -> Generator[Any, Any, None]:
+        """Write one named field of a fields object."""
+        payload = yield from self.write(obj)
+        payload[self._slot(obj, name)] = value
+
+    @staticmethod
+    def _slot(obj: SharedObject, name: str) -> int:
+        if not isinstance(obj.spec, FieldsSpec):
+            raise TypeError(f"{obj!r} is not a fields object")
+        return obj.spec.slot(name)
+
+    def ship(
+        self,
+        obj: SharedObject,
+        fn,
+        compute_us: float = 0.0,
+        args_bytes: int = 8,
+    ) -> Generator[Any, Any, Any]:
+        """Synchronized method shipping: run ``fn(payload)`` at ``obj``'s
+        home node instead of faulting the object here (§5.1's GOS
+        optimization).  Call while holding the guarding lock; returns
+        ``fn``'s result.  ``compute_us`` is the method's CPU cost, charged
+        at the executing node."""
+        result = yield from self.engine.ship(
+            obj.oid, fn, compute_us=compute_us, args_bytes=args_bytes
+        )
+        return result
+
+    # -- synchronization --------------------------------------------------
+
+    def acquire(self, lock: LockHandle) -> Generator[Any, Any, None]:
+        """Enter a synchronized section (Java monitorenter)."""
+        yield from self.engine.acquire(lock)
+
+    def release(self, lock: LockHandle) -> Generator[Any, Any, None]:
+        """Leave a synchronized section: flush diffs, release the lock."""
+        yield from self.engine.release(lock)
+
+    def barrier(self, handle: BarrierHandle) -> Generator[Any, Any, None]:
+        """One barrier episode; rounds are tracked per thread."""
+        round_no = self._barrier_rounds.get(handle.barrier_id, 0)
+        self._barrier_rounds[handle.barrier_id] = round_no + 1
+        yield from self.engine.barrier(handle, round_no)
+
+    # -- local work --------------------------------------------------------
+
+    def compute(self, duration_us: float) -> Generator[Any, Any, None]:
+        """Charge ``duration_us`` of local CPU time."""
+        if duration_us > 0:
+            yield Delay(duration_us)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (microseconds)."""
+        return self.gos.sim.now

@@ -1,0 +1,93 @@
+"""Diff computation, encoding size, and application.
+
+A diff is the set of elements that changed between a twin and the current
+copy of an object.  We carry real indices and values (so homes apply real
+updates and application results stay verifiable) and charge a run-length
+encoded wire size: changed elements group into maximal runs of consecutive
+indices; each run costs ``RUN_HEADER_BYTES`` (offset + length) plus its
+payload bytes, on top of a fixed ``DIFF_HEADER_BYTES`` per diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Per-diff fixed overhead: object id, base version, run count.
+DIFF_HEADER_BYTES = 16
+#: Per-run overhead: 4-byte offset + 4-byte length.
+RUN_HEADER_BYTES = 8
+
+
+def _runs(indices: np.ndarray) -> int:
+    """Number of maximal runs of consecutive indices (indices sorted)."""
+    if indices.size == 0:
+        return 0
+    return 1 + int(np.count_nonzero(np.diff(indices) != 1))
+
+
+def diff_size_bytes(indices: np.ndarray, itemsize: int) -> int:
+    """Encoded wire size of a diff over ``indices`` with ``itemsize`` data."""
+    if indices.size == 0:
+        return 0
+    return (
+        DIFF_HEADER_BYTES
+        + _runs(indices) * RUN_HEADER_BYTES
+        + int(indices.size) * itemsize
+    )
+
+
+@dataclass(frozen=True)
+class Diff:
+    """An encoded update set for one object.
+
+    ``indices`` are sorted element positions; ``values`` the new contents.
+    ``size_bytes`` is the run-length-encoded wire size.
+    """
+
+    oid: int
+    indices: np.ndarray
+    values: np.ndarray
+    size_bytes: int
+
+    @property
+    def nchanged(self) -> int:
+        return int(self.indices.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Diff oid={self.oid} changed={self.nchanged} {self.size_bytes}B>"
+
+
+def compute_diff(oid: int, twin: np.ndarray, current: np.ndarray) -> Diff | None:
+    """Diff ``current`` against ``twin``; ``None`` when nothing changed.
+
+    Comparison is exact bit-for-bit (``!=`` on the arrays); NaNs compare
+    unequal to themselves, which conservatively treats a written NaN as a
+    change — acceptable since our applications never store NaN.
+    """
+    if twin.shape != current.shape or twin.dtype != current.dtype:
+        raise ValueError(
+            f"twin/current layout mismatch for oid {oid}: "
+            f"{twin.dtype}{twin.shape} vs {current.dtype}{current.shape}"
+        )
+    changed = np.nonzero(current != twin)[0]
+    if changed.size == 0:
+        return None
+    values = current[changed].copy()
+    return Diff(
+        oid=oid,
+        indices=changed,
+        values=values,
+        size_bytes=diff_size_bytes(changed, current.dtype.itemsize),
+    )
+
+
+def apply_diff(payload: np.ndarray, diff: Diff) -> None:
+    """Apply ``diff`` in place to ``payload``."""
+    if diff.indices.size and int(diff.indices[-1]) >= payload.size:
+        raise IndexError(
+            f"diff for oid {diff.oid} touches index {int(diff.indices[-1])} "
+            f"outside payload of size {payload.size}"
+        )
+    payload[diff.indices] = diff.values

@@ -1,0 +1,26 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is deliberately minimal: a time-ordered event heap with
+deterministic FIFO tie-breaking (:class:`~repro.sim.engine.Simulator`),
+one-shot :class:`~repro.sim.future.Future` values, and generator-based
+cooperative :class:`~repro.sim.process.Process` coroutines.
+
+Simulated code *yields* blocking effects — a :class:`~repro.sim.process.Delay`
+or a :class:`~repro.sim.future.Future` — and is resumed by the engine when
+the effect completes.  All state transitions happen at deterministic
+simulated times, so identical inputs always produce identical traces.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.errors import DeadlockError, SimulationError
+from repro.sim.future import Future
+from repro.sim.process import Delay, Process
+
+__all__ = [
+    "DeadlockError",
+    "Delay",
+    "Future",
+    "Process",
+    "SimulationError",
+    "Simulator",
+]

@@ -1,0 +1,38 @@
+"""Exception hierarchy of the simulation engine."""
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation engine."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    Raised by :meth:`repro.sim.engine.Simulator.run` when processes spawned
+    on the simulator never terminated but no event can ever resume them —
+    the simulated-systems analogue of a distributed deadlock (e.g. a lock
+    acquired and never released, or a barrier that not every thread
+    reaches).
+    """
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        names = ", ".join(self.blocked) or "<unknown>"
+        super().__init__(
+            f"simulation deadlock: event queue empty but {len(self.blocked)} "
+            f"process(es) still blocked: {names}"
+        )
+
+
+class ProcessFailed(SimulationError):
+    """A simulated process raised an exception.
+
+    The original exception is chained as ``__cause__`` and also stored on
+    :attr:`original`, so harness code can re-raise or inspect it.
+    """
+
+    def __init__(self, process_name: str, original: BaseException):
+        self.process_name = process_name
+        self.original = original
+        super().__init__(f"process {process_name!r} failed: {original!r}")
+        self.__cause__ = original

@@ -1,0 +1,126 @@
+"""Generator-based cooperative processes.
+
+A simulated thread is an ordinary Python generator.  It performs work by
+yielding *effects*:
+
+``yield Delay(dt)``
+    advance this process's clock by ``dt`` microseconds (models local
+    computation);
+
+``yield future``
+    block until the :class:`~repro.sim.future.Future` resolves; the yield
+    expression evaluates to the future's value (or re-raises its failure
+    exception inside the generator);
+
+``yield None``
+    cooperative no-op reschedule at the current instant.
+
+Nested protocol steps compose with ``yield from``, so application code reads
+like straight-line threaded code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, TYPE_CHECKING
+
+from repro.sim.errors import ProcessFailed, SimulationError
+from repro.sim.future import Future
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Effect: advance simulated time by ``duration_us`` for this process."""
+
+    duration_us: float
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0:
+            raise SimulationError(f"negative Delay({self.duration_us})")
+
+
+class Process:
+    """Drives one generator coroutine to completion on a simulator.
+
+    The process's :attr:`finished` future resolves with the generator's
+    return value, or fails with :class:`~repro.sim.errors.ProcessFailed`
+    if the generator raises.
+    """
+
+    __slots__ = ("sim", "name", "_gen", "finished", "_started")
+
+    def __init__(
+        self, sim: "Simulator", generator: Generator[Any, Any, Any], name: str
+    ):
+        self.sim = sim
+        self.name = name
+        self._gen = generator
+        self.finished: Future = Future(label=f"{name}.finished")
+        self._started = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the generator ran to completion (or failed)."""
+        return self.finished.resolved
+
+    def start(self) -> None:
+        """Schedule the first step at the current instant."""
+        if self._started:
+            raise SimulationError(f"process {self.name!r} started twice")
+        self._started = True
+        self.sim.call_soon(lambda: self._step(None, None))
+
+    def _step(self, value: Any, exc: BaseException | None) -> None:
+        try:
+            if exc is not None:
+                effect = self._gen.throw(exc)
+            else:
+                effect = self._gen.send(value)
+        except StopIteration as stop:
+            self.finished.resolve(stop.value)
+            return
+        except Exception as error:  # noqa: BLE001 - boundary of simulated code
+            self.finished.fail(ProcessFailed(self.name, error))
+            return
+        self._dispatch(effect)
+
+    def _dispatch(self, effect: Any) -> None:
+        if effect is None:
+            self.sim.call_soon(lambda: self._step(None, None))
+        elif isinstance(effect, Delay):
+            self.sim.schedule(effect.duration_us, lambda: self._step(None, None))
+        elif isinstance(effect, Future):
+            effect.add_done_callback(self._on_future)
+        else:
+            self.finished.fail(
+                ProcessFailed(
+                    self.name,
+                    SimulationError(f"process yielded unknown effect {effect!r}"),
+                )
+            )
+
+    def _on_future(self, future: Future) -> None:
+        if future.exception is not None:
+            self.sim.call_soon(lambda: self._step(None, future.exception))
+        else:
+            self.sim.call_soon(lambda: self._step(future.value, None))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "running"
+        return f"<Process {self.name!r} {state}>"
+
+
+def join_all(processes: list[Process]) -> Generator[Any, Any, list[Any]]:
+    """Generator helper: wait for every process, return their results in order.
+
+    If any process failed, its :class:`~repro.sim.errors.ProcessFailed` is
+    re-raised in the caller as soon as it is reached in order.
+    """
+    results = []
+    for process in processes:
+        value = yield process.finished
+        results.append(value)
+    return results

@@ -1,0 +1,33 @@
+"""Trace event record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Event kinds the engine can emit.
+KINDS = frozenset({"migration", "redirect", "decision", "ship"})
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped protocol event.
+
+    ``detail`` carries kind-specific fields:
+
+    * ``migration`` — ``old_home``, ``new_home``, ``frozen_threshold``
+    * ``redirect``  — ``obsolete_home``, ``requester``
+    * ``decision``  — ``requester``, ``threshold``, ``consecutive``,
+      ``exclusive_home_writes``, ``redirections``, ``migrated``
+    * ``ship``      — ``home``, ``requester``
+    """
+
+    time_us: float
+    kind: str
+    oid: int
+    node: int
+    detail: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown trace kind {self.kind!r}")

@@ -1,0 +1,72 @@
+"""Trace recorder and query helpers."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.trace.events import KINDS, TraceEvent
+
+
+class TraceRecorder:
+    """Collects :class:`~repro.trace.events.TraceEvent` during a run.
+
+    ``kinds`` restricts capture (decision events in particular are
+    frequent); by default everything is recorded.
+    """
+
+    def __init__(self, kinds: Iterable[str] | None = None):
+        if kinds is None:
+            self.kinds = frozenset(KINDS)
+        else:
+            self.kinds = frozenset(kinds)
+            unknown = self.kinds - KINDS
+            if unknown:
+                raise ValueError(f"unknown trace kinds {sorted(unknown)}")
+        self.events: list[TraceEvent] = []
+
+    def wants(self, kind: str) -> bool:
+        return kind in self.kinds
+
+    def record(
+        self, kind: str, time_us: float, oid: int, node: int, **detail
+    ) -> None:
+        if kind in self.kinds:
+            self.events.append(
+                TraceEvent(
+                    time_us=time_us, kind=kind, oid=oid, node=node,
+                    detail=detail,
+                )
+            )
+
+    # -- queries ------------------------------------------------------------
+
+    def of_kind(self, kind: str, oid: int | None = None) -> list[TraceEvent]:
+        return [
+            e for e in self.events
+            if e.kind == kind and (oid is None or e.oid == oid)
+        ]
+
+    def migrations(self, oid: int | None = None) -> list[TraceEvent]:
+        """Migration events, optionally for one object."""
+        return self.of_kind("migration", oid)
+
+    def home_path(self, oid: int, initial_home: int) -> list[int]:
+        """The sequence of homes an object lived at."""
+        path = [initial_home]
+        for event in self.migrations(oid):
+            path.append(event.detail["new_home"])
+        return path
+
+    def threshold_series(self, oid: int) -> list[tuple[float, float]]:
+        """(time, live threshold) at every migration decision for ``oid``."""
+        return [
+            (e.time_us, e.detail["threshold"])
+            for e in self.of_kind("decision", oid)
+            if e.detail.get("threshold") is not None
+        ]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TraceRecorder {len(self.events)} events>"

@@ -1,0 +1,6 @@
+"""Test package for the repro DSM reproduction.
+
+Being a package (rather than loose modules) lets test modules import the
+shared helpers in :mod:`tests.conftest` under both ``pytest tests/`` and
+``python -m pytest tests/`` invocations.
+"""

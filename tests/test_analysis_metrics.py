@@ -1,0 +1,66 @@
+"""Tests for analysis helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.metrics import (
+    improvement_percent,
+    normalize_map,
+    normalize_series,
+    speedup,
+)
+
+
+def test_normalize_series_peak_is_one():
+    assert normalize_series([2.0, 4.0, 1.0]) == [0.5, 1.0, 0.25]
+
+
+def test_normalize_empty():
+    assert normalize_series([]) == []
+
+
+def test_normalize_zero_peak_rejected():
+    with pytest.raises(ValueError):
+        normalize_series([0.0, 0.0])
+
+
+def test_normalize_map_keys_preserved():
+    normed = normalize_map({"a": 1.0, "b": 2.0})
+    assert normed == {"a": 0.5, "b": 1.0}
+
+
+def test_improvement_percent_signs():
+    assert improvement_percent(100.0, 80.0) == pytest.approx(20.0)
+    assert improvement_percent(100.0, 120.0) == pytest.approx(-20.0)
+    assert improvement_percent(100.0, 100.0) == 0.0
+
+
+def test_improvement_invalid_baseline():
+    with pytest.raises(ValueError):
+        improvement_percent(0.0, 1.0)
+
+
+def test_speedup():
+    assert speedup(10.0, 2.0) == 5.0
+    with pytest.raises(ValueError):
+        speedup(1.0, 0.0)
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=1e-6, max_value=1e9), min_size=1, max_size=32
+    )
+)
+def test_property_normalized_values_in_unit_interval(values):
+    normed = normalize_series(values)
+    assert max(normed) == pytest.approx(1.0)
+    assert all(0 < v <= 1.0 + 1e-12 for v in normed)
+
+
+@given(
+    baseline=st.floats(min_value=1e-6, max_value=1e9),
+    improved=st.floats(min_value=0, max_value=1e9),
+)
+def test_property_improvement_bounded_above_by_100(baseline, improved):
+    # float rounding of 100*(b-0)/b can land one ulp above 100
+    assert improvement_percent(baseline, improved) <= 100.0 + 1e-9

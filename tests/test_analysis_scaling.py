@@ -1,0 +1,71 @@
+"""Tests for scaling analysis helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.scaling import (
+    crossover_size,
+    parallel_efficiency,
+    speedup_curve,
+)
+
+
+def test_speedup_curve_baseline_is_one():
+    curve = speedup_curve({2: 10.0, 4: 5.0, 8: 2.5})
+    assert curve == {2: 1.0, 4: 2.0, 8: 4.0}
+
+
+def test_speedup_curve_empty():
+    assert speedup_curve({}) == {}
+
+
+def test_speedup_curve_invalid_baseline():
+    with pytest.raises(ValueError):
+        speedup_curve({2: 0.0, 4: 1.0})
+
+
+def test_parallel_efficiency_ideal_scaling():
+    eff = parallel_efficiency({2: 8.0, 4: 4.0, 8: 2.0})
+    assert eff == {2: pytest.approx(1.0), 4: pytest.approx(1.0),
+                   8: pytest.approx(1.0)}
+
+
+def test_parallel_efficiency_sublinear():
+    eff = parallel_efficiency({2: 8.0, 8: 4.0})
+    assert eff[8] == pytest.approx(0.5)
+
+
+def test_crossover_size():
+    assert crossover_size({32: -1.0, 64: 0.5, 128: 3.0}) == 64
+    assert crossover_size({32: -1.0, 64: -0.5}) is None
+    assert crossover_size({32: 5.0}, threshold=10.0) is None
+
+
+@given(
+    times=st.dictionaries(
+        st.integers(min_value=1, max_value=64),
+        st.floats(min_value=1e-3, max_value=1e6),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_property_speedup_curve_baseline_normalized(times):
+    curve = speedup_curve(times)
+    assert curve[min(times)] == pytest.approx(1.0)
+    assert set(curve) == set(times)
+
+
+def test_integration_with_figure2_shapes():
+    """The helpers digest real harness output."""
+    from repro.apps import Sor
+    from repro.bench.runner import run_once
+
+    times = {
+        p: run_once(Sor(size=48, iterations=4), policy="AT", nodes=p)
+        .execution_time_s
+        for p in (2, 4, 8)
+    }
+    curve = speedup_curve(times)
+    assert curve[8] > curve[4] > curve[2] == pytest.approx(1.0)
+    eff = parallel_efficiency(times)
+    assert all(0 < e <= 1.5 for e in eff.values())

@@ -1,0 +1,116 @@
+"""Tests for the Barnes-Hut N-body application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.nbody import BarnesHutTree, NBody, nbody_oracle
+
+from tests.conftest import make_jvm
+
+
+def _cloud(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.uniform(-1, 1, n),
+        rng.uniform(-1, 1, n),
+        rng.uniform(0.5, 1.5, n),
+    )
+
+
+def test_tree_total_mass():
+    xs, ys, ms = _cloud(50)
+    tree = BarnesHutTree(xs, ys, ms)
+    assert tree.root.mass == pytest.approx(ms.sum())
+
+
+def test_tree_center_of_mass():
+    xs, ys, ms = _cloud(50)
+    tree = BarnesHutTree(xs, ys, ms)
+    assert tree.root.mx / tree.root.mass == pytest.approx(
+        np.average(xs, weights=ms)
+    )
+    assert tree.root.my / tree.root.mass == pytest.approx(
+        np.average(ys, weights=ms)
+    )
+
+
+def test_tree_two_bodies_exact():
+    xs = np.array([0.0, 1.0])
+    ys = np.array([0.0, 0.0])
+    ms = np.array([1.0, 1.0])
+    tree = BarnesHutTree(xs, ys, ms)
+    ax, ay = tree.acceleration(0)
+    # pull along +x with softened distance
+    from repro.apps.nbody import SOFTENING
+
+    dist2 = 1.0 + SOFTENING**2
+    assert ay == pytest.approx(0.0)
+    assert ax == pytest.approx(1.0 / (dist2 * np.sqrt(dist2)))
+
+
+def test_tree_acceleration_close_to_direct_sum():
+    xs, ys, ms = _cloud(200, seed=4)
+    tree = BarnesHutTree(xs, ys, ms)
+    from repro.apps.nbody import SOFTENING
+
+    for i in (0, 37, 199):
+        ax, ay = tree.acceleration(i)
+        dx = xs - xs[i]
+        dy = ys - ys[i]
+        d2 = dx * dx + dy * dy + SOFTENING**2
+        inv = ms / (d2 * np.sqrt(d2))
+        inv[i] = 0.0
+        direct_ax = float(np.sum(dx * inv))
+        direct_ay = float(np.sum(dy * inv))
+        # theta=0.5 keeps the approximation within a few percent
+        norm = max(1.0, abs(direct_ax), abs(direct_ay))
+        assert abs(ax - direct_ax) / norm < 0.05
+        assert abs(ay - direct_ay) / norm < 0.05
+
+
+def test_tree_empty_rejected():
+    with pytest.raises(ValueError):
+        BarnesHutTree(np.array([]), np.array([]), np.array([]))
+
+
+def test_tree_coincident_bodies_supported():
+    xs = np.array([0.5, 0.5, 0.5])
+    ys = np.array([0.5, 0.5, 0.5])
+    ms = np.array([1.0, 1.0, 1.0])
+    # Coincident points could recurse forever without the softened leaf
+    # handling; the tree must terminate and conserve mass.
+    tree = BarnesHutTree(xs, ys, ms)
+    assert tree.root.mass == pytest.approx(3.0)
+
+
+@pytest.mark.parametrize("nodes", [2, 4])
+def test_nbody_correct_on_dsm(nodes):
+    app = NBody(bodies=24, steps=2)
+    result = make_jvm(nodes=nodes).run(app)
+    app.verify(result.output)
+
+
+def test_nbody_matches_oracle_bitwise():
+    app = NBody(bodies=16, steps=3)
+    result = make_jvm(nodes=4).run(app)
+    xs, ys = result.output
+    ex, ey = nbody_oracle(
+        app._x0, app._y0, app._vx0, app._vy0, app._m0, app.steps
+    )
+    assert np.array_equal(xs, ex)
+    assert np.array_equal(ys, ey)
+
+
+def test_nbody_no_migrations_with_creation_site_homes():
+    """Bodies are created by their owners, so homes start optimal — the
+    paper's observation that home migration has little to offer NBody."""
+    app = NBody(bodies=24, steps=2)
+    result = make_jvm(nodes=4).run(app)
+    assert result.migrations == 0
+
+
+def test_nbody_validation():
+    with pytest.raises(ValueError):
+        NBody(bodies=1)
+    with pytest.raises(ValueError):
+        NBody(bodies=8, steps=0)

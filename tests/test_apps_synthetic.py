@@ -1,0 +1,81 @@
+"""Tests for the Figure-4 synthetic single-writer benchmark."""
+
+import pytest
+
+from repro.apps import SingleWriterBenchmark
+from repro.apps.base import VerificationError
+
+from tests.conftest import make_jvm
+
+
+def run_synthetic(policy=None, nodes=5, **kwargs):
+    app = SingleWriterBenchmark(**kwargs)
+    result = make_jvm(nodes=nodes, policy=policy).run(app)
+    app.verify(result.output)
+    return app, result
+
+
+def test_counter_reaches_target():
+    _app, result = run_synthetic(total_updates=64, repetition=4)
+    assert 64 <= result.output <= 67
+
+
+def test_counter_exact_multiple_when_r_divides():
+    app, result = run_synthetic(total_updates=64, repetition=8)
+    # turns are atomic blocks of 8 -> the counter lands on a multiple of 8
+    assert result.output % 8 == 0
+
+
+def test_workers_placed_off_master():
+    app = SingleWriterBenchmark(total_updates=16, repetition=2)
+    assert app.default_threads(9) == 8
+    for tid in range(8):
+        assert app.placement(tid, 9, 8) != 0
+
+
+def test_single_node_cluster_fallback():
+    app = SingleWriterBenchmark(total_updates=16, repetition=2)
+    assert app.default_threads(1) == 1
+    assert app.placement(0, 1, 1) == 0
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        SingleWriterBenchmark(total_updates=0)
+    with pytest.raises(ValueError):
+        SingleWriterBenchmark(repetition=0)
+    with pytest.raises(ValueError):
+        SingleWriterBenchmark(compute_us=-1.0)
+
+
+def test_verify_rejects_bad_counts():
+    app = SingleWriterBenchmark(total_updates=100, repetition=4)
+    app._nthreads = 8
+    with pytest.raises(VerificationError):
+        app.verify(99)
+    with pytest.raises(VerificationError):
+        app.verify(104)
+    app.verify(100)
+    app.verify(103)
+
+
+def test_larger_repetition_means_fewer_lock0_tenures():
+    _app2, r2 = run_synthetic(total_updates=128, repetition=2)
+    _app16, r16 = run_synthetic(total_updates=128, repetition=16)
+    # lock0 tenure count ~ updates / r; lock_acquire events count both locks
+    assert (
+        r16.stats.events["lock_acquire"] < r2.stats.events["lock_acquire"] * 2
+    )
+
+
+def test_single_writer_dominates_under_at():
+    """With one working thread the pattern is perfectly lasting: AT moves
+    the home once and everything becomes local."""
+    app = SingleWriterBenchmark(
+        total_updates=64, repetition=8, workers_off_master=True
+    )
+    result = make_jvm(nodes=2).run(app, nthreads=1)
+    app.verify(result.output)
+    assert result.migrations == 1
+    # after migration, later updates are home writes: few diffs
+    assert result.stats.events["diff"] <= 3

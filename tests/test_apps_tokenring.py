@@ -1,0 +1,67 @@
+"""Tests for the migratory-data TokenRing application."""
+
+import pytest
+
+from repro.apps import TokenRing
+from repro.bench.runner import run_once
+from repro.core.policies import MigratingHome, NoMigration
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        TokenRing(rounds=0)
+    with pytest.raises(ValueError):
+        TokenRing(burst=0)
+    with pytest.raises(ValueError):
+        TokenRing(buffer_len=0)
+
+
+@pytest.mark.parametrize("nodes,burst", [(2, 1), (5, 1), (5, 4)])
+def test_ring_completes_and_verifies(nodes, burst):
+    app = TokenRing(rounds=8, burst=burst)
+    result = run_once(app, policy="AT", nodes=nodes)
+    turn, _buffer = result.output
+    assert turn == 8 * nodes
+
+
+def test_ring_verifies_under_all_policies():
+    for policy in ("NM", "FT1", "FT2", "AT", "JUMP", "LF"):
+        app = TokenRing(rounds=6)
+        run_once(app, policy=policy, nodes=4)
+
+
+def test_verify_rejects_wrong_final_turn():
+    app = TokenRing(rounds=4)
+    app._nthreads = 3
+    import numpy as np
+
+    with pytest.raises(Exception):
+        app.verify((11, np.zeros(64)))
+
+
+def test_jump_thrashes_on_migratory_pattern():
+    """§2: 'the worst case happens when the shared page is written by
+    processes sequentially, which produces numerous home notification
+    messages' — JUMP drags the home around the ring."""
+    jump = run_once(TokenRing(rounds=16, burst=1), policy="JUMP", nodes=5)
+    at = run_once(TokenRing(rounds=16, burst=1), policy="AT", nodes=5)
+    assert jump.migrations > 20 * max(at.migrations, 1)
+    assert jump.stats.events["redir"] > 20 * max(at.stats.events["redir"], 1)
+    assert jump.execution_time_us > 1.5 * at.execution_time_us
+
+
+def test_at_pins_home_on_pure_migratory_pattern():
+    at = run_once(TokenRing(rounds=16, burst=1), policy="AT", nodes=5)
+    nm = run_once(TokenRing(rounds=16, burst=1), policy="NM", nodes=5)
+    assert at.migrations <= 2
+    # AT costs nothing relative to never migrating
+    assert at.execution_time_us <= 1.02 * nm.execution_time_us
+
+
+def test_burst_reintroduces_single_writer_benefit():
+    nm = run_once(TokenRing(rounds=16, burst=8), policy="NM", nodes=5)
+    at = run_once(TokenRing(rounds=16, burst=8), policy="AT", nodes=5)
+    ft1 = run_once(TokenRing(rounds=16, burst=8), policy="FT1", nodes=5)
+    assert at.execution_time_us < nm.execution_time_us
+    # the feedback halves the migration churn relative to FT1
+    assert at.migrations < ft1.migrations

@@ -1,0 +1,93 @@
+"""Tests for the figure drivers (tiny configurations) and the CLI."""
+
+from repro.apps import Asp, Sor
+from repro.bench.cli import main as cli_main
+from repro.bench.figure2 import render_figure2, run_figure2
+from repro.bench.figure3 import render_figure3, run_figure3
+from repro.bench.figure5 import render_figure5, run_figure5
+
+
+def test_figure2_driver_structure():
+    data = run_figure2(
+        processor_counts=(2, 4),
+        apps={"SOR": lambda: Sor(size=16, iterations=2)},
+    )
+    assert set(data["times"]) == {"SOR"}
+    assert set(data["times"]["SOR"]) == {"NoHM", "HM"}
+    assert set(data["times"]["SOR"]["HM"]) == {2, 4}
+    assert all(t > 0 for t in data["times"]["SOR"]["HM"].values())
+    rendered = render_figure2(data)
+    assert "SOR" in rendered and "HM/NoHM" in rendered
+
+
+def test_figure3_driver_structure():
+    data = run_figure3(sizes=(16, 24))
+    for app_name in ("ASP", "SOR"):
+        for size in (16, 24):
+            vals = data["improvements"][app_name][size]
+            assert set(vals) == {"time", "messages", "traffic"}
+    rendered = render_figure3(data)
+    assert "ASP" in rendered and "exec time" in rendered
+
+
+def test_figure5_driver_structure():
+    data = run_figure5(repetitions=(2, 8), total_updates=64)
+    assert set(data["times"]) == {2, 8}
+    for r in (2, 8):
+        assert set(data["times"][r]) == {"NM", "FT1", "FT2", "AT"}
+        assert max(data["normalized_times"][r].values()) == 1.0
+        for proto in data["breakdowns"][r].values():
+            assert set(proto) == {"obj", "mig", "diff", "redir"}
+    rendered = render_figure5(data)
+    assert "Figure 5a" in rendered and "Figure 5b" in rendered
+
+
+def test_cli_figure5_smoke(capsys, monkeypatch):
+    # shrink the quick config so the CLI test stays fast
+    import repro.bench.figure5 as f5
+
+    monkeypatch.setitem(f5.TOTAL_UPDATES, "quick", 64)
+    monkeypatch.setattr(f5, "REPETITIONS", (2, 8))
+    assert cli_main(["figure5"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5a" in out
+    assert "normalized" in out
+
+
+def test_cli_rejects_unknown_target():
+    import pytest
+
+    with pytest.raises(SystemExit):
+        cli_main(["figure9"])
+
+
+def test_figure5_driver_is_deterministic():
+    """The whole sweep — 8 runs across 4 protocols — is bit-stable."""
+
+    def sweep():
+        return run_figure5(repetitions=(2, 16), total_updates=128)
+
+    assert sweep() == sweep()
+
+
+def test_cli_figure3_smoke(capsys, monkeypatch):
+    import repro.bench.figure3 as f3
+
+    monkeypatch.setitem(f3.PROBLEM_SIZES, "quick", (16, 24))
+    assert cli_main(["figure3"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out and "exec time" in out
+
+
+def test_cli_json_export(tmp_path, monkeypatch):
+    import json
+
+    import repro.bench.figure5 as f5
+
+    monkeypatch.setitem(f5.TOTAL_UPDATES, "quick", 64)
+    monkeypatch.setattr(f5, "REPETITIONS", (4,))
+    out = tmp_path / "out.json"
+    assert cli_main(["figure5", "--json", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert "figure5" in data
+    assert "times" in data["figure5"]

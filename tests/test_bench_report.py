@@ -1,0 +1,49 @@
+"""Tests for ASCII report rendering."""
+
+import pytest
+
+from repro.bench.report import format_bar_groups, format_table
+
+
+def test_format_table_basic():
+    out = format_table(
+        ["name", "value"], [["a", 1.0], ["bb", 22.5]], title="T"
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_alignment():
+    out = format_table(["col"], [["x"], ["longer"]])
+    lines = out.splitlines()
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all lines padded to the same width
+
+
+def test_format_table_wrong_arity_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_format_table_number_formatting():
+    out = format_table(["v"], [[1234567.0], [0.123456], [0]])
+    assert "1,234,567" in out
+    assert "0.123" in out
+
+
+def test_bar_groups_render():
+    out = format_bar_groups(
+        {"r=2": {"NM": 1.0, "AT": 0.5}}, width=10, title="demo"
+    )
+    assert "demo" in out
+    assert "r=2:" in out
+    assert "##########" in out  # full bar for NM
+    assert "#####" in out
+    assert "100.0%" in out and " 50.0%" in out
+
+
+def test_bar_groups_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        format_bar_groups({"g": {"x": 1.5}})

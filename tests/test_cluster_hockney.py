@@ -1,0 +1,85 @@
+"""Tests for the Hockney communication model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.hockney import FAST_ETHERNET, GIGABIT, MYRINET, HockneyModel
+
+
+def test_latency_is_linear():
+    model = HockneyModel(startup_us=50.0, bandwidth_mb_s=10.0)
+    assert model.latency_us(0) == 50.0
+    assert model.latency_us(100) == 50.0 + 10.0
+    assert model.latency_us(1000) == 50.0 + 100.0
+
+
+def test_half_peak_definition():
+    model = HockneyModel(startup_us=80.0, bandwidth_mb_s=12.5)
+    # at m = m_half the effective bandwidth is half the asymptote
+    m_half = model.half_peak_bytes
+    assert m_half == 80.0 * 12.5
+    assert model.bandwidth_at(m_half) == pytest.approx(12.5 / 2)
+
+
+def test_transfer_excludes_startup():
+    model = HockneyModel(startup_us=100.0, bandwidth_mb_s=10.0)
+    assert model.transfer_us(500) == 50.0
+
+
+def test_presets_are_ordered_by_speed():
+    assert FAST_ETHERNET.startup_us > GIGABIT.startup_us > MYRINET.startup_us
+    assert (
+        FAST_ETHERNET.bandwidth_mb_s
+        < GIGABIT.bandwidth_mb_s
+        < MYRINET.bandwidth_mb_s
+    )
+
+
+def test_fast_ethernet_half_peak_is_2004_plausible():
+    # ~1 KB half-peak length for period Fast-Ethernet TCP stacks.
+    assert 500 <= FAST_ETHERNET.half_peak_bytes <= 2500
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_invalid_startup_rejected(bad):
+    with pytest.raises(ValueError):
+        HockneyModel(startup_us=bad, bandwidth_mb_s=10.0)
+
+
+@pytest.mark.parametrize("bad", [0.0, -5.0])
+def test_invalid_bandwidth_rejected(bad):
+    with pytest.raises(ValueError):
+        HockneyModel(startup_us=10.0, bandwidth_mb_s=bad)
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        FAST_ETHERNET.latency_us(-1)
+    with pytest.raises(ValueError):
+        FAST_ETHERNET.transfer_us(-1)
+
+
+def test_bandwidth_at_zero_bytes():
+    assert FAST_ETHERNET.bandwidth_at(0) == 0.0
+
+
+@given(
+    t0=st.floats(min_value=0.1, max_value=1e4),
+    bw=st.floats(min_value=0.1, max_value=1e4),
+    m1=st.integers(min_value=0, max_value=10**9),
+    m2=st.integers(min_value=0, max_value=10**9),
+)
+def test_latency_monotone_in_size(t0, bw, m1, m2):
+    model = HockneyModel(startup_us=t0, bandwidth_mb_s=bw)
+    lo, hi = sorted((m1, m2))
+    assert model.latency_us(lo) <= model.latency_us(hi)
+
+
+@given(
+    t0=st.floats(min_value=0.1, max_value=1e4),
+    bw=st.floats(min_value=0.1, max_value=1e4),
+    m=st.integers(min_value=1, max_value=10**9),
+)
+def test_effective_bandwidth_below_asymptote(t0, bw, m):
+    model = HockneyModel(startup_us=t0, bandwidth_mb_s=bw)
+    assert model.bandwidth_at(m) < bw

@@ -1,0 +1,58 @@
+"""Tests for the message taxonomy."""
+
+import pytest
+
+from repro.cluster.message import (
+    HEADER_BYTES,
+    Message,
+    MsgCategory,
+    SYNC_CATEGORIES,
+)
+
+
+def test_message_size_includes_header():
+    msg = Message(src=0, dst=1, category=MsgCategory.DIFF, size_bytes=100)
+    assert msg.size_bytes == 100
+
+
+def test_size_below_header_rejected():
+    with pytest.raises(ValueError):
+        Message(
+            src=0, dst=1, category=MsgCategory.DIFF,
+            size_bytes=HEADER_BYTES - 1,
+        )
+
+
+def test_negative_endpoints_rejected():
+    with pytest.raises(ValueError):
+        Message(src=-1, dst=0, category=MsgCategory.DIFF, size_bytes=64)
+
+
+def test_sequence_numbers_increase():
+    a = Message(src=0, dst=1, category=MsgCategory.CONTROL, size_bytes=64)
+    b = Message(src=0, dst=1, category=MsgCategory.CONTROL, size_bytes=64)
+    assert b.seq > a.seq
+
+
+def test_sync_categories_cover_locks_and_barriers():
+    assert MsgCategory.LOCK_ACQUIRE in SYNC_CATEGORIES
+    assert MsgCategory.LOCK_GRANT in SYNC_CATEGORIES
+    assert MsgCategory.LOCK_RELEASE in SYNC_CATEGORIES
+    assert MsgCategory.BARRIER_ARRIVE in SYNC_CATEGORIES
+    assert MsgCategory.BARRIER_RELEASE in SYNC_CATEGORIES
+
+
+def test_data_categories_not_sync():
+    for category in (
+        MsgCategory.OBJ_REQUEST,
+        MsgCategory.OBJ_REPLY,
+        MsgCategory.OBJ_REPLY_MIG,
+        MsgCategory.DIFF,
+        MsgCategory.REDIRECT,
+    ):
+        assert category not in SYNC_CATEGORIES
+
+
+def test_category_values_unique():
+    values = [c.value for c in MsgCategory]
+    assert len(values) == len(set(values))

@@ -1,0 +1,127 @@
+"""Tests for the network model: latency, serialization, ordering."""
+
+import pytest
+
+from repro.cluster.hockney import HockneyModel
+from repro.cluster.message import HEADER_BYTES, MsgCategory
+from repro.cluster.network import Network
+from repro.cluster.stats import ClusterStats
+from repro.sim.engine import Simulator
+
+MODEL = HockneyModel(startup_us=100.0, bandwidth_mb_s=10.0)
+
+
+def _build(nnodes=3, service_us=0.0):
+    sim = Simulator()
+    stats = ClusterStats()
+    net = Network(sim, MODEL, nnodes, stats, service_us=service_us)
+    inbox = []
+    for node in net.nodes:
+        node.install_handler(
+            lambda msg, nid=node.node_id: inbox.append((nid, msg, sim.now))
+        )
+    return sim, net, stats, inbox
+
+
+def test_point_to_point_latency_matches_hockney():
+    sim, net, _stats, inbox = _build()
+    net.send(0, 1, MsgCategory.CONTROL, size_bytes=460)
+    sim.run()
+    (nid, msg, t), = inbox
+    assert nid == 1
+    # 460B payload + 40B header = 500B -> 100 + 50 us
+    assert msg.size_bytes == 500
+    assert t == pytest.approx(150.0)
+
+
+def test_receiver_service_time_charged():
+    sim, net, _stats, inbox = _build(service_us=7.0)
+    net.send(0, 1, MsgCategory.CONTROL, size_bytes=460)
+    sim.run()
+    (_nid, _msg, t), = inbox
+    assert t == pytest.approx(157.0)
+
+
+def test_nic_serialization_backpressures_sender():
+    sim, net, _stats, inbox = _build()
+    # two 960B+40B = 1000B messages back to back: injections serialize
+    net.send(0, 1, MsgCategory.CONTROL, size_bytes=960)
+    net.send(0, 2, MsgCategory.CONTROL, size_bytes=960)
+    sim.run()
+    t1 = inbox[0][2]
+    t2 = inbox[1][2]
+    assert t1 == pytest.approx(100.0 + 100.0)
+    # second injection waits for the first (100us each), then +startup
+    assert t2 == pytest.approx(100.0 + 100.0 + 100.0)
+
+
+def test_fifo_per_src_dst_pair():
+    sim, net, _stats, inbox = _build()
+    for i in range(5):
+        net.send(0, 1, MsgCategory.CONTROL, size_bytes=100 * (5 - i))
+    sim.run()
+    seqs = [msg.seq for _nid, msg, _t in inbox]
+    assert seqs == sorted(seqs)
+
+
+def test_distinct_senders_do_not_serialize():
+    sim, net, _stats, inbox = _build()
+    net.send(0, 2, MsgCategory.CONTROL, size_bytes=960)
+    net.send(1, 2, MsgCategory.CONTROL, size_bytes=960)
+    sim.run()
+    times = [t for _nid, _msg, t in inbox]
+    assert times == [pytest.approx(200.0), pytest.approx(200.0)]
+
+
+def test_local_send_rejected():
+    _sim, net, _stats, _inbox = _build()
+    with pytest.raises(ValueError):
+        net.send(1, 1, MsgCategory.CONTROL, size_bytes=10)
+
+
+def test_out_of_range_endpoint_rejected():
+    _sim, net, _stats, _inbox = _build()
+    with pytest.raises(ValueError):
+        net.send(0, 99, MsgCategory.CONTROL, size_bytes=10)
+
+
+def test_stats_recorded_on_send():
+    sim, net, stats, _inbox = _build()
+    net.send(0, 1, MsgCategory.DIFF, size_bytes=60)
+    assert stats.msg_count[MsgCategory.DIFF] == 1
+    assert stats.msg_bytes[MsgCategory.DIFF] == 60 + HEADER_BYTES
+    sim.run()
+
+
+def test_broadcast_reaches_everyone_but_sender():
+    sim, net, _stats, inbox = _build(nnodes=5)
+    msgs = net.broadcast(2, MsgCategory.HOME_BCAST, size_bytes=8)
+    sim.run()
+    assert len(msgs) == 4
+    receivers = sorted(nid for nid, _msg, _t in inbox)
+    assert receivers == [0, 1, 3, 4]
+
+
+def test_single_node_network_allowed():
+    sim = Simulator()
+    net = Network(sim, MODEL, 1, ClusterStats())
+    assert net.nnodes == 1
+
+
+def test_zero_nodes_rejected():
+    with pytest.raises(ValueError):
+        Network(Simulator(), MODEL, 0, ClusterStats())
+
+
+def test_node_without_handler_raises():
+    sim = Simulator()
+    net = Network(sim, MODEL, 2, ClusterStats())
+    net.send(0, 1, MsgCategory.CONTROL, size_bytes=10)
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_handler_installed_twice_rejected():
+    _sim, net, _stats, _inbox = _build()
+    with pytest.raises(RuntimeError):
+        net.nodes[0].install_handler(lambda msg: None)

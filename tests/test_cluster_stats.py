@@ -1,0 +1,67 @@
+"""Tests for cluster statistics accounting."""
+
+import pytest
+
+from repro.cluster.message import Message, MsgCategory
+from repro.cluster.stats import BREAKDOWN_EVENTS, ClusterStats
+
+
+def _msg(category, size=64):
+    return Message(src=0, dst=1, category=category, size_bytes=size)
+
+
+def test_record_message_counts_and_bytes(stats):
+    stats.record_message(_msg(MsgCategory.DIFF, 100))
+    stats.record_message(_msg(MsgCategory.DIFF, 150))
+    stats.record_message(_msg(MsgCategory.OBJ_REPLY, 1000))
+    assert stats.msg_count[MsgCategory.DIFF] == 2
+    assert stats.msg_bytes[MsgCategory.DIFF] == 250
+    assert stats.total_messages() == 3
+    assert stats.total_bytes() == 1250
+
+
+def test_exclusion_filters(stats):
+    stats.record_message(_msg(MsgCategory.DIFF))
+    stats.record_message(_msg(MsgCategory.LOCK_GRANT))
+    assert stats.total_messages(exclude=[MsgCategory.LOCK_GRANT]) == 1
+    assert stats.data_messages() == 1
+
+
+def test_data_bytes_excludes_sync(stats):
+    stats.record_message(_msg(MsgCategory.BARRIER_ARRIVE, 500))
+    stats.record_message(_msg(MsgCategory.OBJ_REPLY, 800))
+    assert stats.data_bytes() == 800
+    assert stats.total_bytes() == 1300
+
+
+def test_event_counters(stats):
+    stats.incr("obj")
+    stats.incr("obj")
+    stats.incr("redir", 3)
+    assert stats.events["obj"] == 2
+    assert stats.events["redir"] == 3
+
+
+def test_negative_increment_rejected(stats):
+    with pytest.raises(ValueError):
+        stats.incr("obj", -1)
+
+
+def test_breakdown_has_all_figure5_categories(stats):
+    stats.incr("diff", 5)
+    breakdown = stats.breakdown()
+    assert set(breakdown) == set(BREAKDOWN_EVENTS)
+    assert breakdown["diff"] == 5
+    assert breakdown["mig"] == 0
+
+
+def test_snapshot_is_plain_and_stable(stats):
+    stats.record_message(_msg(MsgCategory.DIFF, 100))
+    stats.incr("migration")
+    snap = stats.snapshot()
+    assert snap["msg_count"] == {"diff": 1}
+    assert snap["msg_bytes"] == {"diff": 100}
+    assert snap["events"] == {"migration": 1}
+    # mutating the snapshot does not touch the stats
+    snap["events"]["migration"] = 99
+    assert stats.events["migration"] == 1

@@ -1,0 +1,110 @@
+"""Tests for the AdaptiveThresholdDecay future-work heuristic."""
+
+import pytest
+
+from repro.apps import SingleWriterBenchmark
+from repro.bench.runner import run_once
+from repro.core.policies import AdaptiveThreshold, AdaptiveThresholdDecay
+from repro.core.state import ObjectAccessState
+
+ALPHA = 2.0
+
+
+def make_state(**kwargs):
+    return ObjectAccessState(oid=7, object_bytes=512, **kwargs)
+
+
+def test_gamma_validation():
+    with pytest.raises(ValueError):
+        AdaptiveThresholdDecay(gamma=0.0)
+    with pytest.raises(ValueError):
+        AdaptiveThresholdDecay(gamma=1.5)
+    AdaptiveThresholdDecay(gamma=1.0)  # degenerate but legal
+
+
+def test_gamma_one_matches_plain_adaptive():
+    plain = AdaptiveThreshold()
+    degenerate = AdaptiveThresholdDecay(gamma=1.0)
+    state_a = make_state()
+    state_b = make_state()
+    for state in (state_a, state_b):
+        state.record_redirections(5)
+        state.record_remote_write(2, 10)
+    assert plain.should_migrate(state_a, 2, ALPHA, False) == (
+        degenerate.should_migrate(state_b, 2, ALPHA, False)
+    )
+    assert state_a.redirections == state_b.redirections == 5
+
+
+def test_decay_erodes_old_redirections():
+    policy = AdaptiveThresholdDecay(gamma=0.5)
+    state = make_state()
+    state.record_redirections(16)
+    state.record_remote_write(2, 10)
+    # each decision halves the remembered redirections
+    for expected in (8, 4, 2, 1, 0):
+        policy.should_migrate(state, 2, ALPHA, False)
+        assert state.redirections == expected
+    # with the feedback gone, the threshold is back at the floor
+    assert policy.current_threshold(state, ALPHA) == 1.0
+
+
+def test_fractions_carry_between_decisions():
+    policy = AdaptiveThresholdDecay(gamma=0.9)
+    state = make_state()
+    state.record_redirections(1)
+    state.record_remote_write(2, 10)
+    # 1 * 0.9 -> int 0, fraction .9; next decay: .9*.9=.81 -> 0
+    policy.should_migrate(state, 2, ALPHA, False)
+    assert state.redirections == 0
+    assert policy._fractions[state.oid][0] == pytest.approx(0.9)
+    policy.should_migrate(state, 2, ALPHA, False)
+    assert policy._fractions[state.oid][0] == pytest.approx(0.81)
+
+
+def test_migration_clears_fraction_state():
+    policy = AdaptiveThresholdDecay(gamma=0.5)
+    state = make_state()
+    state.record_redirections(3)
+    state.record_remote_write(2, 10)
+    policy.should_migrate(state, 2, ALPHA, False)
+    assert state.oid in policy._fractions
+    policy.on_migrated(state, ALPHA)
+    assert state.oid not in policy._fractions
+
+
+def test_decay_is_a_negative_result_on_the_phase_change():
+    """The honest ablation finding (EXPERIMENTS.md): the paper's
+    cumulative feedback already re-sensitizes quickly after a phase
+    change (E grows within a single lasting turn), so decaying the
+    memory only weakens transient-phase robustness."""
+    schedule = [(256, 2), (256, 16)]
+    at = run_once(
+        SingleWriterBenchmark(schedule=schedule),
+        policy=AdaptiveThreshold(),
+        nodes=9,
+    )
+    atd = run_once(
+        SingleWriterBenchmark(schedule=schedule),
+        policy=AdaptiveThresholdDecay(gamma=0.5),
+        nodes=9,
+    )
+    assert atd.migrations > at.migrations
+    assert atd.execution_time_us >= at.execution_time_us
+
+
+def test_decay_correctness_on_apps():
+    app = SingleWriterBenchmark(total_updates=128, repetition=4)
+    result = run_once(app, policy=AdaptiveThresholdDecay(), nodes=5)
+    assert 128 <= result.output <= 131
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        SingleWriterBenchmark(schedule=[])
+    with pytest.raises(ValueError):
+        SingleWriterBenchmark(schedule=[(0, 4)])
+    with pytest.raises(ValueError):
+        SingleWriterBenchmark(schedule=[(16, 0)])
+    app = SingleWriterBenchmark(schedule=[(16, 2), (16, 8)])
+    assert app.total_updates == 32

@@ -1,0 +1,80 @@
+"""Tests (incl. property-based) for the adaptive threshold rule (Eq. 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.threshold import LAMBDA, T_INIT, adaptive_threshold
+
+
+def test_paper_constants():
+    assert T_INIT == 1.0
+    assert LAMBDA == 1.0
+
+
+def test_neutral_feedback_keeps_base():
+    assert adaptive_threshold(3.0, 0, 0, alpha=2.0) == 3.0
+
+
+def test_redirections_raise_threshold():
+    assert adaptive_threshold(1.0, 5, 0, alpha=2.0) == 6.0
+
+
+def test_exclusive_home_writes_lower_threshold():
+    assert adaptive_threshold(10.0, 0, 3, alpha=2.0) == 4.0
+
+
+def test_floor_at_t_init():
+    assert adaptive_threshold(1.0, 0, 100, alpha=2.0) == T_INIT
+
+
+def test_lambda_scales_feedback():
+    assert adaptive_threshold(1.0, 4, 0, alpha=2.0, lam=0.5) == 3.0
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        adaptive_threshold(0.5, 0, 0, alpha=2.0)  # base below floor
+    with pytest.raises(ValueError):
+        adaptive_threshold(1.0, -1, 0, alpha=2.0)
+    with pytest.raises(ValueError):
+        adaptive_threshold(1.0, 0, -1, alpha=2.0)
+    with pytest.raises(ValueError):
+        adaptive_threshold(1.0, 0, 0, alpha=0.0)
+    with pytest.raises(ValueError):
+        adaptive_threshold(1.0, 0, 0, alpha=2.0, lam=-1.0)
+
+
+_base = st.floats(min_value=1.0, max_value=1e6)
+_count = st.integers(min_value=0, max_value=10**6)
+_alpha = st.floats(min_value=1e-3, max_value=1e3)
+_lam = st.floats(min_value=0.0, max_value=1e3)
+
+
+@given(base=_base, r=_count, e=_count, alpha=_alpha, lam=_lam)
+def test_property_never_below_floor(base, r, e, alpha, lam):
+    assert adaptive_threshold(base, r, e, alpha, lam) >= T_INIT
+
+
+@given(base=_base, r1=_count, r2=_count, e=_count, alpha=_alpha, lam=_lam)
+def test_property_monotone_in_negative_feedback(base, r1, r2, e, alpha, lam):
+    lo, hi = sorted((r1, r2))
+    assert adaptive_threshold(base, lo, e, alpha, lam) <= adaptive_threshold(
+        base, hi, e, alpha, lam
+    )
+
+
+@given(base=_base, r=_count, e1=_count, e2=_count, alpha=_alpha, lam=_lam)
+def test_property_monotone_decreasing_in_positive_feedback(
+    base, r, e1, e2, alpha, lam
+):
+    """The paper's core claim: the threshold is monotonously decreasing
+    with increased likelihood (E) of a lasting single-writer pattern."""
+    lo, hi = sorted((e1, e2))
+    assert adaptive_threshold(base, r, hi, alpha, lam) <= adaptive_threshold(
+        base, r, lo, alpha, lam
+    )
+
+
+@given(base=_base, r=_count, e=_count, alpha=_alpha)
+def test_property_lambda_zero_freezes_threshold(base, r, e, alpha):
+    assert adaptive_threshold(base, r, e, alpha, lam=0.0) == base

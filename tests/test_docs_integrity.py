@@ -1,0 +1,76 @@
+"""Documentation integrity: referenced files and targets must exist."""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+def _doc(name):
+    return (ROOT / name).read_text(encoding="utf-8")
+
+
+def test_required_documents_exist():
+    for name in (
+        "README.md",
+        "DESIGN.md",
+        "EXPERIMENTS.md",
+        "LICENSE",
+        "docs/PROTOCOL.md",
+        "docs/API.md",
+        "docs/PAPER.md",
+        "results/bench_quick.txt",
+    ):
+        assert (ROOT / name).exists(), f"{name} missing"
+
+
+def test_design_experiment_targets_exist():
+    text = _doc("DESIGN.md")
+    for match in re.findall(r"`(benchmarks/[\w./]+\.py)`", text):
+        assert (ROOT / match).exists(), f"DESIGN.md references {match}"
+
+
+def test_experiments_bench_targets_exist():
+    text = _doc("EXPERIMENTS.md")
+    for match in re.findall(r"`(benchmarks/[\w./]+\.py)`", text):
+        assert (ROOT / match).exists(), f"EXPERIMENTS.md references {match}"
+
+
+def test_readme_example_references_exist():
+    text = _doc("README.md")
+    for match in re.findall(r"`(examples/[\w./]+\.py)`", text):
+        assert (ROOT / match).exists(), f"README references {match}"
+
+
+def test_readme_module_references_import():
+    import importlib
+
+    text = _doc("README.md")
+    for match in set(re.findall(r"`(repro\.[\w.]+)`", text)):
+        module_path = match
+        # strip trailing attribute if it is not a module
+        try:
+            importlib.import_module(module_path)
+        except ModuleNotFoundError:
+            parent, _, attr = module_path.rpartition(".")
+            module = importlib.import_module(parent)
+            assert hasattr(module, attr), f"README references {match}"
+
+
+def test_cli_targets_documented_match_registry():
+    from repro.bench.cli import TARGETS
+
+    text = _doc("README.md")
+    for target in ("figure2", "figure3", "figure5", "ablation", "all"):
+        assert target in TARGETS
+        assert target in text
+
+
+def test_experiments_claims_match_checked_in_results():
+    """The numbers EXPERIMENTS.md quotes for Figure 5b (full) must match
+    the checked-in bench output."""
+    results = _doc("results/bench_full.txt")
+    # NM at r=16: obj=4104 diff=4096 (8200 total data msgs)
+    assert re.search(r"16\s+NM\s+4104\s+0\s+4096\s+0\s+8200", results)
+    # FT1 at r=16
+    assert re.search(r"16\s+FT1\s+263\s+256\s+256\s+1537", results)

@@ -1,0 +1,60 @@
+"""Tests for barrier manager state."""
+
+import pytest
+
+from repro.dsm.barrier import BarrierHandle, BarrierState
+
+
+def make_barrier(parties=3):
+    return BarrierState(BarrierHandle(barrier_id=1, home=0, parties=parties))
+
+
+def test_handle_validation():
+    with pytest.raises(ValueError):
+        BarrierHandle(barrier_id=1, home=0, parties=0)
+
+
+def test_round_completes_after_all_arrive():
+    barrier = make_barrier(3)
+    assert not barrier.arrive(0, {}, round_no=0)
+    assert not barrier.arrive(1, {}, round_no=0)
+    assert barrier.arrive(2, {}, round_no=0)
+
+
+def test_notices_merge_across_arrivals():
+    barrier = make_barrier(2)
+    barrier.arrive(0, {10: 3}, 0)
+    barrier.arrive(1, {10: 1, 11: 2}, 0)
+    round_no, notices, writers = barrier.complete_round()
+    assert round_no == 0
+    assert notices == {10: 3, 11: 2}
+    assert writers == {10: {0, 1}, 11: {1}}
+
+
+def test_round_numbers_advance():
+    barrier = make_barrier(1)
+    barrier.arrive(0, {}, 0)
+    assert barrier.complete_round()[0] == 0
+    barrier.arrive(0, {}, 1)
+    assert barrier.complete_round()[0] == 1
+
+
+def test_wrong_round_rejected():
+    barrier = make_barrier(2)
+    with pytest.raises(RuntimeError):
+        barrier.arrive(0, {}, round_no=5)
+
+
+def test_too_many_arrivals_rejected():
+    barrier = make_barrier(1)
+    barrier.arrive(0, {}, 0)
+    with pytest.raises(RuntimeError):
+        barrier.arrive(1, {}, 0)
+
+
+def test_writer_sets_empty_without_notices():
+    barrier = make_barrier(1)
+    barrier.arrive(0, {}, 0)
+    _rn, notices, writers = barrier.complete_round()
+    assert notices == {}
+    assert writers == {}

@@ -1,0 +1,81 @@
+"""Tests for the cache access-state machine."""
+
+import numpy as np
+import pytest
+
+from repro.dsm.cache import AccessMode, CacheEntry
+
+
+def make_entry(version=3):
+    return CacheEntry(payload=np.arange(4.0), version=version)
+
+
+def test_fresh_entry_readable_not_writable():
+    entry = make_entry()
+    assert entry.readable()
+    assert not entry.writable()
+    assert entry.twin is None
+
+
+def test_upgrade_creates_twin():
+    entry = make_entry()
+    entry.upgrade_to_write()
+    assert entry.writable()
+    assert np.array_equal(entry.twin, entry.payload)
+    entry.payload[0] = 99.0
+    assert entry.twin[0] == 0.0  # twin is an independent snapshot
+
+
+def test_upgrade_idempotent():
+    entry = make_entry()
+    entry.upgrade_to_write()
+    twin = entry.twin
+    entry.payload[1] = 5.0
+    entry.upgrade_to_write()
+    assert entry.twin is twin  # not re-snapshotted
+
+
+def test_upgrade_invalid_rejected():
+    entry = make_entry()
+    entry.invalidate()
+    with pytest.raises(RuntimeError):
+        entry.upgrade_to_write()
+
+
+def test_invalidate_read_copy():
+    entry = make_entry()
+    entry.invalidate()
+    assert not entry.readable()
+
+
+def test_invalidate_dirty_copy_rejected():
+    entry = make_entry()
+    entry.upgrade_to_write()
+    with pytest.raises(RuntimeError):
+        entry.invalidate()
+
+
+def test_downgrade_contiguous_ack_stays_valid():
+    entry = make_entry(version=3)
+    entry.upgrade_to_write()
+    entry.downgrade_after_flush(acked_version=4)
+    assert entry.mode is AccessMode.READ
+    assert entry.version == 4
+    assert entry.twin is None
+
+
+def test_downgrade_interleaved_ack_invalidates():
+    """Another writer's diff applied first: our copy misses it."""
+    entry = make_entry(version=3)
+    entry.upgrade_to_write()
+    entry.downgrade_after_flush(acked_version=6)
+    assert entry.mode is AccessMode.INVALID
+    assert entry.version == 6
+
+
+def test_downgrade_clean_drops_twin():
+    entry = make_entry()
+    entry.upgrade_to_write()
+    entry.downgrade_clean()
+    assert entry.mode is AccessMode.READ
+    assert entry.twin is None

@@ -1,0 +1,200 @@
+"""Tests for synchronized method shipping (§5.1's GOS optimization)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.message import MsgCategory
+from repro.core.policies import AdaptiveThreshold, FixedThreshold
+from repro.gos.thread import ThreadContext
+
+from tests.conftest import make_gos, run_threads
+
+
+def _increment(payload):
+    payload[0] += 1.0
+    return float(payload[0])
+
+
+def test_ship_executes_at_remote_home(gos):
+    obj = gos.alloc_fields(("v",), home=0)
+    lock = gos.alloc_lock(home=0)
+    results = []
+
+    def body():
+        ctx = ThreadContext(gos, tid=0, node=2)
+        yield from ctx.acquire(lock)
+        value = yield from ctx.ship(obj, _increment)
+        results.append(value)
+        yield from ctx.release(lock)
+
+    run_threads(gos, body())
+    assert results == [1.0]
+    assert gos.engines[0].homes[obj.oid].payload[0] == 1.0
+    assert gos.stats.msg_count[MsgCategory.SHIP_REQUEST] == 1
+    assert gos.stats.msg_count[MsgCategory.SHIP_REPLY] == 1
+    # no object image ever crossed the wire
+    assert gos.stats.msg_count.get(MsgCategory.OBJ_REPLY, 0) == 0
+    assert gos.stats.msg_count.get(MsgCategory.DIFF, 0) == 0
+
+
+def test_ship_at_local_home_is_message_free(gos):
+    obj = gos.alloc_fields(("v",), home=1)
+    lock = gos.alloc_lock(home=1)
+
+    def body():
+        ctx = ThreadContext(gos, tid=0, node=1)
+        yield from ctx.acquire(lock)
+        yield from ctx.ship(obj, _increment)
+        yield from ctx.release(lock)
+
+    run_threads(gos, body())
+    assert gos.stats.msg_count.get(MsgCategory.SHIP_REQUEST, 0) == 0
+    assert gos.engines[1].homes[obj.oid].payload[0] == 1.0
+    # it was trapped as a home write for the monitor
+    assert gos.engines[1].homes[obj.oid].state.home_writes == 1
+
+
+def test_shipped_updates_visible_after_synchronization(gos):
+    obj = gos.alloc_fields(("v",), home=0)
+    lock = gos.alloc_lock(home=0)
+    seen = []
+
+    def shipper():
+        ctx = ThreadContext(gos, tid=0, node=1)
+        for _ in range(3):
+            yield from ctx.acquire(lock)
+            yield from ctx.ship(obj, _increment)
+            yield from ctx.release(lock)
+
+    def reader():
+        ctx = ThreadContext(gos, tid=1, node=2)
+        for _ in range(3):
+            yield from ctx.acquire(lock)
+            payload = yield from ctx.read(obj)
+            seen.append(float(payload[0]))
+            yield from ctx.release(lock)
+
+    run_threads(gos, shipper(), reader())
+    # lock-serialized: the reader sees a monotone prefix ending at 3
+    assert seen == sorted(seen)
+    assert seen[-1] <= 3.0
+    assert gos.engines[0].homes[obj.oid].payload[0] == 3.0
+
+
+def test_consecutive_ships_trigger_migration():
+    """Ships count as remote writes: a persistent shipper attracts the
+    home, after which its ships become free local home writes."""
+    gos = make_gos(nnodes=4, policy=FixedThreshold(1))
+    obj = gos.alloc_fields(("v",), home=0)
+    lock = gos.alloc_lock(home=0)
+
+    def body():
+        ctx = ThreadContext(gos, tid=0, node=2)
+        for _ in range(5):
+            yield from ctx.acquire(lock)
+            yield from ctx.ship(obj, _increment)
+            yield from ctx.release(lock)
+
+    run_threads(gos, body())
+    assert gos.current_home(obj) == 2
+    assert gos.stats.events["migration"] == 1
+    assert gos.engines[2].homes[obj.oid].payload[0] == 5.0
+    # after migration the remaining ships were local
+    assert gos.stats.msg_count[MsgCategory.SHIP_REQUEST] <= 2
+
+
+def test_ship_follows_forwarding_pointer():
+    gos = make_gos(nnodes=4, policy=FixedThreshold(1))
+    obj = gos.alloc_fields(("v",), home=0)
+    lock = gos.alloc_lock(home=0)
+
+    def writer():
+        ctx = ThreadContext(gos, tid=0, node=1)
+        for _ in range(3):
+            yield from ctx.acquire(lock)
+            payload = yield from ctx.write(obj)
+            payload[0] += 1.0
+            yield from ctx.release(lock)
+
+    run_threads(gos, writer())
+    assert gos.current_home(obj) == 1
+
+    def shipper():
+        ctx = ThreadContext(gos, tid=1, node=3)
+        yield from ctx.acquire(lock)
+        value = yield from ctx.ship(obj, _increment)
+        assert value == 4.0
+        yield from ctx.release(lock)
+
+    run_threads(gos, shipper())
+    # the stale initial-home hint cost one redirection
+    assert gos.stats.events["redir"] >= 1
+    assert gos.engines[1].homes[obj.oid].payload[0] == 4.0
+
+
+def test_ship_compute_cost_charged():
+    def one_run(compute_us):
+        gos = make_gos()
+        obj = gos.alloc_fields(("v",), home=0)
+        lock = gos.alloc_lock(home=0)
+
+        def body():
+            ctx = ThreadContext(gos, tid=0, node=2)
+            yield from ctx.acquire(lock)
+            yield from ctx.ship(obj, _increment, compute_us=compute_us)
+            yield from ctx.release(lock)
+
+        return run_threads(gos, body())
+
+    assert one_run(500.0) == pytest.approx(one_run(0.0) + 500.0)
+
+
+def test_ship_vs_fault_in_message_economy(gos):
+    """Shipping a counter update needs 2 small messages; the fault-in
+    path needs request + object reply + diff + ack."""
+    obj_ship = gos.alloc_array(256, home=0)
+    obj_fault = gos.alloc_array(256, home=0)
+    lock = gos.alloc_lock(home=0)
+
+    def body():
+        ctx = ThreadContext(gos, tid=0, node=2)
+        yield from ctx.acquire(lock)
+        yield from ctx.ship(obj_ship, _increment)
+        yield from ctx.release(lock)
+        yield from ctx.acquire(lock)
+        payload = yield from ctx.write(obj_fault)
+        payload[0] += 1.0
+        yield from ctx.release(lock)
+
+    run_threads(gos, body())
+    ship_bytes = (
+        gos.stats.msg_bytes[MsgCategory.SHIP_REQUEST]
+        + gos.stats.msg_bytes[MsgCategory.SHIP_REPLY]
+    )
+    fault_bytes = (
+        gos.stats.msg_bytes[MsgCategory.OBJ_REQUEST]
+        + gos.stats.msg_bytes[MsgCategory.OBJ_REPLY]
+        + gos.stats.msg_bytes[MsgCategory.DIFF]
+        + gos.stats.msg_bytes[MsgCategory.DIFF_ACK]
+    )
+    assert ship_bytes < fault_bytes / 3
+
+
+def test_shipped_state_coherent_with_oracle(gos):
+    """Mixing shipping and plain writes under one lock stays coherent."""
+    obj = gos.alloc_fields(("v",), home=0)
+    lock = gos.alloc_lock(home=0)
+
+    def mixed(node, use_ship, times):
+        ctx = ThreadContext(gos, tid=node, node=node)
+        for _ in range(times):
+            yield from ctx.acquire(lock)
+            if use_ship:
+                yield from ctx.ship(obj, _increment)
+            else:
+                payload = yield from ctx.write(obj)
+                payload[0] += 1.0
+            yield from ctx.release(lock)
+
+    run_threads(gos, mixed(1, True, 7), mixed(2, False, 7), mixed(3, True, 7))
+    assert gos.read_global(obj)[0] == 21.0

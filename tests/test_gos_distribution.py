@@ -1,0 +1,59 @@
+"""Tests for home assignment and block partitioning helpers."""
+
+import pytest
+
+from repro.gos.distribution import block_owner, block_range, round_robin_homes
+
+
+def test_round_robin_cycles():
+    assert list(round_robin_homes(6, 4)) == [0, 1, 2, 3, 0, 1]
+
+
+def test_round_robin_start_offset():
+    assert list(round_robin_homes(4, 4, start=2)) == [2, 3, 0, 1]
+
+
+def test_round_robin_validation():
+    with pytest.raises(ValueError):
+        list(round_robin_homes(-1, 4))
+    with pytest.raises(ValueError):
+        list(round_robin_homes(4, 0))
+    with pytest.raises(ValueError):
+        list(round_robin_homes(4, 4, start=4))
+
+
+def test_block_ranges_partition_exactly():
+    total, threads = 20, 6
+    seen = []
+    for tid in range(threads):
+        seen.extend(block_range(tid, total, threads))
+    assert seen == list(range(total))
+
+
+def test_block_ranges_balanced():
+    sizes = [len(block_range(t, 20, 6)) for t in range(6)]
+    assert max(sizes) - min(sizes) <= 1
+    assert sum(sizes) == 20
+
+
+def test_block_owner_consistent_with_ranges():
+    total, threads = 17, 5
+    for tid in range(threads):
+        for index in block_range(tid, total, threads):
+            assert block_owner(index, total, threads) == tid
+
+
+def test_block_owner_validation():
+    with pytest.raises(ValueError):
+        block_owner(20, 20, 4)
+    with pytest.raises(ValueError):
+        block_owner(0, 20, 0)
+    with pytest.raises(ValueError):
+        block_range(4, 20, 4)
+
+
+def test_more_threads_than_items():
+    ranges = [block_range(t, 2, 5) for t in range(5)]
+    lens = [len(r) for r in ranges]
+    assert sum(lens) == 2
+    assert all(length in (0, 1) for length in lens)

@@ -1,0 +1,94 @@
+"""Tests for the DistributedJVM runner."""
+
+import pytest
+
+from repro.apps import SingleWriterBenchmark, Sor
+from repro.apps.base import DsmApplication
+from repro.cluster.hockney import FAST_ETHERNET
+from repro.core.policies import AdaptiveThreshold
+from repro.gos.jvm import DistributedJVM
+
+from tests.conftest import make_jvm
+
+
+def test_run_result_fields():
+    jvm = make_jvm(nodes=4)
+    app = Sor(size=12, iterations=2)
+    result = jvm.run(app)
+    assert result.app_name == "SOR"
+    assert result.policy_name == "AT"
+    assert result.mechanism_name == "forwarding-pointer"
+    assert result.nnodes == 4
+    assert result.nthreads == 4
+    assert result.execution_time_us > 0
+    assert result.execution_time_s == result.execution_time_us / 1e6
+
+
+def test_default_threads_equals_nodes():
+    jvm = make_jvm(nodes=3)
+    result = jvm.run(Sor(size=9, iterations=1))
+    assert result.nthreads == 3
+
+
+def test_explicit_thread_count():
+    jvm = make_jvm(nodes=4)
+    result = jvm.run(Sor(size=12, iterations=1), nthreads=2)
+    assert result.nthreads == 2
+
+
+def test_summary_is_json_friendly():
+    import json
+
+    jvm = make_jvm(nodes=2)
+    result = jvm.run(Sor(size=8, iterations=1))
+    summary = result.summary()
+    json.dumps(summary)  # must not raise
+    assert summary["app"] == "SOR"
+    assert set(summary["breakdown"]) == {"obj", "mig", "diff", "redir"}
+
+
+def test_runs_are_deterministic():
+    def run():
+        jvm = DistributedJVM(
+            nodes=4, comm_model=FAST_ETHERNET, policy=AdaptiveThreshold()
+        )
+        result = jvm.run(SingleWriterBenchmark(total_updates=64, repetition=4))
+        return (
+            result.execution_time_us,
+            result.stats.snapshot(),
+        )
+
+    assert run() == run()
+
+
+def test_each_run_gets_fresh_state():
+    jvm = make_jvm(nodes=3)
+    first = jvm.run(Sor(size=9, iterations=1))
+    second = jvm.run(Sor(size=9, iterations=1))
+    assert first.execution_time_us == second.execution_time_us
+    assert first.stats is not second.stats
+
+
+def test_thread_failure_propagates():
+    class Broken(DsmApplication):
+        name = "broken"
+
+        def setup(self, gos, nthreads):
+            pass
+
+        def thread_body(self, ctx, tid):
+            yield from ctx.compute(1.0)
+            raise RuntimeError("app bug")
+
+    from repro.sim.errors import ProcessFailed
+
+    with pytest.raises(ProcessFailed):
+        make_jvm(nodes=2).run(Broken())
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        DistributedJVM(nodes=0, comm_model=FAST_ETHERNET)
+    jvm = make_jvm(nodes=2)
+    with pytest.raises(ValueError):
+        jvm.run(Sor(size=8, iterations=1), nthreads=0)

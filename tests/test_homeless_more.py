@@ -1,0 +1,142 @@
+"""Further homeless-protocol tests: gossip transitivity, batching,
+determinism."""
+
+import numpy as np
+
+from repro.cluster.hockney import FAST_ETHERNET
+from repro.gos.homeless import HomelessObjectSpace
+from repro.gos.thread import ThreadContext
+
+from tests.conftest import run_threads
+
+
+def test_notice_transitivity_across_lock_chains():
+    """Regression: writes published under lock B must become visible to
+    a reader synchronizing only via lock A, through the gossiped notice
+    maps (TreadMarks achieves this with interval vector timestamps)."""
+    gos = HomelessObjectSpace(4, FAST_ETHERNET)
+    obj = gos.alloc_fields(("v",))
+    lock_a = gos.alloc_lock(home=0)
+    lock_b = gos.alloc_lock(home=0)
+    seen = []
+
+    def writer_then_a():
+        ctx = ThreadContext(gos, tid=0, node=1)
+        # write under lock B...
+        yield from ctx.acquire(lock_b)
+        payload = yield from ctx.write(obj)
+        payload[0] = 7.0
+        yield from ctx.release(lock_b)
+        # ...then pass through lock A, gossiping the notice
+        yield from ctx.acquire(lock_a)
+        yield from ctx.release(lock_a)
+
+    def reader_via_a():
+        ctx = ThreadContext(gos, tid=1, node=2)
+        # wait until the writer finished both phases
+        yield from ctx.compute(100_000.0)
+        yield from ctx.acquire(lock_a)
+        payload = yield from ctx.read(obj)
+        seen.append(float(payload[0]))
+        yield from ctx.release(lock_a)
+
+    run_threads(gos, writer_then_a(), reader_via_a())
+    assert seen == [7.0]
+
+
+def test_counter_through_alternating_locks():
+    """The synthetic benchmark's lock0/lock1 chain, distilled: every
+    update must be observed regardless of which lock flushed it."""
+    gos = HomelessObjectSpace(3, FAST_ETHERNET)
+    obj = gos.alloc_fields(("v",))
+    locks = [gos.alloc_lock(home=0), gos.alloc_lock(home=0)]
+
+    def body(tid, times):
+        ctx = ThreadContext(gos, tid, tid + 1)
+        for i in range(times):
+            lock = locks[i % 2]
+            yield from ctx.acquire(lock)
+            payload = yield from ctx.write(obj)
+            payload[0] += 1.0
+            yield from ctx.release(lock)
+
+    run_threads(gos, body(0, 12), body(1, 12))
+    assert gos.read_global(obj)[0] == 24.0
+
+
+def test_homeless_read_many_is_sequential_but_correct():
+    gos = HomelessObjectSpace(3, FAST_ETHERNET)
+    objs = [gos.alloc_array(4) for _ in range(5)]
+    for i, obj in enumerate(objs):
+        gos.write_global(obj, np.full(4, float(i)))
+    lock = gos.alloc_lock(home=0)
+
+    def writer():
+        ctx = ThreadContext(gos, tid=0, node=1)
+        yield from ctx.acquire(lock)
+        for obj in objs:
+            payload = yield from ctx.write(obj)
+            payload[0] += 100.0
+        yield from ctx.release(lock)
+
+    run_threads(gos, writer())
+
+    def reader():
+        ctx = ThreadContext(gos, tid=1, node=2)
+        yield from ctx.acquire(lock)
+        yield from ctx.read_many(objs)
+        for i, obj in enumerate(objs):
+            payload = yield from ctx.read(obj)
+            assert payload[0] == 100.0 + i
+        yield from ctx.release(lock)
+
+    run_threads(gos, reader())
+
+
+def test_homeless_runs_deterministic():
+    def one():
+        gos = HomelessObjectSpace(3, FAST_ETHERNET)
+        obj = gos.alloc_fields(("v",))
+        lock = gos.alloc_lock(home=0)
+
+        def body(tid):
+            ctx = ThreadContext(gos, tid, tid + 1)
+            for _ in range(8):
+                yield from ctx.acquire(lock)
+                payload = yield from ctx.write(obj)
+                payload[0] += 1.0
+                yield from ctx.release(lock)
+
+        end = run_threads(gos, body(0), body(1))
+        return end, gos.stats.snapshot()
+
+    assert one() == one()
+
+
+def test_fetch_skips_up_to_date_writers():
+    """Only writers the reader actually lags behind are contacted."""
+    gos = HomelessObjectSpace(4, FAST_ETHERNET)
+    obj = gos.alloc_fields(("v",))
+    lock = gos.alloc_lock(home=0)
+
+    def writer(node):
+        ctx = ThreadContext(gos, tid=node, node=node)
+        yield from ctx.acquire(lock)
+        payload = yield from ctx.write(obj)
+        payload[0] += 1.0
+        yield from ctx.release(lock)
+
+    run_threads(gos, writer(1))
+
+    def reader_twice():
+        ctx = ThreadContext(gos, tid=9, node=3)
+        yield from ctx.acquire(lock)
+        yield from ctx.read(obj)
+        yield from ctx.release(lock)
+        # second synchronization with no new writes: no new fetch
+        yield from ctx.acquire(lock)
+        yield from ctx.read(obj)
+        yield from ctx.release(lock)
+
+    run_threads(gos, reader_twice())
+    assert gos.stats.events["homeless_fetch"] == 1

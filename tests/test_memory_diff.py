@@ -1,0 +1,159 @@
+"""Tests (incl. property-based) for twin/diff machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.diff import (
+    DIFF_HEADER_BYTES,
+    RUN_HEADER_BYTES,
+    apply_diff,
+    compute_diff,
+    diff_size_bytes,
+)
+from repro.memory.twin import make_twin
+
+
+def test_no_change_yields_none():
+    twin = np.arange(10.0)
+    assert compute_diff(1, twin, twin.copy()) is None
+
+
+def test_single_change():
+    twin = np.zeros(10)
+    current = twin.copy()
+    current[3] = 7.0
+    diff = compute_diff(1, twin, current)
+    assert diff.nchanged == 1
+    assert list(diff.indices) == [3]
+    assert list(diff.values) == [7.0]
+
+
+def test_size_single_run():
+    # 4 consecutive float64 changes: header + one run + 32B payload
+    indices = np.array([2, 3, 4, 5])
+    assert diff_size_bytes(indices, 8) == (
+        DIFF_HEADER_BYTES + RUN_HEADER_BYTES + 32
+    )
+
+
+def test_size_two_runs():
+    indices = np.array([0, 1, 7, 8, 9])
+    assert diff_size_bytes(indices, 8) == (
+        DIFF_HEADER_BYTES + 2 * RUN_HEADER_BYTES + 40
+    )
+
+
+def test_size_empty():
+    assert diff_size_bytes(np.array([], dtype=int), 8) == 0
+
+
+def test_apply_roundtrip():
+    twin = np.arange(20.0)
+    current = twin.copy()
+    current[[0, 5, 19]] = [-1.0, -2.0, -3.0]
+    diff = compute_diff(1, twin, current)
+    target = twin.copy()
+    apply_diff(target, diff)
+    assert np.array_equal(target, current)
+
+
+def test_apply_out_of_bounds_rejected():
+    twin = np.zeros(10)
+    current = twin.copy()
+    current[9] = 1.0
+    diff = compute_diff(1, twin, current)
+    small = np.zeros(5)
+    with pytest.raises(IndexError):
+        apply_diff(small, diff)
+
+
+def test_layout_mismatch_rejected():
+    with pytest.raises(ValueError):
+        compute_diff(1, np.zeros(3), np.zeros(4))
+    with pytest.raises(ValueError):
+        compute_diff(1, np.zeros(3), np.zeros(3, dtype=np.int32))
+
+
+def test_twin_is_independent_copy():
+    payload = np.arange(5.0)
+    twin = make_twin(payload)
+    payload[0] = 99.0
+    assert twin[0] == 0.0
+
+
+def test_twin_requires_1d():
+    with pytest.raises(ValueError):
+        make_twin(np.zeros((2, 2)))
+
+
+@given(
+    base=st.lists(
+        st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=64
+    ),
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=63),
+            st.integers(min_value=-1000, max_value=1000),
+        ),
+        max_size=32,
+    ),
+)
+@settings(max_examples=200)
+def test_property_diff_apply_reconstructs_exactly(base, writes):
+    """twin + diff(current) applied to a copy of twin == current."""
+    twin = np.array(base, dtype=np.int64)
+    current = twin.copy()
+    for index, value in writes:
+        current[index % len(current)] = value
+    diff = compute_diff(42, twin, current)
+    reconstructed = twin.copy()
+    if diff is not None:
+        apply_diff(reconstructed, diff)
+    assert np.array_equal(reconstructed, current)
+
+
+@given(
+    base=st.lists(
+        st.integers(min_value=-5, max_value=5), min_size=1, max_size=64
+    ),
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=63),
+            st.integers(min_value=-5, max_value=5),
+        ),
+        max_size=32,
+    ),
+)
+@settings(max_examples=200)
+def test_property_diff_only_carries_changes(base, writes):
+    twin = np.array(base, dtype=np.int64)
+    current = twin.copy()
+    for index, value in writes:
+        current[index % len(current)] = value
+    diff = compute_diff(1, twin, current)
+    if diff is None:
+        assert np.array_equal(twin, current)
+    else:
+        # every carried index truly changed, and nothing else did
+        changed = set(int(i) for i in diff.indices)
+        for i in range(len(twin)):
+            assert (twin[i] != current[i]) == (i in changed)
+
+
+@given(
+    indices=st.lists(
+        st.integers(min_value=0, max_value=10**6), min_size=1, max_size=200,
+        unique=True,
+    ),
+    itemsize=st.sampled_from([1, 2, 4, 8]),
+)
+@settings(max_examples=200)
+def test_property_size_bounds(indices, itemsize):
+    """RLE size is bounded below by payload+header and above by worst-case
+    one-run-per-index."""
+    arr = np.array(sorted(indices))
+    size = diff_size_bytes(arr, itemsize)
+    payload = len(indices) * itemsize
+    assert size >= DIFF_HEADER_BYTES + RUN_HEADER_BYTES + payload
+    assert size <= DIFF_HEADER_BYTES + len(indices) * RUN_HEADER_BYTES + payload

@@ -1,0 +1,103 @@
+"""Tests for shared object descriptors and the heap."""
+
+import numpy as np
+import pytest
+
+from repro.memory.heap import ObjectHeap
+from repro.memory.objects import (
+    ArraySpec,
+    FieldsSpec,
+    OBJECT_HEADER_BYTES,
+    SharedObject,
+)
+
+
+def test_array_spec_size_model():
+    spec = ArraySpec(length=100, dtype="float64")
+    assert spec.itemsize == 8
+    assert spec.data_bytes == 800
+    obj = SharedObject(oid=1, spec=spec)
+    assert obj.size_bytes == OBJECT_HEADER_BYTES + 800
+
+
+def test_array_payload_zeroed():
+    spec = ArraySpec(length=5, dtype="int32")
+    payload = spec.new_payload()
+    assert payload.dtype == np.int32
+    assert payload.shape == (5,)
+    assert not payload.any()
+
+
+def test_array_invalid_length():
+    with pytest.raises(ValueError):
+        ArraySpec(length=0)
+
+
+def test_array_invalid_dtype():
+    with pytest.raises(TypeError):
+        ArraySpec(length=4, dtype="not-a-dtype")
+
+
+def test_fields_spec_slots():
+    spec = FieldsSpec(fields=("x", "y", "m"))
+    assert spec.slot("x") == 0
+    assert spec.slot("m") == 2
+    with pytest.raises(KeyError):
+        spec.slot("nope")
+
+
+def test_fields_duplicate_names_rejected():
+    with pytest.raises(ValueError):
+        FieldsSpec(fields=("a", "a"))
+
+
+def test_fields_empty_rejected():
+    with pytest.raises(ValueError):
+        FieldsSpec(fields=())
+
+
+def test_fields_size_model():
+    obj = SharedObject(oid=2, spec=FieldsSpec(fields=("a", "b")))
+    assert obj.size_bytes == OBJECT_HEADER_BYTES + 16
+
+
+def test_heap_allocates_unique_oids():
+    heap = ObjectHeap()
+    a = heap.alloc_array(10)
+    b = heap.alloc_fields(("f",))
+    assert a.oid != b.oid
+    assert len(heap) == 2
+    assert a.oid in heap and b.oid in heap
+
+
+def test_heap_initial_home_tracking():
+    heap = ObjectHeap()
+    obj = heap.alloc_array(4, home=3)
+    assert heap.initial_home(obj.oid) == 3
+    assert heap.get(obj.oid) is obj
+
+
+def test_heap_negative_home_rejected():
+    heap = ObjectHeap()
+    with pytest.raises(ValueError):
+        heap.alloc_array(4, home=-1)
+
+
+def test_heap_unknown_oid():
+    heap = ObjectHeap()
+    with pytest.raises(KeyError):
+        heap.get(999)
+
+
+def test_heap_iteration_order():
+    heap = ObjectHeap()
+    objs = [heap.alloc_array(2) for _ in range(5)]
+    assert [o.oid for o in heap] == [o.oid for o in objs]
+
+
+def test_meta_not_part_of_identity():
+    spec = ArraySpec(length=3)
+    a = SharedObject(oid=1, spec=spec, meta={"row": 7})
+    b = SharedObject(oid=1, spec=spec, meta={"row": 8})
+    assert a == b
+    assert hash(a) == hash(b)

@@ -1,0 +1,42 @@
+"""Tests for write notices and notice merging."""
+
+import pytest
+
+from repro.memory.version import WriteNotice, merge_notices
+
+
+def test_notice_validation():
+    WriteNotice(oid=1, version=1)
+    with pytest.raises(ValueError):
+        WriteNotice(oid=1, version=0)
+
+
+def test_notice_ordering():
+    assert WriteNotice(1, 2) < WriteNotice(1, 3) < WriteNotice(2, 1)
+
+
+def test_merge_from_list():
+    acc = {}
+    merge_notices(acc, [WriteNotice(1, 3), WriteNotice(2, 1)])
+    assert acc == {1: 3, 2: 1}
+
+
+def test_merge_keeps_max_version():
+    acc = {1: 5}
+    merge_notices(acc, [WriteNotice(1, 3)])
+    assert acc == {1: 5}
+    merge_notices(acc, [WriteNotice(1, 9)])
+    assert acc == {1: 9}
+
+
+def test_merge_from_dict():
+    acc = {1: 1}
+    merge_notices(acc, {1: 4, 2: 2})
+    assert acc == {1: 4, 2: 2}
+
+
+def test_merge_empty_is_noop():
+    acc = {3: 3}
+    merge_notices(acc, [])
+    merge_notices(acc, {})
+    assert acc == {3: 3}

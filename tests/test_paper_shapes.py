@@ -1,0 +1,160 @@
+"""Reproduction shape tests: the paper's qualitative claims, asserted.
+
+These are the headline checks of the whole project — each test pins one
+of the observations §5 of the paper reports, on scaled-down problem
+sizes.  The benchmark harness re-measures the same shapes at larger
+sizes.
+"""
+
+import pytest
+
+from repro.apps import Asp, NBody, SingleWriterBenchmark, Sor, Tsp
+from repro.bench.runner import run_once
+
+NODES_SYNTH = 9  # 8 working threads off the master (§5.2)
+
+
+def _synth(policy, repetition, updates=256):
+    return run_once(
+        SingleWriterBenchmark(total_updates=updates, repetition=repetition),
+        policy=policy,
+        nodes=NODES_SYNTH,
+    )
+
+
+# -- Figure 2 shapes -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("app_factory", [
+    lambda: Asp(size=48),
+    lambda: Sor(size=48, iterations=6),
+])
+def test_fig2_hm_improves_asp_and_sor(app_factory):
+    no_hm = run_once(app_factory(), policy="NM", nodes=8)
+    hm = run_once(app_factory(), policy="AT", nodes=8)
+    assert hm.execution_time_us < 0.7 * no_hm.execution_time_us
+    assert hm.stats.total_messages() < no_hm.stats.total_messages()
+
+
+@pytest.mark.parametrize("app_factory", [
+    lambda: NBody(bodies=48, steps=2),
+    lambda: Tsp(cities=8),
+])
+def test_fig2_hm_harmless_for_nbody_and_tsp(app_factory):
+    """Little single-writer pattern => little effect, and crucially no
+    slowdown (the protocol's lightweight-ness)."""
+    no_hm = run_once(app_factory(), policy="NM", nodes=8)
+    hm = run_once(app_factory(), policy="AT", nodes=8)
+    assert hm.execution_time_us <= 1.10 * no_hm.execution_time_us
+
+
+def test_fig2_times_decrease_with_processors():
+    times = [
+        run_once(Asp(size=128), policy="AT", nodes=p).execution_time_us
+        for p in (2, 4, 8)
+    ]
+    assert times[0] > times[1] > times[2]
+
+
+# -- Figure 3 shapes -----------------------------------------------------------
+
+
+def test_fig3_at_beats_ft2_on_asp_and_sor():
+    for factory in (lambda: Asp(size=48), lambda: Sor(size=48, iterations=6)):
+        ft2 = run_once(factory(), policy="FT2", nodes=8)
+        at = run_once(factory(), policy="AT", nodes=8)
+        assert at.execution_time_us <= ft2.execution_time_us
+        assert at.stats.total_messages() <= ft2.stats.total_messages()
+        assert at.stats.total_bytes() <= ft2.stats.total_bytes()
+
+
+def test_fig3_sor_improvement_grows_with_problem_size():
+    improvements = []
+    for size in (24, 48, 96):
+        ft2 = run_once(Sor(size=size, iterations=8), policy="FT2", nodes=8)
+        at = run_once(Sor(size=size, iterations=8), policy="AT", nodes=8)
+        improvements.append(
+            (ft2.execution_time_us - at.execution_time_us)
+            / ft2.execution_time_us
+        )
+    assert improvements[-1] > improvements[0]
+
+
+# -- Figure 5 shapes -----------------------------------------------------------
+
+
+def test_fig5_ft1_eliminates_most_traffic_at_large_repetition():
+    """Paper: 87.2% of object fault-ins and diff propagations eliminated
+    by FT1 at r=16."""
+    nm = _synth("NM", 16)
+    ft1 = _synth("FT1", 16)
+    nm_traffic = nm.stats.events["obj"] + nm.stats.events["diff"]
+    ft1_traffic = (
+        ft1.stats.events["obj"]
+        + ft1.stats.events["diff"]
+        + ft1.stats.events["mig"]
+    )
+    eliminated = (nm_traffic - ft1_traffic) / nm_traffic
+    assert eliminated > 0.80
+
+
+def test_fig5_at_matches_ft1_sensitivity_at_large_repetition():
+    """Paper: 'AT performs as well as FT1' at r in {8, 16}."""
+    for r in (8, 16):
+        ft1 = _synth("FT1", r)
+        at = _synth("AT", r)
+        assert at.stats.events["obj"] <= ft1.stats.events["obj"] * 1.05
+        assert at.execution_time_us <= ft1.execution_time_us * 1.05
+
+
+def test_fig5_fixed_thresholds_suffer_redirections_at_small_repetition():
+    ft1 = _synth("FT1", 2)
+    at = _synth("AT", 2)
+    assert ft1.stats.events["redir"] > 5 * max(at.stats.events["redir"], 1)
+
+
+def test_fig5_at_robust_against_transient_pattern():
+    """Paper: AT inhibits migration under the transient single-writer
+    pattern, avoiding FT1's redirection blow-up."""
+    nm = _synth("NM", 2)
+    ft1 = _synth("FT1", 2)
+    at = _synth("AT", 2)
+    # FT1 pays for eager migration; AT stays within a whisker of NM
+    assert ft1.execution_time_us > nm.execution_time_us
+    assert at.execution_time_us <= 1.05 * nm.execution_time_us
+    assert at.migrations < ft1.migrations / 4
+
+
+def test_fig5_ft2_inhibits_migration_at_repetition_two():
+    """Paper: 'FT2 prohibits home migration when the repetition is two.'"""
+    ft2 = _synth("FT2", 2)
+    assert ft2.migrations <= 2
+
+
+def test_fig5_ft1_more_sensitive_than_ft2():
+    """Paper: FT1's fault-in + diff counts are below FT2's at every r."""
+    for r in (4, 8, 16):
+        ft1 = _synth("FT1", r)
+        ft2 = _synth("FT2", r)
+        assert (
+            ft1.stats.events["obj"] + ft1.stats.events["diff"]
+            < ft2.stats.events["obj"] + ft2.stats.events["diff"]
+        )
+
+
+def test_fig5_migration_pays_off_at_large_repetition():
+    nm = _synth("NM", 16)
+    at = _synth("AT", 16)
+    assert at.execution_time_us < 0.75 * nm.execution_time_us
+
+
+# -- §5.1's lightweight-protocol claim ------------------------------------------
+
+
+def test_protocol_memory_is_contained_to_shared_objects():
+    """Monitor state exists only for objects that actually have a home
+    entry — no global tables proportional to all allocations."""
+    result = run_once(Sor(size=16, iterations=2), policy="AT", nodes=4)
+    gos = result.gos
+    total_homes = sum(len(engine.homes) for engine in gos.engines)
+    assert total_homes == len(gos.heap)

@@ -1,0 +1,69 @@
+"""Tests for the public package surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_version_is_semver_ish():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.sim",
+        "repro.cluster",
+        "repro.memory",
+        "repro.core",
+        "repro.dsm",
+        "repro.gos",
+        "repro.apps",
+        "repro.bench",
+        "repro.analysis",
+        "repro.trace",
+    ],
+)
+def test_subpackages_import_cleanly(module):
+    mod = importlib.import_module(module)
+    assert mod.__doc__, f"{module} has no module docstring"
+
+
+def test_subpackage_alls_resolve():
+    for module_name in (
+        "repro.sim",
+        "repro.cluster",
+        "repro.memory",
+        "repro.core",
+        "repro.dsm",
+        "repro.gos",
+        "repro.apps",
+        "repro.trace",
+        "repro.analysis",
+    ):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_every_public_symbol_documented():
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if isinstance(obj, type) or callable(obj):
+            assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+
+def test_py_typed_marker_shipped():
+    import pathlib
+
+    pkg_dir = pathlib.Path(repro.__file__).parent
+    assert (pkg_dir / "py.typed").exists()

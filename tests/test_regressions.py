@@ -1,0 +1,83 @@
+"""Regression tests for protocol bugs found by the coherence fuzzer.
+
+Each test pins the exact scenario that once deadlocked or crashed, so
+the fixes cannot silently rot.
+"""
+
+from repro.cluster.hockney import FAST_ETHERNET
+from repro.core.policies import BarrierMigration, FixedThreshold
+from repro.dsm.redirection import HomeManagerMechanism
+from repro.gos.space import GlobalObjectSpace
+from repro.gos.thread import ThreadContext
+
+from tests.conftest import run_threads
+
+
+def test_manager_node_faulting_after_home_left_manager():
+    """Bug 1: the manager node itself missing at an obsolete home used to
+    self-send a HOME_QUERY (ValueError) which surfaced as a deadlock.
+
+    Scenario: object homed at node 0 (the manager), migrated to node 1;
+    node 0 then faults on it, gets redirected to 'ask the manager' — i.e.
+    itself — and must answer from its local map."""
+    gos = GlobalObjectSpace(
+        3,
+        FAST_ETHERNET,
+        policy=FixedThreshold(1),
+        mechanism=HomeManagerMechanism(manager_node=0),
+    )
+    obj = gos.alloc_fields(("v",), home=0)
+    lock = gos.alloc_lock(home=0)
+
+    def writer():
+        ctx = ThreadContext(gos, tid=0, node=1)
+        for _ in range(3):
+            yield from ctx.acquire(lock)
+            payload = yield from ctx.write(obj)
+            payload[0] += 1.0
+            yield from ctx.release(lock)
+
+    run_threads(gos, writer())
+    assert gos.current_home(obj) == 1
+    seen = []
+
+    def manager_reader():
+        ctx = ThreadContext(gos, tid=1, node=0)
+        yield from ctx.acquire(lock)
+        payload = yield from ctx.read(obj)
+        seen.append(float(payload[0]))
+        yield from ctx.release(lock)
+
+    run_threads(gos, manager_reader())
+    assert seen == [3.0]
+
+
+def test_home_returning_to_former_home_clears_stale_pointer():
+    """Bug 2: a node that was home, lost the home, and became home again
+    kept its old forwarding pointer; a later self-hinted fault followed
+    the stale pointer into a loop/deadlock.
+
+    Scenario (JiaJia): ping-pong writers move the home 0 -> 1 -> 0 across
+    barriers; node 0's pointer from the first migration must be dropped
+    when the home comes back."""
+    gos = GlobalObjectSpace(2, FAST_ETHERNET, policy=BarrierMigration())
+    obj = gos.alloc_array(4, home=0)
+    barrier = gos.alloc_barrier(parties=2, home=0)
+
+    def body(tid, phases_writing):
+        ctx = ThreadContext(gos, tid=tid, node=tid)
+        for phase in range(4):
+            if phase in phases_writing:
+                payload = yield from ctx.write(obj)
+                payload[tid] = float(phase * 10 + tid)
+            yield from ctx.barrier(barrier)
+            yield from ctx.read(obj)
+            yield from ctx.barrier(barrier)
+
+    # node 1 writes phases 0,1 (home -> 1), node 0 writes phases 2,3
+    # (home -> back to 0)
+    run_threads(gos, body(0, {2, 3}), body(1, {0, 1}))
+    assert gos.current_home(obj) == 0
+    assert obj.oid not in gos.engines[0].forwards
+    final = gos.read_global(obj)
+    assert final[0] == 30.0 and final[1] == 11.0

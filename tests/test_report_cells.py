@@ -1,0 +1,34 @@
+"""Edge cases of report cell formatting."""
+
+from repro.bench.report import _format_cell, format_table
+
+
+def test_negative_float_formatting():
+    assert _format_cell(-12.345).startswith("-12")
+    assert _format_cell(-1234567.0) == "-1,234,567"
+
+
+def test_integer_passthrough():
+    assert _format_cell(42) == "42"
+    assert _format_cell(0) == "0"
+
+
+def test_zero_float():
+    assert _format_cell(0.0) == "0"
+
+
+def test_small_float_three_sig_figs():
+    assert _format_cell(0.0123456) == "0.0123"
+
+
+def test_string_passthrough():
+    assert _format_cell("label") == "label"
+
+
+def test_table_with_mixed_types():
+    out = format_table(
+        ["a", "b", "c"],
+        [["x", -1.5, 1000000.0], ["y", 2, "z"]],
+    )
+    assert "-1.5" in out
+    assert "1,000,000" in out

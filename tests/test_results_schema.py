@@ -1,0 +1,54 @@
+"""Stability of the JSON results schema downstream tooling consumes."""
+
+import json
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+@pytest.fixture(scope="module")
+def quick_json():
+    path = ROOT / "results" / "bench_quick.json"
+    if not path.exists():
+        pytest.skip("results/bench_quick.json not generated")
+    return json.loads(path.read_text())
+
+
+def test_top_level_sections(quick_json):
+    assert set(quick_json) >= {"figure2", "figure3", "figure5", "ablation"}
+
+
+def test_figure2_schema(quick_json):
+    fig2 = quick_json["figure2"]
+    assert set(fig2) == {"times", "messages", "mode"}
+    for app, variants in fig2["times"].items():
+        assert set(variants) == {"NoHM", "HM"}
+        for series in variants.values():
+            assert all(float(v) > 0 for v in series.values())
+
+
+def test_figure3_schema(quick_json):
+    fig3 = quick_json["figure3"]
+    for app in ("ASP", "SOR"):
+        for vals in fig3["improvements"][app].values():
+            assert set(vals) == {"time", "messages", "traffic"}
+
+
+def test_figure5_schema(quick_json):
+    fig5 = quick_json["figure5"]
+    for section in ("times", "normalized_times", "breakdowns",
+                    "normalized_messages"):
+        assert section in fig5
+    for per_proto in fig5["breakdowns"].values():
+        for breakdown in per_proto.values():
+            assert set(breakdown) == {"obj", "mig", "diff", "redir"}
+
+
+def test_ablation_schema(quick_json):
+    ablation = quick_json["ablation"]
+    assert set(ablation) >= {
+        "notification", "policies", "barrier_policies", "homeless",
+        "lambda", "lock_discipline", "network", "decay",
+    }

@@ -1,0 +1,38 @@
+"""Scale coverage: clusters beyond the paper's 16 nodes."""
+
+import pytest
+
+from repro.apps import Sor, SingleWriterBenchmark
+from repro.bench.runner import run_once
+
+
+def test_thirty_two_node_cluster_runs_and_verifies():
+    app = Sor(size=64, iterations=3)
+    result = run_once(app, policy="AT", nodes=32)
+    assert result.nnodes == 32
+    assert result.migrations > 0
+
+
+def test_many_threads_share_fewer_nodes():
+    """More threads than nodes: round-robin placement, co-located
+    threads share caches and locks correctly."""
+    app = SingleWriterBenchmark(
+        total_updates=64, repetition=4, workers_off_master=False
+    )
+    result = run_once(app, policy="AT", nodes=3, nthreads=9)
+    assert result.nthreads == 9
+    assert 64 <= result.output <= 67
+
+
+def test_single_thread_on_many_nodes():
+    app = Sor(size=16, iterations=2)
+    result = run_once(app, policy="AT", nodes=8, nthreads=1)
+    # one thread: everything local after the initial relocations
+    assert result.nthreads == 1
+
+
+@pytest.mark.parametrize("nodes", [17, 24])
+def test_odd_cluster_sizes(nodes):
+    app = Sor(size=48, iterations=2)
+    result = run_once(app, policy="AT", nodes=nodes)
+    assert result.nnodes == nodes

@@ -1,0 +1,49 @@
+"""Figure-5 qualitative shapes must survive a change of interconnect.
+
+The paper's conclusions are about protocol behaviour, not Fast Ethernet;
+re-assert the two headline shapes on the Gigabit and Myrinet models.
+"""
+
+import pytest
+
+from repro.apps import SingleWriterBenchmark
+from repro.cluster.hockney import GIGABIT, MYRINET
+from repro.bench.runner import run_once
+
+NETWORKS = [GIGABIT, MYRINET]
+
+
+@pytest.mark.parametrize("model", NETWORKS, ids=lambda m: m.name)
+def test_at_matches_ft1_on_lasting_pattern(model):
+    ft1 = run_once(
+        SingleWriterBenchmark(total_updates=256, repetition=16),
+        policy="FT1", nodes=9, comm_model=model,
+    )
+    at = run_once(
+        SingleWriterBenchmark(total_updates=256, repetition=16),
+        policy="AT", nodes=9, comm_model=model,
+    )
+    nm = run_once(
+        SingleWriterBenchmark(total_updates=256, repetition=16),
+        policy="NM", nodes=9, comm_model=model,
+    )
+    assert at.execution_time_us <= 1.05 * ft1.execution_time_us
+    assert at.execution_time_us < 0.8 * nm.execution_time_us
+
+
+@pytest.mark.parametrize("model", NETWORKS, ids=lambda m: m.name)
+def test_at_robust_on_transient_pattern(model):
+    ft1 = run_once(
+        SingleWriterBenchmark(total_updates=256, repetition=2),
+        policy="FT1", nodes=9, comm_model=model,
+    )
+    at = run_once(
+        SingleWriterBenchmark(total_updates=256, repetition=2),
+        policy="AT", nodes=9, comm_model=model,
+    )
+    nm = run_once(
+        SingleWriterBenchmark(total_updates=256, repetition=2),
+        policy="NM", nodes=9, comm_model=model,
+    )
+    assert at.execution_time_us <= 1.05 * nm.execution_time_us
+    assert at.migrations < ft1.migrations / 4

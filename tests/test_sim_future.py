@@ -1,0 +1,76 @@
+"""Tests for one-shot futures."""
+
+import pytest
+
+from repro.sim.errors import SimulationError
+from repro.sim.future import Future
+
+
+def test_unresolved_state():
+    fut = Future(label="x")
+    assert not fut.resolved
+    with pytest.raises(SimulationError):
+        _ = fut.value
+
+
+def test_resolve_and_read():
+    fut = Future()
+    fut.resolve(42)
+    assert fut.resolved
+    assert fut.value == 42
+
+
+def test_resolve_none_is_a_value():
+    fut = Future()
+    fut.resolve(None)
+    assert fut.resolved
+    assert fut.value is None
+
+
+def test_double_resolve_rejected():
+    fut = Future()
+    fut.resolve(1)
+    with pytest.raises(SimulationError):
+        fut.resolve(2)
+
+
+def test_fail_then_value_raises_original():
+    fut = Future()
+    error = ValueError("boom")
+    fut.fail(error)
+    assert fut.resolved
+    assert fut.exception is error
+    with pytest.raises(ValueError):
+        _ = fut.value
+
+
+def test_fail_after_resolve_rejected():
+    fut = Future()
+    fut.resolve(1)
+    with pytest.raises(SimulationError):
+        fut.fail(ValueError())
+
+
+def test_callbacks_fire_in_registration_order():
+    fut = Future()
+    order = []
+    fut.add_done_callback(lambda f: order.append(1))
+    fut.add_done_callback(lambda f: order.append(2))
+    fut.resolve("v")
+    assert order == [1, 2]
+
+
+def test_callback_on_already_resolved_fires_immediately():
+    fut = Future()
+    fut.resolve(7)
+    seen = []
+    fut.add_done_callback(lambda f: seen.append(f.value))
+    assert seen == [7]
+
+
+def test_callbacks_fire_once():
+    fut = Future()
+    count = []
+    fut.add_done_callback(lambda f: count.append(1))
+    fut.resolve(0)
+    assert count == [1]
