@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Perf trajectory harness: measure the quick sweep at jobs=1 vs jobs=auto.
+
+Runs a fixed, deterministic sweep (a Figure-2-shaped HM/NoHM grid over
+ASP and SOR) twice — sequentially and fanned out over all usable cores —
+verifies the two produce bit-identical simulated results, and writes a
+JSON report with per-run and total wall-clock, the parallel speedup, and
+single-process event throughput (engine events per wall-clock second,
+the single-run hot-path figure of merit).
+
+Each PR that touches the hot path re-runs this and checks in the result
+(``BENCH_PR<n>.json``), so the repo's performance trajectory is recorded
+alongside its correctness trajectory.
+
+Usage:
+    PYTHONPATH=src python scripts/bench_perf.py [--out BENCH_PR1.json]
+"""
+
+import argparse
+import json
+import os
+import platform
+import time
+
+
+def build_sweep():
+    """The fixed quick sweep: HM vs NoHM for ASP/SOR over 2..8 nodes."""
+    from repro.bench.executor import RunSpec
+
+    specs = []
+    for app, kwargs in (
+        ("asp", {"size": 128}),
+        ("sor", {"size": 128, "iterations": 10}),
+    ):
+        for policy in ("NM", "AT"):
+            for nodes in (2, 4, 8):
+                specs.append(
+                    RunSpec(
+                        app=app,
+                        app_kwargs=kwargs,
+                        policy=policy,
+                        nodes=nodes,
+                        tag=(app, policy, nodes),
+                    )
+                )
+    return specs
+
+
+def run_mode(specs, jobs):
+    """Execute the sweep at ``jobs`` workers; return (outcomes, wall_s)."""
+    from repro.bench.executor import execute
+
+    start = time.perf_counter()
+    outcomes = execute(specs, jobs=jobs)
+    return outcomes, time.perf_counter() - start
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--out", default="BENCH_PR1.json")
+    args = parser.parse_args()
+
+    from repro.bench.executor import default_jobs
+
+    specs = build_sweep()
+    jobs_auto = default_jobs()
+    # Always exercise the real pool path, even on a single-core host
+    # (where the ratio honestly comes out ~1x).
+    jobs_par = max(2, jobs_auto)
+
+    # Warm caches (imports, numpy) so jobs=1 isn't penalised for going first.
+    run_mode(specs[:1], jobs=1)
+
+    seq_outcomes, seq_wall = run_mode(specs, jobs=1)
+    par_outcomes, par_wall = run_mode(specs, jobs=jobs_par)
+
+    if [o.deterministic() for o in seq_outcomes] != [
+        o.deterministic() for o in par_outcomes
+    ]:
+        raise SystemExit("FATAL: jobs=1 and jobs=auto results differ")
+
+    total_events = sum(o.events_processed for o in seq_outcomes)
+    seq_run_wall = sum(o.wall_clock_s for o in seq_outcomes)
+    report = {
+        "sweep": "figure2-quick (ASP/SOR x NM/AT x 2,4,8 nodes)",
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "usable_cores": jobs_auto,
+        },
+        "runs": [
+            {
+                "tag": list(o.tag),
+                "sim_time_s": o.time_s,
+                "engine_events": o.events_processed,
+                "wall_s_seq": o.wall_clock_s,
+                "wall_s_par": p.wall_clock_s,
+            }
+            for o, p in zip(seq_outcomes, par_outcomes)
+        ],
+        "totals": {
+            "n_runs": len(specs),
+            "engine_events": total_events,
+            "jobs_auto": jobs_auto,
+            "jobs_parallel": jobs_par,
+            "wall_s_jobs1": seq_wall,
+            "wall_s_parallel": par_wall,
+            "parallel_speedup": seq_wall / par_wall if par_wall else None,
+            "events_per_sec_jobs1": total_events / seq_run_wall,
+        },
+        "identical_results": True,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    totals = report["totals"]
+    print(
+        f"{totals['n_runs']} runs, {total_events} engine events\n"
+        f"jobs=1: {seq_wall:.2f}s wall "
+        f"({totals['events_per_sec_jobs1']:.0f} events/s single-process)\n"
+        f"jobs={jobs_par}: {par_wall:.2f}s wall "
+        f"(speedup {totals['parallel_speedup']:.2f}x on "
+        f"{jobs_auto} usable core(s))\n"
+        f"report written to {args.out}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -2,12 +2,17 @@
 """Maintainer tool: profile the simulation harness on a representative run.
 
 The guides' rule — no optimization without measuring — applied to the
-harness itself.  Profiles one ASP run (the heaviest figure workload) with
-cProfile and prints the top functions by cumulative and internal time,
-so hot-path regressions in the engine/protocol are easy to localise.
+harness itself.  Profiles one application run (ASP, the heaviest figure
+workload, by default) with cProfile and prints the top functions by
+cumulative and internal time, so hot-path regressions in the
+engine/protocol are easy to localise.  ``--save PATH`` additionally dumps
+the raw pstats file, so profiles can be diffed across PRs with
+``pstats.Stats(path_a, path_b)`` or snakeviz.
 
 Usage:
-    python scripts/profile_run.py [--size N] [--nodes P] [--top K]
+    python scripts/profile_run.py [--app {asp,sor,nbody,tsp}] [--size N]
+                                  [--policy NAME] [--nodes P] [--top K]
+                                  [--save PATH]
 """
 
 import argparse
@@ -15,28 +20,58 @@ import cProfile
 import pstats
 
 
+def make_app(name: str, size: int):
+    """Instantiate the selected profiling workload at ``size``."""
+    from repro.apps import Asp, NBody, Sor, Tsp
+
+    if name == "asp":
+        return Asp(size=size)
+    if name == "sor":
+        return Sor(size=size, iterations=10)
+    if name == "nbody":
+        return NBody(bodies=size, steps=3)
+    if name == "tsp":
+        return Tsp(cities=min(size, 12))
+    raise ValueError(f"unknown app {name!r}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--app", choices=("asp", "sor", "nbody", "tsp"), default="asp",
+        help="workload to profile (default: asp, the heaviest figure app)",
+    )
     parser.add_argument("--size", type=int, default=256)
     parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument(
+        "--policy", default="AT",
+        help="migration policy report name (NM/FT1/FT2/AT/JUMP/LF/JIAJIA)",
+    )
     parser.add_argument("--top", type=int, default=20)
+    parser.add_argument(
+        "--save", metavar="PATH",
+        help="dump the raw pstats file for diffing across PRs",
+    )
     args = parser.parse_args()
 
-    from repro.apps import Asp
     from repro.bench.runner import run_once
 
+    app = make_app(args.app, args.size)
     profiler = cProfile.Profile()
     profiler.enable()
-    result = run_once(Asp(size=args.size), policy="AT", nodes=args.nodes)
+    result = run_once(app, policy=args.policy, nodes=args.nodes)
     profiler.disable()
 
     print(
-        f"ASP({args.size}) on {args.nodes} nodes: simulated "
-        f"{result.execution_time_s:.2f}s, "
+        f"{args.app}({args.size}) under {args.policy} on {args.nodes} nodes: "
+        f"simulated {result.execution_time_s:.2f}s, "
         f"{result.stats.total_messages()} messages, "
         f"{result.gos.sim.events_processed} engine events\n"
     )
     stats = pstats.Stats(profiler)
+    if args.save:
+        stats.dump_stats(args.save)
+        print(f"raw pstats written to {args.save}\n")
     stats.sort_stats("cumulative")
     print("=== top by cumulative time ===")
     stats.print_stats(args.top)

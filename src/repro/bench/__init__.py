@@ -9,12 +9,24 @@
   Figure 5a/5b);
 * :mod:`repro.bench.ablation` — extensions beyond the paper: notification
   mechanisms, related-work policies, threshold-parameter sensitivity;
-* :mod:`repro.bench.cli` — ``python -m repro.bench <figure> [--full]``.
+* :mod:`repro.bench.executor` — declarative :class:`RunSpec` sweeps fanned
+  out over a process pool (every driver takes ``jobs=N``);
+* :mod:`repro.bench.cli` — ``python -m repro.bench <figure> [--full]
+  [--jobs N]`` (installed as ``repro-bench``).
 
 Every driver returns plain dicts (JSON-friendly) and can render an ASCII
 table via :mod:`repro.bench.report`.
 """
 
+from repro.bench.executor import RunOutcome, RunSpec, default_jobs, execute
 from repro.bench.runner import POLICIES, make_policy, run_once
 
-__all__ = ["POLICIES", "make_policy", "run_once"]
+__all__ = [
+    "POLICIES",
+    "RunOutcome",
+    "RunSpec",
+    "default_jobs",
+    "execute",
+    "make_policy",
+    "run_once",
+]

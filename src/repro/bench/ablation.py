@@ -7,128 +7,157 @@
   Jackal's lazy flushing and JiaJia's barrier migration;
 * **Threshold parameters**: sensitivity of AT to the feedback coefficient
   ``lambda`` and the initial threshold.
+
+Every ablation enumerates picklable :class:`~repro.bench.executor.RunSpec`
+configurations and delegates to :func:`~repro.bench.executor.execute`, so
+each sweep accepts a ``jobs`` argument and parallelizes across processes
+without changing its results.
 """
 
 from __future__ import annotations
 
-from repro.apps import SingleWriterBenchmark, Sor
+from repro.bench.executor import RunSpec, execute
 from repro.bench.report import format_table
-from repro.bench.runner import MECHANISMS, run_once
-from repro.core.policies import AdaptiveThreshold
+from repro.bench.runner import MECHANISMS
+from repro.cluster.message import MsgCategory
 
 NODES = 9
 
+#: §3.2 new-home notification traffic, by message category name.
+NOTIFY_CATEGORIES = (
+    MsgCategory.HOME_BCAST,
+    MsgCategory.HOME_UPDATE,
+    MsgCategory.HOME_QUERY,
+    MsgCategory.HOME_ANSWER,
+)
+
 
 def run_notification_ablation(
-    repetition: int = 8, total_updates: int = 512, verify: bool = True
+    repetition: int = 8,
+    total_updates: int = 512,
+    verify: bool = True,
+    jobs: int | None = 1,
 ) -> dict:
     """AT under each §3.2 notification mechanism on the synthetic load."""
-    rows: dict[str, dict] = {}
-    for name in MECHANISMS:
-        result = run_once(
-            SingleWriterBenchmark(
-                total_updates=total_updates, repetition=repetition
-            ),
+    specs = [
+        RunSpec(
+            app="synthetic",
+            app_kwargs={
+                "total_updates": total_updates, "repetition": repetition,
+            },
             policy="AT",
             nodes=NODES,
             mechanism=name,
             verify=verify,
+            tag=name,
         )
-        from repro.cluster.message import MsgCategory
-
+        for name in MECHANISMS
+    ]
+    rows: dict[str, dict] = {}
+    for outcome in execute(specs, jobs=jobs):
         notify_msgs = sum(
-            result.stats.msg_count.get(cat, 0)
-            for cat in (
-                MsgCategory.HOME_BCAST,
-                MsgCategory.HOME_UPDATE,
-                MsgCategory.HOME_QUERY,
-                MsgCategory.HOME_ANSWER,
-            )
+            outcome.msg_count.get(cat.value, 0) for cat in NOTIFY_CATEGORIES
         )
-        rows[name] = {
-            "time_s": result.execution_time_s,
-            "messages": result.stats.total_messages(),
-            "bytes": result.stats.total_bytes(),
-            "redir": result.stats.events.get("redir", 0),
+        rows[outcome.tag] = {
+            "time_s": outcome.time_s,
+            "messages": outcome.messages,
+            "bytes": outcome.bytes_total,
+            "redir": outcome.events.get("redir", 0),
             "notify_msgs": notify_msgs,
-            "migrations": result.migrations,
+            "migrations": outcome.migrations,
         }
     return rows
 
 
 def run_policy_ablation(
-    repetition: int = 8, total_updates: int = 512, verify: bool = True
+    repetition: int = 8,
+    total_updates: int = 512,
+    verify: bool = True,
+    jobs: int | None = 1,
 ) -> dict:
     """All implemented policies (paper + related work) on the synthetic
     workload, plus SOR for the barrier-driven JiaJia protocol."""
-    rows: dict[str, dict] = {}
-    for policy in ("NM", "FT1", "FT2", "AT", "JUMP", "LF"):
-        result = run_once(
-            SingleWriterBenchmark(
-                total_updates=total_updates, repetition=repetition
-            ),
+    specs = [
+        RunSpec(
+            app="synthetic",
+            app_kwargs={
+                "total_updates": total_updates, "repetition": repetition,
+            },
             policy=policy,
             nodes=NODES,
             verify=verify,
+            tag=policy,
         )
-        rows[policy] = {
-            "time_s": result.execution_time_s,
-            "messages": result.stats.total_messages(),
-            "migrations": result.migrations,
-            "redir": result.stats.events.get("redir", 0),
-        }
-    return rows
+        for policy in ("NM", "FT1", "FT2", "AT", "JUMP", "LF")
+    ]
+    return _policy_rows(execute(specs, jobs=jobs))
 
 
 def run_barrier_policy_ablation(
-    size: int = 64, iterations: int = 6, verify: bool = True
+    size: int = 64,
+    iterations: int = 6,
+    verify: bool = True,
+    jobs: int | None = 1,
 ) -> dict:
     """Barrier-driven comparison on SOR: NM / AT / JiaJia / JUMP / LF."""
-    rows: dict[str, dict] = {}
-    for policy in ("NM", "AT", "JIAJIA", "JUMP", "LF"):
-        result = run_once(
-            Sor(size=size, iterations=iterations),
+    specs = [
+        RunSpec(
+            app="sor",
+            app_kwargs={"size": size, "iterations": iterations},
             policy=policy,
             nodes=8,
             verify=verify,
+            tag=policy,
         )
-        rows[policy] = {
-            "time_s": result.execution_time_s,
-            "messages": result.stats.total_messages(),
-            "migrations": result.migrations,
-            "redir": result.stats.events.get("redir", 0),
+        for policy in ("NM", "AT", "JIAJIA", "JUMP", "LF")
+    ]
+    return _policy_rows(execute(specs, jobs=jobs))
+
+
+def _policy_rows(outcomes) -> dict:
+    rows: dict[str, dict] = {}
+    for outcome in outcomes:
+        rows[outcome.tag] = {
+            "time_s": outcome.time_s,
+            "messages": outcome.messages,
+            "migrations": outcome.migrations,
+            "redir": outcome.events.get("redir", 0),
         }
     return rows
 
 
 def run_homeless_ablation(
-    repetition: int = 4, total_updates: int = 512, verify: bool = True
+    repetition: int = 4,
+    total_updates: int = 512,
+    verify: bool = True,
+    jobs: int | None = 1,
 ) -> dict:
     """Home-based (NM / AT) vs homeless (TreadMarks-style) LRC — the §1
     motivation.  Homeless-specific columns: on-demand fetch round trips
     and cumulative diff bytes retained at writers (never GC'd)."""
-    from repro.cluster.hockney import FAST_ETHERNET
-    from repro.gos.jvm import DistributedJVM
-
+    app_kwargs = {"total_updates": total_updates, "repetition": repetition}
+    specs = [
+        RunSpec(
+            app="synthetic", app_kwargs=app_kwargs, policy="NM",
+            nodes=NODES, verify=verify, tag="home-based NM",
+        ),
+        RunSpec(
+            app="synthetic", app_kwargs=app_kwargs, policy="AT",
+            nodes=NODES, verify=verify, tag="home-based AT",
+        ),
+        RunSpec(
+            app="synthetic", app_kwargs=app_kwargs, protocol="homeless",
+            nodes=NODES, verify=verify, tag="homeless",
+        ),
+    ]
     rows: dict[str, dict] = {}
-    for label, kwargs in (
-        ("home-based NM", {"policy": make_dsm_policy("NM")}),
-        ("home-based AT", {"policy": make_dsm_policy("AT")}),
-        ("homeless", {"protocol": "homeless"}),
-    ):
-        app = SingleWriterBenchmark(
-            total_updates=total_updates, repetition=repetition
-        )
-        jvm = DistributedJVM(nodes=NODES, comm_model=FAST_ETHERNET, **kwargs)
-        result = jvm.run(app)
-        if verify:
-            app.verify(result.output)
-        rows[label] = {
-            "time_s": result.execution_time_s,
-            "messages": result.stats.total_messages(),
-            "bytes": result.stats.total_bytes(),
-            "fetch_rtts": result.stats.events.get("homeless_fetch", 0),
-            "stored_diff_bytes": result.stats.events.get(
+    for outcome in execute(specs, jobs=jobs):
+        rows[outcome.tag] = {
+            "time_s": outcome.time_s,
+            "messages": outcome.messages,
+            "bytes": outcome.bytes_total,
+            "fetch_rtts": outcome.events.get("homeless_fetch", 0),
+            "stored_diff_bytes": outcome.events.get(
                 "homeless_diff_bytes", 0
             ),
         }
@@ -147,6 +176,7 @@ def run_lock_discipline_ablation(
     total_updates: int = 512,
     seed: int = 3,
     verify: bool = True,
+    jobs: int | None = 1,
 ) -> dict:
     """FIFO vs retry lock grants on the synthetic benchmark.
 
@@ -155,36 +185,37 @@ def run_lock_discipline_ablation(
     r ... randomly".  This measures how that randomness changes the
     Figure-5 picture for FT2 and AT at a transient repetition.
     """
-    from repro.cluster.hockney import FAST_ETHERNET
-    from repro.gos.jvm import DistributedJVM
-
+    specs = [
+        RunSpec(
+            app="synthetic",
+            app_kwargs={
+                "total_updates": total_updates, "repetition": repetition,
+            },
+            policy=policy_name,
+            nodes=NODES,
+            lock_discipline=discipline,
+            seed=seed,
+            verify=verify,
+            tag=f"{policy_name}/{discipline}",
+        )
+        for policy_name in ("FT2", "AT")
+        for discipline in ("fifo", "retry")
+    ]
     rows: dict[str, dict] = {}
-    for policy_name in ("FT2", "AT"):
-        for discipline in ("fifo", "retry"):
-            app = SingleWriterBenchmark(
-                total_updates=total_updates,
-                repetition=repetition,
-            )
-            jvm = DistributedJVM(
-                nodes=NODES,
-                comm_model=FAST_ETHERNET,
-                policy=make_dsm_policy(policy_name),
-                lock_discipline=discipline,
-                seed=seed,
-            )
-            result = jvm.run(app)
-            if verify:
-                app.verify(result.output)
-            rows[f"{policy_name}/{discipline}"] = {
-                "time_s": result.execution_time_s,
-                "migrations": result.migrations,
-                "redir": result.stats.events.get("redir", 0),
-            }
+    for outcome in execute(specs, jobs=jobs):
+        rows[outcome.tag] = {
+            "time_s": outcome.time_s,
+            "migrations": outcome.migrations,
+            "redir": outcome.events.get("redir", 0),
+        }
     return rows
 
 
 def run_network_ablation(
-    size: int = 64, iterations: int = 8, verify: bool = True
+    size: int = 64,
+    iterations: int = 8,
+    verify: bool = True,
+    jobs: int | None = 1,
 ) -> dict:
     """AT's benefit across interconnects (Fast Ethernet / GigE / Myrinet).
 
@@ -194,34 +225,44 @@ def run_network_ablation(
     along with all communication, while remaining a win everywhere.
     """
     from repro.cluster.hockney import FAST_ETHERNET, GIGABIT, MYRINET
-    from repro.gos.jvm import DistributedJVM
 
+    models = (FAST_ETHERNET, GIGABIT, MYRINET)
+    specs = [
+        RunSpec(
+            app="sor",
+            app_kwargs={"size": size, "iterations": iterations},
+            policy=policy_name,
+            nodes=8,
+            comm_model=model.name,
+            verify=verify,
+            tag=(model.name, policy_name),
+        )
+        for model in models
+        for policy_name in ("NM", "AT")
+    ]
+    per_model: dict[str, dict] = {}
+    for outcome in execute(specs, jobs=jobs):
+        model_name, policy_name = outcome.tag
+        per_model.setdefault(model_name, {})[policy_name] = outcome
     rows: dict[str, dict] = {}
-    for model in (FAST_ETHERNET, GIGABIT, MYRINET):
-        per_policy = {}
-        for policy_name in ("NM", "AT"):
-            app = Sor(size=size, iterations=iterations)
-            jvm = DistributedJVM(
-                nodes=8, comm_model=model, policy=make_dsm_policy(policy_name)
-            )
-            result = jvm.run(app)
-            if verify:
-                app.verify(result.output)
-            per_policy[policy_name] = result
-        at = per_policy["AT"]
-        nm = per_policy["NM"]
+    for model in models:
+        nm = per_model[model.name]["NM"]
+        at = per_model[model.name]["AT"]
         rows[model.name] = {
             "m_half_B": model.half_peak_bytes,
-            "nm_time_s": nm.execution_time_s,
-            "at_time_s": at.execution_time_s,
-            "at_speedup": nm.execution_time_us / at.execution_time_us,
+            "nm_time_s": nm.time_s,
+            "at_time_s": at.time_s,
+            "at_speedup": nm.time_us / at.time_us,
             "migrations": at.migrations,
         }
     return rows
 
 
 def run_decay_ablation(
-    phase_updates: int = 512, seedless: bool = True, verify: bool = True
+    phase_updates: int = 512,
+    seedless: bool = True,
+    verify: bool = True,
+    jobs: int | None = 1,
 ) -> dict:
     """Future-work heuristic (§6): feedback decay, on a phase change.
 
@@ -231,30 +272,34 @@ def run_decay_ablation(
     positive feedback E grows within a single lasting turn — so decaying
     the memory only erodes transient-phase robustness.
     """
-    from repro.cluster.hockney import FAST_ETHERNET
-    from repro.core.policies import AdaptiveThresholdDecay
-    from repro.gos.jvm import DistributedJVM
-
     schedule = [(phase_updates, 2), (phase_updates, 16)]
-    rows: dict[str, dict] = {}
-    policies = [
-        ("FT1", make_dsm_policy("FT1")),
-        ("AT", make_dsm_policy("AT")),
-        ("ATD g=0.9", AdaptiveThresholdDecay(gamma=0.9)),
-        ("ATD g=0.5", AdaptiveThresholdDecay(gamma=0.5)),
+    app_kwargs = {"schedule": schedule}
+    specs = [
+        RunSpec(
+            app="synthetic", app_kwargs=app_kwargs, policy="FT1",
+            nodes=NODES, verify=verify, tag="FT1",
+        ),
+        RunSpec(
+            app="synthetic", app_kwargs=app_kwargs, policy="AT",
+            nodes=NODES, verify=verify, tag="AT",
+        ),
+        RunSpec(
+            app="synthetic", app_kwargs=app_kwargs, policy="ATD",
+            policy_kwargs={"gamma": 0.9},
+            nodes=NODES, verify=verify, tag="ATD g=0.9",
+        ),
+        RunSpec(
+            app="synthetic", app_kwargs=app_kwargs, policy="ATD",
+            policy_kwargs={"gamma": 0.5},
+            nodes=NODES, verify=verify, tag="ATD g=0.5",
+        ),
     ]
-    for label, policy in policies:
-        app = SingleWriterBenchmark(schedule=schedule)
-        jvm = DistributedJVM(
-            nodes=NODES, comm_model=FAST_ETHERNET, policy=policy
-        )
-        result = jvm.run(app)
-        if verify:
-            app.verify(result.output)
-        rows[label] = {
-            "time_s": result.execution_time_s,
-            "migrations": result.migrations,
-            "redir": result.stats.events.get("redir", 0),
+    rows: dict[str, dict] = {}
+    for outcome in execute(specs, jobs=jobs):
+        rows[outcome.tag] = {
+            "time_s": outcome.time_s,
+            "migrations": outcome.migrations,
+            "redir": outcome.events.get("redir", 0),
         }
     return rows
 
@@ -264,23 +309,30 @@ def run_lambda_ablation(
     total_updates: int = 512,
     lambdas: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
     verify: bool = True,
+    jobs: int | None = 1,
 ) -> dict:
     """Sensitivity of AT to the feedback coefficient ``lambda`` (§4.2
     fixes it at 1; this measures how much that choice matters)."""
-    rows: dict[float, dict] = {}
-    for lam in lambdas:
-        result = run_once(
-            SingleWriterBenchmark(
-                total_updates=total_updates, repetition=repetition
-            ),
-            policy=AdaptiveThreshold(lam=lam),
+    specs = [
+        RunSpec(
+            app="synthetic",
+            app_kwargs={
+                "total_updates": total_updates, "repetition": repetition,
+            },
+            policy="AT",
+            policy_kwargs={"lam": lam},
             nodes=NODES,
             verify=verify,
+            tag=lam,
         )
-        rows[lam] = {
-            "time_s": result.execution_time_s,
-            "migrations": result.migrations,
-            "redir": result.stats.events.get("redir", 0),
+        for lam in lambdas
+    ]
+    rows: dict[float, dict] = {}
+    for outcome in execute(specs, jobs=jobs):
+        rows[outcome.tag] = {
+            "time_s": outcome.time_s,
+            "migrations": outcome.migrations,
+            "redir": outcome.events.get("redir", 0),
         }
     return rows
 

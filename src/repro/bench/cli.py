@@ -1,9 +1,12 @@
-"""Command-line entry point: ``python -m repro.bench <target> [--full]``.
+"""Command-line entry point: ``python -m repro.bench <target> [--full]``
+(also installed as the ``repro-bench`` console script).
 
 Targets: ``figure2``, ``figure3``, ``figure5``, ``ablation``, ``all``.
 ``--full`` uses the paper's problem sizes (slow); the default quick sizes
-preserve every qualitative shape.  ``--json PATH`` additionally dumps the
-raw result dictionaries to a JSON file.
+preserve every qualitative shape.  ``--jobs N`` fans each sweep's
+independent runs out over N worker processes (default: all usable cores;
+results are bit-identical for any value).  ``--json PATH`` additionally
+dumps the raw result dictionaries to a JSON file.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from repro.bench.ablation import (
     run_notification_ablation,
     run_policy_ablation,
 )
+from repro.bench.executor import default_jobs
 from repro.bench.figure2 import render_figure2, run_figure2
 from repro.bench.figure3 import render_figure3, run_figure3
 from repro.bench.figure5 import render_figure5, run_figure5
@@ -30,16 +34,16 @@ from repro.bench.figure5 import render_figure5, run_figure5
 TARGETS = ("figure2", "figure3", "figure5", "ablation", "all")
 
 
-def _run_ablations() -> dict:
+def _run_ablations(jobs: int | None = 1) -> dict:
     return {
-        "notification": run_notification_ablation(),
-        "policies": run_policy_ablation(),
-        "barrier_policies": run_barrier_policy_ablation(),
-        "homeless": run_homeless_ablation(),
-        "lambda": run_lambda_ablation(),
-        "lock_discipline": run_lock_discipline_ablation(),
-        "network": run_network_ablation(),
-        "decay": run_decay_ablation(),
+        "notification": run_notification_ablation(jobs=jobs),
+        "policies": run_policy_ablation(jobs=jobs),
+        "barrier_policies": run_barrier_policy_ablation(jobs=jobs),
+        "homeless": run_homeless_ablation(jobs=jobs),
+        "lambda": run_lambda_ablation(jobs=jobs),
+        "lock_discipline": run_lock_discipline_ablation(jobs=jobs),
+        "network": run_network_ablation(jobs=jobs),
+        "decay": run_decay_ablation(jobs=jobs),
     }
 
 
@@ -75,23 +79,34 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="also dump the raw result dictionaries as JSON",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="worker processes per sweep (default: all usable cores; "
+        "results are identical for any value)",
+    )
     args = parser.parse_args(argv)
     mode = "full" if args.full else "quick"
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    if jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {jobs}")
 
     collected: dict = {}
     targets = TARGETS[:-1] if args.target == "all" else (args.target,)
     for target in targets:
         if target == "figure2":
-            collected["figure2"] = run_figure2(mode=mode)
+            collected["figure2"] = run_figure2(mode=mode, jobs=jobs)
             print(render_figure2(collected["figure2"]))
         elif target == "figure3":
-            collected["figure3"] = run_figure3(mode=mode)
+            collected["figure3"] = run_figure3(mode=mode, jobs=jobs)
             print(render_figure3(collected["figure3"]))
         elif target == "figure5":
-            collected["figure5"] = run_figure5(mode=mode)
+            collected["figure5"] = run_figure5(mode=mode, jobs=jobs)
             print(render_figure5(collected["figure5"]))
         elif target == "ablation":
-            collected["ablation"] = _run_ablations()
+            collected["ablation"] = _run_ablations(jobs=jobs)
             print(_render_ablations(collected["ablation"]))
         print()
     if args.json:

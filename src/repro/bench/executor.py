@@ -1,0 +1,280 @@
+"""Parallel sweep execution: declarative run specs fanned out over processes.
+
+Every figure and ablation sweep is a list of *independent, deterministic*
+single-run configurations.  This module gives them one shared execution
+layer:
+
+* :class:`RunSpec` — a picklable, declarative description of one run
+  (application registry name + constructor kwargs, policy, node count,
+  notification mechanism, communication model, lock discipline, seed);
+* :class:`RunOutcome` — the plain-data measurements one run produced
+  (simulated time, message/byte counters, protocol events, per-run
+  wall-clock), safe to ship across process boundaries;
+* :func:`execute` — run a list of specs either in-process (``jobs=1``)
+  or fanned out over a :class:`concurrent.futures.ProcessPoolExecutor`
+  (``jobs>1``), always returning outcomes in spec order.
+
+Determinism: each run builds a fresh simulated cluster from its spec, so
+an outcome is a pure function of its spec — results are keyed by spec
+index regardless of completion order, and ``execute(specs, jobs=1)`` is
+bit-identical to ``execute(specs, jobs=N)`` (only the wall-clock fields
+differ).  Specs whose application is given as an in-line callable (e.g.
+a test lambda) may not survive pickling; :func:`execute` detects that and
+falls back to sequential in-process execution, as it does when a worker
+pool cannot be started at all.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.apps import (
+    Asp,
+    Lu,
+    NBody,
+    SingleWriterBenchmark,
+    Sor,
+    TokenRing,
+    Tsp,
+)
+from repro.cluster.hockney import HockneyModel
+from repro.core.policies import (
+    AdaptiveThreshold,
+    AdaptiveThresholdDecay,
+    FixedThreshold,
+)
+
+#: Application factories by registry name (the picklable way to say
+#: "an ``Asp(size=192)``" without capturing a closure).
+APP_FACTORIES: dict[str, Callable[..., Any]] = {
+    "asp": Asp,
+    "sor": Sor,
+    "nbody": NBody,
+    "tsp": Tsp,
+    "lu": Lu,
+    "tokenring": TokenRing,
+    "synthetic": SingleWriterBenchmark,
+}
+
+#: Parameterizable policy classes, for specs that carry ``policy_kwargs``
+#: (e.g. ``AT`` with a non-default ``lam``, or the §6 decay heuristic).
+POLICY_CLASSES: dict[str, Callable[..., Any]] = {
+    "AT": AdaptiveThreshold,
+    "ATD": AdaptiveThresholdDecay,
+    "FT": FixedThreshold,
+}
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Declarative description of one simulated run.
+
+    ``app`` is either a key of :data:`APP_FACTORIES` (the picklable form,
+    required for multi-process execution) or a zero-argument callable
+    returning a :class:`~repro.apps.base.DsmApplication` (convenient in
+    tests; forces the sequential fallback when it cannot be pickled).
+    ``comm_model`` is either a registry name understood by
+    :func:`repro.bench.runner.make_comm_model` or a
+    :class:`~repro.cluster.hockney.HockneyModel` instance.  ``tag`` is an
+    arbitrary picklable label the sweep uses to map outcomes back to its
+    own result structure.
+    """
+
+    app: str | Callable[..., Any]
+    app_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    policy: str = "AT"
+    policy_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    nodes: int = 8
+    mechanism: str = "forwarding-pointer"
+    comm_model: str | HockneyModel = "fast-ethernet"
+    protocol: str = "home-based"
+    lock_discipline: str = "fifo"
+    seed: int = 0
+    nthreads: int | None = None
+    verify: bool = True
+    tag: Any = None
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Plain-data measurements of one completed run.
+
+    Everything here is JSON-friendly and picklable: the figure drivers
+    assemble their result dictionaries from these fields instead of
+    holding on to live :class:`~repro.gos.jvm.RunResult` objects (which
+    carry the whole simulated cluster and cannot cross processes).
+    ``wall_clock_s`` is the only nondeterministic field; everything else
+    is a pure function of the spec.
+    """
+
+    tag: Any
+    app: str
+    policy: str
+    mechanism: str
+    nodes: int
+    threads: int
+    time_us: float
+    wall_clock_s: float
+    events_processed: int
+    messages: int
+    data_messages: int
+    bytes_total: int
+    data_bytes: int
+    migrations: int
+    breakdown: dict[str, int]
+    events: dict[str, int]
+    msg_count: dict[str, int]
+    msg_bytes: dict[str, int]
+
+    @property
+    def time_s(self) -> float:
+        """Simulated execution time in seconds."""
+        return self.time_us / 1e6
+
+    def deterministic(self) -> dict:
+        """All fields except the wall-clock — the bit-stable view two
+        executions of the same spec must agree on exactly."""
+        payload = self.__dict__.copy()
+        payload.pop("wall_clock_s")
+        return payload
+
+
+def _make_app(spec: RunSpec) -> Any:
+    """Instantiate the spec's application (registry name or callable)."""
+    kwargs = dict(spec.app_kwargs)
+    if callable(spec.app):
+        return spec.app(**kwargs)
+    try:
+        factory = APP_FACTORIES[spec.app]
+    except KeyError:
+        raise ValueError(
+            f"unknown application {spec.app!r}; "
+            f"choose from {sorted(APP_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def _make_policy(spec: RunSpec) -> Any:
+    """Instantiate the spec's migration policy, honouring kwargs."""
+    from repro.bench.runner import POLICIES, make_policy
+
+    if spec.policy_kwargs:
+        try:
+            cls = POLICY_CLASSES[spec.policy]
+        except KeyError:
+            raise ValueError(
+                f"policy {spec.policy!r} does not accept kwargs; "
+                f"parameterizable policies: {sorted(POLICY_CLASSES)}"
+            ) from None
+        return cls(**dict(spec.policy_kwargs))
+    if spec.policy in POLICIES:
+        return make_policy(spec.policy)
+    if spec.policy in POLICY_CLASSES:
+        return POLICY_CLASSES[spec.policy]()
+    raise ValueError(
+        f"unknown policy {spec.policy!r}; choose from "
+        f"{sorted(set(POLICIES) | set(POLICY_CLASSES))}"
+    )
+
+
+def run_spec(spec: RunSpec) -> RunOutcome:
+    """Realize and run one :class:`RunSpec` in the current process.
+
+    This is the worker function :func:`execute` fans out; it is also the
+    entire sequential path, so both modes share one code path per run.
+    """
+    from repro.bench.runner import make_comm_model, make_mechanism
+    from repro.gos.jvm import DistributedJVM
+
+    start = time.perf_counter()
+    app = _make_app(spec)
+    comm_model = (
+        make_comm_model(spec.comm_model)
+        if isinstance(spec.comm_model, str)
+        else spec.comm_model
+    )
+    jvm = DistributedJVM(
+        nodes=spec.nodes,
+        comm_model=comm_model,
+        policy=None if spec.protocol == "homeless" else _make_policy(spec),
+        mechanism=make_mechanism(spec.mechanism),
+        protocol=spec.protocol,
+        lock_discipline=spec.lock_discipline,
+        seed=spec.seed,
+    )
+    result = jvm.run(app, nthreads=spec.nthreads)
+    if spec.verify:
+        app.verify(result.output)
+    stats = result.stats
+    return RunOutcome(
+        tag=spec.tag,
+        app=result.app_name,
+        policy=result.policy_name,
+        mechanism=result.mechanism_name,
+        nodes=result.nnodes,
+        threads=result.nthreads,
+        time_us=result.execution_time_us,
+        wall_clock_s=time.perf_counter() - start,
+        events_processed=result.gos.sim.events_processed,
+        messages=stats.total_messages(),
+        data_messages=stats.data_messages(),
+        bytes_total=stats.total_bytes(),
+        data_bytes=stats.data_bytes(),
+        migrations=result.migrations,
+        breakdown=stats.breakdown(),
+        events=dict(stats.events),
+        msg_count={cat.value: n for cat, n in stats.msg_count.items()},
+        msg_bytes={cat.value: n for cat, n in stats.msg_bytes.items()},
+    )
+
+
+def default_jobs() -> int:
+    """CPU-count-aware default worker count (respects CPU affinity)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _execute_sequential(specs: list[RunSpec]) -> list[RunOutcome]:
+    """In-process execution, in order — the ``jobs=1`` / fallback path."""
+    return [run_spec(spec) for spec in specs]
+
+
+def execute(
+    specs: Iterable[RunSpec], jobs: int | None = None
+) -> list[RunOutcome]:
+    """Run every spec; return outcomes in spec order.
+
+    ``jobs=None`` means :func:`default_jobs` (all usable cores);
+    ``jobs=1`` runs sequentially in-process.  For ``jobs>1`` the specs
+    are fanned out over a process pool; completion order does not matter
+    because results are collected by spec index.  If the specs cannot be
+    pickled (in-line application callables) or the pool cannot be
+    started (restricted environments), execution silently falls back to
+    the sequential path — the results are identical either way.
+    """
+    spec_list = list(specs)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    jobs = min(jobs, len(spec_list))
+    if jobs <= 1:
+        return _execute_sequential(spec_list)
+    try:
+        pickle.dumps(spec_list)
+    except Exception:
+        return _execute_sequential(spec_list)
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(run_spec, spec) for spec in spec_list]
+            return [future.result() for future in futures]
+    except (OSError, BrokenProcessPool):
+        return _execute_sequential(spec_list)

@@ -15,24 +15,24 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.apps import Asp, NBody, Sor, Tsp
 from repro.apps.base import DsmApplication
+from repro.bench.executor import RunSpec, execute
 from repro.bench.report import format_table
-from repro.bench.runner import run_once
 
-#: Paper problem sizes (``full``) and scaled-down defaults (``quick``).
+#: Paper problem sizes (``full``) and scaled-down defaults (``quick``),
+#: as picklable ``(app registry name, constructor kwargs)`` pairs.
 SIZES = {
     "quick": {
-        "ASP": lambda: Asp(size=192),
-        "SOR": lambda: Sor(size=192, iterations=10),
-        "NBody": lambda: NBody(bodies=192, steps=3),
-        "TSP": lambda: Tsp(cities=11),
+        "ASP": ("asp", {"size": 192}),
+        "SOR": ("sor", {"size": 192, "iterations": 10}),
+        "NBody": ("nbody", {"bodies": 192, "steps": 3}),
+        "TSP": ("tsp", {"cities": 11}),
     },
     "full": {
-        "ASP": lambda: Asp(size=1024),
-        "SOR": lambda: Sor(size=2048, iterations=10),
-        "NBody": lambda: NBody(bodies=2048, steps=4),
-        "TSP": lambda: Tsp(cities=12),
+        "ASP": ("asp", {"size": 1024}),
+        "SOR": ("sor", {"size": 2048, "iterations": 10}),
+        "NBody": ("nbody", {"bodies": 2048, "steps": 4}),
+        "TSP": ("tsp", {"cities": 12}),
     },
 }
 
@@ -45,24 +45,41 @@ def run_figure2(
     processor_counts: tuple[int, ...] = PROCESSOR_COUNTS,
     apps: dict[str, Callable[[], DsmApplication]] | None = None,
     verify: bool = True,
+    jobs: int | None = 1,
 ) -> dict:
     """Run the Figure-2 sweep; returns ``{app: {variant: {P: seconds}}}``
-    plus message counts under ``"messages"``."""
-    factories = apps if apps is not None else SIZES[mode]
-    times: dict[str, dict[str, dict[int, float]]] = {}
-    messages: dict[str, dict[str, dict[int, int]]] = {}
-    for app_name, factory in factories.items():
-        times[app_name] = {v: {} for v in VARIANTS}
-        messages[app_name] = {v: {} for v in VARIANTS}
-        for variant, policy in VARIANTS.items():
-            for nodes in processor_counts:
-                result = run_once(
-                    factory(), policy=policy, nodes=nodes, verify=verify
-                )
-                times[app_name][variant][nodes] = result.execution_time_s
-                messages[app_name][variant][nodes] = (
-                    result.stats.total_messages()
-                )
+    plus message counts under ``"messages"``.
+
+    ``jobs`` fans the independent runs out over worker processes
+    (``None`` = all cores); results are identical for any value.
+    """
+    if apps is not None:
+        entries = {name: (factory, {}) for name, factory in apps.items()}
+    else:
+        entries = SIZES[mode]
+    specs = [
+        RunSpec(
+            app=app,
+            app_kwargs=kwargs,
+            policy=policy,
+            nodes=nodes,
+            verify=verify,
+            tag=(app_name, variant, nodes),
+        )
+        for app_name, (app, kwargs) in entries.items()
+        for variant, policy in VARIANTS.items()
+        for nodes in processor_counts
+    ]
+    times: dict[str, dict[str, dict[int, float]]] = {
+        name: {v: {} for v in VARIANTS} for name in entries
+    }
+    messages: dict[str, dict[str, dict[int, int]]] = {
+        name: {v: {} for v in VARIANTS} for name in entries
+    }
+    for outcome in execute(specs, jobs=jobs):
+        app_name, variant, nodes = outcome.tag
+        times[app_name][variant][nodes] = outcome.time_s
+        messages[app_name][variant][nodes] = outcome.messages
     return {"times": times, "messages": messages, "mode": mode}
 
 

@@ -12,9 +12,8 @@ with the problem size; ASP's stays roughly constant (amortized over its
 from __future__ import annotations
 
 from repro.analysis.metrics import improvement_percent
-from repro.apps import Asp, Sor
+from repro.bench.executor import RunSpec, execute
 from repro.bench.report import format_table
-from repro.bench.runner import run_once
 
 PROBLEM_SIZES = {
     "quick": (32, 64, 128, 256),
@@ -29,11 +28,11 @@ IMPROVED_POLICY = "AT"
 SOR_ITERATIONS = 10
 
 
-def _make_app(app_name: str, size: int):
+def _app_spec(app_name: str, size: int) -> tuple[str, dict]:
     if app_name == "ASP":
-        return Asp(size=size)
+        return "asp", {"size": size}
     if app_name == "SOR":
-        return Sor(size=size, iterations=SOR_ITERATIONS)
+        return "sor", {"size": size, "iterations": SOR_ITERATIONS}
     raise ValueError(f"Figure 3 covers ASP and SOR, not {app_name!r}")
 
 
@@ -41,41 +40,50 @@ def run_figure3(
     mode: str = "quick",
     sizes: tuple[int, ...] | None = None,
     verify: bool = True,
+    jobs: int | None = 1,
 ) -> dict:
     """Run the Figure-3 sweep.
 
     Returns ``{app: {size: {"time": %, "messages": %, "traffic": %}}}`` —
     improvement percentages of AT over FT2 — plus the raw numbers under
-    ``"raw"``.
+    ``"raw"``.  ``jobs`` fans the runs out over worker processes.
     """
     sweep = sizes if sizes is not None else PROBLEM_SIZES[mode]
+    specs = []
+    for app_name in ("ASP", "SOR"):
+        for size in sweep:
+            app, kwargs = _app_spec(app_name, size)
+            for policy in (BASELINE_POLICY, IMPROVED_POLICY):
+                specs.append(
+                    RunSpec(
+                        app=app,
+                        app_kwargs=kwargs,
+                        policy=policy,
+                        nodes=NODES,
+                        verify=verify,
+                        tag=(app_name, size, policy),
+                    )
+                )
     improvements: dict[str, dict[int, dict[str, float]]] = {}
     raw: dict[str, dict[int, dict[str, dict[str, float]]]] = {}
-    for app_name in ("ASP", "SOR"):
-        improvements[app_name] = {}
-        raw[app_name] = {}
-        for size in sweep:
-            per_policy = {}
-            for policy in (BASELINE_POLICY, IMPROVED_POLICY):
-                result = run_once(
-                    _make_app(app_name, size),
-                    policy=policy,
-                    nodes=NODES,
-                    verify=verify,
-                )
-                per_policy[policy] = {
-                    "time": result.execution_time_us,
-                    "messages": float(result.stats.total_messages()),
-                    "traffic": float(result.stats.total_bytes()),
-                }
-            raw[app_name][size] = per_policy
-            improvements[app_name][size] = {
+    for outcome in execute(specs, jobs=jobs):
+        app_name, size, policy = outcome.tag
+        raw.setdefault(app_name, {}).setdefault(size, {})[policy] = {
+            "time": outcome.time_us,
+            "messages": float(outcome.messages),
+            "traffic": float(outcome.bytes_total),
+        }
+    for app_name, per_size in raw.items():
+        improvements[app_name] = {
+            size: {
                 metric: improvement_percent(
                     per_policy[BASELINE_POLICY][metric],
                     per_policy[IMPROVED_POLICY][metric],
                 )
                 for metric in ("time", "messages", "traffic")
             }
+            for size, per_policy in per_size.items()
+        }
     return {"improvements": improvements, "raw": raw, "mode": mode}
 
 

@@ -15,9 +15,8 @@ repetition ``r`` of the single-writer pattern sweeps {2, 4, 8, 16}.
 from __future__ import annotations
 
 from repro.analysis.metrics import normalize_map
-from repro.apps import SingleWriterBenchmark
+from repro.bench.executor import RunSpec, execute
 from repro.bench.report import format_bar_groups, format_table
-from repro.bench.runner import run_once
 
 REPETITIONS = (2, 4, 8, 16)
 PROTOCOLS = ("NM", "FT1", "FT2", "AT")
@@ -32,6 +31,7 @@ def run_figure5(
     repetitions: tuple[int, ...] = REPETITIONS,
     total_updates: int | None = None,
     verify: bool = True,
+    jobs: int | None = 1,
 ) -> dict:
     """Run the Figure-5 sweep.
 
@@ -43,26 +43,32 @@ def run_figure5(
           "breakdowns": {r: {protocol: {obj, mig, diff, redir}}},
           "normalized_messages": {r: {protocol: 0..1}},
         }
+
+    ``jobs`` fans the runs out over worker processes.
     """
     updates = (
         total_updates if total_updates is not None else TOTAL_UPDATES[mode]
     )
-    times: dict[int, dict[str, float]] = {}
-    breakdowns: dict[int, dict[str, dict[str, int]]] = {}
-    for repetition in repetitions:
-        times[repetition] = {}
-        breakdowns[repetition] = {}
-        for protocol in PROTOCOLS:
-            result = run_once(
-                SingleWriterBenchmark(
-                    total_updates=updates, repetition=repetition
-                ),
-                policy=protocol,
-                nodes=NODES,
-                verify=verify,
-            )
-            times[repetition][protocol] = result.execution_time_s
-            breakdowns[repetition][protocol] = result.stats.breakdown()
+    specs = [
+        RunSpec(
+            app="synthetic",
+            app_kwargs={"total_updates": updates, "repetition": repetition},
+            policy=protocol,
+            nodes=NODES,
+            verify=verify,
+            tag=(repetition, protocol),
+        )
+        for repetition in repetitions
+        for protocol in PROTOCOLS
+    ]
+    times: dict[int, dict[str, float]] = {r: {} for r in repetitions}
+    breakdowns: dict[int, dict[str, dict[str, int]]] = {
+        r: {} for r in repetitions
+    }
+    for outcome in execute(specs, jobs=jobs):
+        repetition, protocol = outcome.tag
+        times[repetition][protocol] = outcome.time_s
+        breakdowns[repetition][protocol] = outcome.breakdown
     normalized_times = {r: normalize_map(ts) for r, ts in times.items()}
     message_totals = {
         r: {p: float(sum(b.values())) for p, b in per_proto.items()}

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.apps.base import DsmApplication
-from repro.cluster.hockney import FAST_ETHERNET, HockneyModel
+from repro.cluster.hockney import FAST_ETHERNET, GIGABIT, MYRINET, HockneyModel
 from repro.core.policies import (
     AdaptiveThreshold,
     BarrierMigration,
@@ -40,6 +40,23 @@ MECHANISMS: dict[str, Callable[[], NotificationMechanism]] = {
     "broadcast": BroadcastMechanism,
     "home-manager": HomeManagerMechanism,
 }
+
+
+#: Communication models by report name (used by picklable run specs,
+#: which cannot carry the module-level singletons by identity).
+COMM_MODELS: dict[str, HockneyModel] = {
+    model.name: model for model in (FAST_ETHERNET, GIGABIT, MYRINET)
+}
+
+
+def make_comm_model(name: str) -> HockneyModel:
+    """Look up a communication model from its report name."""
+    try:
+        return COMM_MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown comm model {name!r}; choose from {sorted(COMM_MODELS)}"
+        ) from None
 
 
 def make_policy(name: str) -> MigrationPolicy:

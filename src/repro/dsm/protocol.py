@@ -587,7 +587,7 @@ class DsmEngine:
         if entry is None:
             if request.oid in self.forwards:
                 self.stats.incr("redir")
-                if self.tracer is not None:
+                if self.tracer is not None and self.tracer.wants("redirect"):
                     self.tracer.record(
                         "redirect",
                         self.sim.now,
@@ -1174,7 +1174,7 @@ class DsmEngine:
         if entry is None:
             if request.oid in self.forwards:
                 self.stats.incr("redir")
-                if self.tracer is not None:
+                if self.tracer is not None and self.tracer.wants("redirect"):
                     self.tracer.record(
                         "redirect",
                         self.sim.now,
@@ -1282,7 +1282,7 @@ class DsmEngine:
         )
 
     def _trace_migration(self, oid: int, new_home: int, state) -> None:
-        if self.tracer is not None:
+        if self.tracer is not None and self.tracer.wants("migration"):
             self.tracer.record(
                 "migration",
                 self.sim.now,

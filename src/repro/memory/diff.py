@@ -71,8 +71,12 @@ def compute_diff(oid: int, twin: np.ndarray, current: np.ndarray) -> Diff | None
             f"twin/current layout mismatch for oid {oid}: "
             f"{twin.dtype}{twin.shape} vs {current.dtype}{current.shape}"
         )
+    # Cheap exit: most sync intervals leave most twins untouched, and an
+    # equality check is far cheaper than materialising the index set.
+    if np.array_equal(twin, current):
+        return None
     changed = np.nonzero(current != twin)[0]
-    if changed.size == 0:
+    if changed.size == 0:  # pragma: no cover - array_equal caught it
         return None
     values = current[changed].copy()
     return Diff(

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator
 
 from repro.sim.errors import DeadlockError, SimulationError
@@ -48,7 +48,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        heapq.heappush(self._heap, (time, self._seq, callback))
+        heappush(self._heap, (time, self._seq, callback))
         self._seq += 1
 
     def call_soon(self, callback: Callable[[], None]) -> None:
@@ -74,15 +74,33 @@ class Simulator:
         while spawned processes are still blocked, raise
         :class:`~repro.sim.errors.DeadlockError` naming them.
         """
-        while self._heap:
-            time, _seq, callback = self._heap[0]
-            if until is not None and time > until:
-                self._now = until
-                return self._now
-            heapq.heappop(self._heap)
-            self._now = time
-            self.events_processed += 1
-            callback()
+        # The unbounded drain is the hot loop of every simulation: keep
+        # the heap and pop local, pop exactly once per iteration, and
+        # batch the processed-event accounting (callbacks never read it
+        # mid-run; the try/finally keeps the counter exact even when a
+        # callback raises).
+        heap = self._heap
+        pop = heappop
+        processed = 0
+        try:
+            if until is None:
+                while heap:
+                    time, _seq, callback = pop(heap)
+                    self._now = time
+                    processed += 1
+                    callback()
+            else:
+                while heap:
+                    time = heap[0][0]
+                    if time > until:
+                        self._now = until
+                        return self._now
+                    _, _seq, callback = pop(heap)
+                    self._now = time
+                    processed += 1
+                    callback()
+        finally:
+            self.events_processed += processed
         blocked = [p.name for p in self._processes if not p.done]
         if blocked:
             raise DeadlockError(blocked)
