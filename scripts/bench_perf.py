@@ -1,25 +1,28 @@
 #!/usr/bin/env python
-"""Perf trajectory harness: measure the quick sweep at jobs=1 vs jobs=auto.
+"""Perf trajectory harness: quick sweep at jobs=1 vs jobs=auto vs telemetry.
 
 Runs a fixed, deterministic sweep (a Figure-2-shaped HM/NoHM grid over
-ASP and SOR) twice — sequentially and fanned out over all usable cores —
-verifies the two produce bit-identical simulated results, and writes a
-JSON report with per-run and total wall-clock, the parallel speedup, and
-single-process event throughput (engine events per wall-clock second,
-the single-run hot-path figure of merit).
+ASP and SOR) three times — sequentially, fanned out over all usable
+cores, and sequentially with full telemetry enabled (metrics + JSONL
+tracing + info logging) — verifies all three produce bit-identical
+simulated results, and writes a JSON report with per-run and total
+wall-clock, the parallel speedup, single-process event throughput
+(engine events per wall-clock second, the single-run hot-path figure of
+merit), and the telemetry-on overhead ratio.
 
 Each PR that touches the hot path re-runs this and checks in the result
 (``BENCH_PR<n>.json``), so the repo's performance trajectory is recorded
 alongside its correctness trajectory.
 
 Usage:
-    PYTHONPATH=src python scripts/bench_perf.py [--out BENCH_PR1.json]
+    PYTHONPATH=src python scripts/bench_perf.py [--out BENCH_PR2.json]
 """
 
 import argparse
 import json
 import os
 import platform
+import tempfile
 import time
 
 
@@ -46,18 +49,18 @@ def build_sweep():
     return specs
 
 
-def run_mode(specs, jobs):
+def run_mode(specs, jobs, obs=None):
     """Execute the sweep at ``jobs`` workers; return (outcomes, wall_s)."""
     from repro.bench.executor import execute
 
     start = time.perf_counter()
-    outcomes = execute(specs, jobs=jobs)
+    outcomes = execute(specs, jobs=jobs, obs=obs)
     return outcomes, time.perf_counter() - start
 
 
 def main() -> None:
     parser = argparse.ArgumentParser()
-    parser.add_argument("--out", default="BENCH_PR1.json")
+    parser.add_argument("--out", default="BENCH_PR2.json")
     args = parser.parse_args()
 
     from repro.bench.executor import default_jobs
@@ -74,13 +77,33 @@ def main() -> None:
     seq_outcomes, seq_wall = run_mode(specs, jobs=1)
     par_outcomes, par_wall = run_mode(specs, jobs=jobs_par)
 
+    # Telemetry-on leg: metrics + streamed JSONL traces + info logging,
+    # sequentially, into a scratch directory that vanishes afterwards.
+    from repro.bench.executor import ObsSpec
+
+    with tempfile.TemporaryDirectory(prefix="bench-obs-") as scratch:
+        obs = ObsSpec(
+            trace_path=os.path.join(scratch, "trace.jsonl"),
+            metrics=True,
+            log_level="error",  # level-gated sites active, stderr quiet
+        )
+        obs_outcomes, obs_wall = run_mode(specs, jobs=1, obs=obs)
+        traced_events = sum(
+            o.telemetry["trace"]["events"] for o in obs_outcomes
+        )
+
     if [o.deterministic() for o in seq_outcomes] != [
         o.deterministic() for o in par_outcomes
     ]:
         raise SystemExit("FATAL: jobs=1 and jobs=auto results differ")
+    if [o.deterministic() for o in seq_outcomes] != [
+        o.deterministic() for o in obs_outcomes
+    ]:
+        raise SystemExit("FATAL: telemetry changed simulated results")
 
     total_events = sum(o.events_processed for o in seq_outcomes)
     seq_run_wall = sum(o.wall_clock_s for o in seq_outcomes)
+    obs_run_wall = sum(o.wall_clock_s for o in obs_outcomes)
     report = {
         "sweep": "figure2-quick (ASP/SOR x NM/AT x 2,4,8 nodes)",
         "host": {
@@ -109,6 +132,14 @@ def main() -> None:
             "parallel_speedup": seq_wall / par_wall if par_wall else None,
             "events_per_sec_jobs1": total_events / seq_run_wall,
         },
+        "telemetry": {
+            "instruments": "metrics + JSONL trace + error-gated logging",
+            "wall_s_jobs1": obs_wall,
+            "overhead_ratio": (
+                obs_run_wall / seq_run_wall if seq_run_wall else None
+            ),
+            "traced_events": traced_events,
+        },
         "identical_results": True,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -122,6 +153,9 @@ def main() -> None:
         f"jobs={jobs_par}: {par_wall:.2f}s wall "
         f"(speedup {totals['parallel_speedup']:.2f}x on "
         f"{jobs_auto} usable core(s))\n"
+        f"telemetry on: {obs_wall:.2f}s wall "
+        f"({report['telemetry']['overhead_ratio']:.2f}x per-run overhead, "
+        f"{traced_events} traced events)\n"
         f"report written to {args.out}"
     )
 

@@ -10,23 +10,36 @@
 * :mod:`repro.bench.ablation` — extensions beyond the paper: notification
   mechanisms, related-work policies, threshold-parameter sensitivity;
 * :mod:`repro.bench.executor` — declarative :class:`RunSpec` sweeps fanned
-  out over a process pool (every driver takes ``jobs=N``);
+  out over a process pool (every driver takes ``jobs=N`` and optional
+  ``obs=``/``progress=`` telemetry hooks);
+* :mod:`repro.bench.obs_report` — offline reports over saved JSONL traces
+  (the CLI's ``report`` target);
 * :mod:`repro.bench.cli` — ``python -m repro.bench <figure> [--full]
-  [--jobs N]`` (installed as ``repro-bench``).
+  [--jobs N] [--trace-out PATH] [--metrics-out PATH] [--log-level L]
+  [--progress]`` (installed as ``repro-bench``).
 
 Every driver returns plain dicts (JSON-friendly) and can render an ASCII
 table via :mod:`repro.bench.report`.
 """
 
-from repro.bench.executor import RunOutcome, RunSpec, default_jobs, execute
+from repro.bench.executor import (
+    ObsSpec,
+    RunOutcome,
+    RunSpec,
+    default_jobs,
+    execute,
+)
+from repro.bench.obs_report import render_trace_report
 from repro.bench.runner import POLICIES, make_policy, run_once
 
 __all__ = [
     "POLICIES",
+    "ObsSpec",
     "RunOutcome",
     "RunSpec",
     "default_jobs",
     "execute",
     "make_policy",
+    "render_trace_report",
     "run_once",
 ]

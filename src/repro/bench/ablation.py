@@ -16,7 +16,12 @@ without changing its results.
 
 from __future__ import annotations
 
-from repro.bench.executor import RunSpec, execute
+from repro.bench.executor import (
+    ObsSpec,
+    ProgressCallback,
+    RunSpec,
+    execute,
+)
 from repro.bench.report import format_table
 from repro.bench.runner import MECHANISMS
 from repro.cluster.message import MsgCategory
@@ -37,6 +42,8 @@ def run_notification_ablation(
     total_updates: int = 512,
     verify: bool = True,
     jobs: int | None = 1,
+    obs: ObsSpec | None = None,
+    progress: ProgressCallback | None = None,
 ) -> dict:
     """AT under each §3.2 notification mechanism on the synthetic load."""
     specs = [
@@ -54,7 +61,7 @@ def run_notification_ablation(
         for name in MECHANISMS
     ]
     rows: dict[str, dict] = {}
-    for outcome in execute(specs, jobs=jobs):
+    for outcome in execute(specs, jobs=jobs, obs=obs, progress=progress):
         notify_msgs = sum(
             outcome.msg_count.get(cat.value, 0) for cat in NOTIFY_CATEGORIES
         )
@@ -74,6 +81,8 @@ def run_policy_ablation(
     total_updates: int = 512,
     verify: bool = True,
     jobs: int | None = 1,
+    obs: ObsSpec | None = None,
+    progress: ProgressCallback | None = None,
 ) -> dict:
     """All implemented policies (paper + related work) on the synthetic
     workload, plus SOR for the barrier-driven JiaJia protocol."""
@@ -90,7 +99,7 @@ def run_policy_ablation(
         )
         for policy in ("NM", "FT1", "FT2", "AT", "JUMP", "LF")
     ]
-    return _policy_rows(execute(specs, jobs=jobs))
+    return _policy_rows(execute(specs, jobs=jobs, obs=obs, progress=progress))
 
 
 def run_barrier_policy_ablation(
@@ -98,6 +107,8 @@ def run_barrier_policy_ablation(
     iterations: int = 6,
     verify: bool = True,
     jobs: int | None = 1,
+    obs: ObsSpec | None = None,
+    progress: ProgressCallback | None = None,
 ) -> dict:
     """Barrier-driven comparison on SOR: NM / AT / JiaJia / JUMP / LF."""
     specs = [
@@ -111,7 +122,7 @@ def run_barrier_policy_ablation(
         )
         for policy in ("NM", "AT", "JIAJIA", "JUMP", "LF")
     ]
-    return _policy_rows(execute(specs, jobs=jobs))
+    return _policy_rows(execute(specs, jobs=jobs, obs=obs, progress=progress))
 
 
 def _policy_rows(outcomes) -> dict:
@@ -131,6 +142,8 @@ def run_homeless_ablation(
     total_updates: int = 512,
     verify: bool = True,
     jobs: int | None = 1,
+    obs: ObsSpec | None = None,
+    progress: ProgressCallback | None = None,
 ) -> dict:
     """Home-based (NM / AT) vs homeless (TreadMarks-style) LRC — the §1
     motivation.  Homeless-specific columns: on-demand fetch round trips
@@ -151,7 +164,7 @@ def run_homeless_ablation(
         ),
     ]
     rows: dict[str, dict] = {}
-    for outcome in execute(specs, jobs=jobs):
+    for outcome in execute(specs, jobs=jobs, obs=obs, progress=progress):
         rows[outcome.tag] = {
             "time_s": outcome.time_s,
             "messages": outcome.messages,
@@ -177,6 +190,8 @@ def run_lock_discipline_ablation(
     seed: int = 3,
     verify: bool = True,
     jobs: int | None = 1,
+    obs: ObsSpec | None = None,
+    progress: ProgressCallback | None = None,
 ) -> dict:
     """FIFO vs retry lock grants on the synthetic benchmark.
 
@@ -202,7 +217,7 @@ def run_lock_discipline_ablation(
         for discipline in ("fifo", "retry")
     ]
     rows: dict[str, dict] = {}
-    for outcome in execute(specs, jobs=jobs):
+    for outcome in execute(specs, jobs=jobs, obs=obs, progress=progress):
         rows[outcome.tag] = {
             "time_s": outcome.time_s,
             "migrations": outcome.migrations,
@@ -216,6 +231,8 @@ def run_network_ablation(
     iterations: int = 8,
     verify: bool = True,
     jobs: int | None = 1,
+    obs: ObsSpec | None = None,
+    progress: ProgressCallback | None = None,
 ) -> dict:
     """AT's benefit across interconnects (Fast Ethernet / GigE / Myrinet).
 
@@ -241,7 +258,7 @@ def run_network_ablation(
         for policy_name in ("NM", "AT")
     ]
     per_model: dict[str, dict] = {}
-    for outcome in execute(specs, jobs=jobs):
+    for outcome in execute(specs, jobs=jobs, obs=obs, progress=progress):
         model_name, policy_name = outcome.tag
         per_model.setdefault(model_name, {})[policy_name] = outcome
     rows: dict[str, dict] = {}
@@ -263,6 +280,8 @@ def run_decay_ablation(
     seedless: bool = True,
     verify: bool = True,
     jobs: int | None = 1,
+    obs: ObsSpec | None = None,
+    progress: ProgressCallback | None = None,
 ) -> dict:
     """Future-work heuristic (§6): feedback decay, on a phase change.
 
@@ -295,7 +314,7 @@ def run_decay_ablation(
         ),
     ]
     rows: dict[str, dict] = {}
-    for outcome in execute(specs, jobs=jobs):
+    for outcome in execute(specs, jobs=jobs, obs=obs, progress=progress):
         rows[outcome.tag] = {
             "time_s": outcome.time_s,
             "migrations": outcome.migrations,
@@ -310,6 +329,8 @@ def run_lambda_ablation(
     lambdas: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
     verify: bool = True,
     jobs: int | None = 1,
+    obs: ObsSpec | None = None,
+    progress: ProgressCallback | None = None,
 ) -> dict:
     """Sensitivity of AT to the feedback coefficient ``lambda`` (§4.2
     fixes it at 1; this measures how much that choice matters)."""
@@ -328,7 +349,7 @@ def run_lambda_ablation(
         for lam in lambdas
     ]
     rows: dict[float, dict] = {}
-    for outcome in execute(specs, jobs=jobs):
+    for outcome in execute(specs, jobs=jobs, obs=obs, progress=progress):
         rows[outcome.tag] = {
             "time_s": outcome.time_s,
             "migrations": outcome.migrations,

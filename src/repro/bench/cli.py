@@ -1,12 +1,20 @@
 """Command-line entry point: ``python -m repro.bench <target> [--full]``
 (also installed as the ``repro-bench`` console script).
 
-Targets: ``figure2``, ``figure3``, ``figure5``, ``ablation``, ``all``.
-``--full`` uses the paper's problem sizes (slow); the default quick sizes
-preserve every qualitative shape.  ``--jobs N`` fans each sweep's
-independent runs out over N worker processes (default: all usable cores;
-results are bit-identical for any value).  ``--json PATH`` additionally
-dumps the raw result dictionaries to a JSON file.
+Targets: ``figure2``, ``figure3``, ``figure5``, ``ablation``, ``all``,
+``report``.  ``--full`` uses the paper's problem sizes (slow); the
+default quick sizes preserve every qualitative shape.  ``--jobs N``
+fans each sweep's independent runs out over N worker processes
+(default: all usable cores; results are bit-identical for any value).
+``--json PATH`` additionally dumps the raw result dictionaries to a
+JSON file.
+
+Observability flags (sweep targets): ``--trace-out PATH`` streams every
+run's trace to per-run JSONL files; ``--metrics-out PATH`` writes the
+merged cross-run metrics snapshot as JSON; ``--log-level LEVEL``
+enables structured run logging on stderr; ``--progress`` prints a
+heartbeat line as each run completes.  The ``report`` target renders a
+saved trace offline: ``repro-bench report --trace PATH [--oid N]``.
 """
 
 from __future__ import annotations
@@ -26,25 +34,83 @@ from repro.bench.ablation import (
     run_notification_ablation,
     run_policy_ablation,
 )
-from repro.bench.executor import default_jobs
+from repro.bench.executor import ObsSpec, RunOutcome, default_jobs
 from repro.bench.figure2 import render_figure2, run_figure2
 from repro.bench.figure3 import render_figure3, run_figure3
 from repro.bench.figure5 import render_figure5, run_figure5
+from repro.obs.logging import LEVELS
+from repro.obs.metrics import MetricsRegistry
 
-TARGETS = ("figure2", "figure3", "figure5", "ablation", "all")
+TARGETS = ("figure2", "figure3", "figure5", "ablation", "all", "report")
 
 
-def _run_ablations(jobs: int | None = 1) -> dict:
-    return {
-        "notification": run_notification_ablation(jobs=jobs),
-        "policies": run_policy_ablation(jobs=jobs),
-        "barrier_policies": run_barrier_policy_ablation(jobs=jobs),
-        "homeless": run_homeless_ablation(jobs=jobs),
-        "lambda": run_lambda_ablation(jobs=jobs),
-        "lock_discipline": run_lock_discipline_ablation(jobs=jobs),
-        "network": run_network_ablation(jobs=jobs),
-        "decay": run_decay_ablation(jobs=jobs),
+def _derive_obs(obs: ObsSpec | None, label: str) -> ObsSpec | None:
+    """Give each sweep of one CLI invocation its own trace-file base.
+
+    ``run.jsonl`` becomes ``run-figure2.jsonl`` etc., so per-run files
+    from different sweeps (``all``, or the eight ablations) never
+    collide; non-trace instruments pass through unchanged.
+    """
+    import os
+    from dataclasses import replace
+
+    if obs is None or obs.trace_path is None:
+        return obs
+    root, ext = os.path.splitext(obs.trace_path)
+    return replace(obs, trace_path=f"{root}-{label}{ext}")
+
+
+def _run_ablations(jobs=None, obs=None, progress=None) -> dict:
+    runners = {
+        "notification": run_notification_ablation,
+        "policies": run_policy_ablation,
+        "barrier_policies": run_barrier_policy_ablation,
+        "homeless": run_homeless_ablation,
+        "lambda": run_lambda_ablation,
+        "lock_discipline": run_lock_discipline_ablation,
+        "network": run_network_ablation,
+        "decay": run_decay_ablation,
     }
+    return {
+        key: runner(
+            jobs=jobs, obs=_derive_obs(obs, key), progress=progress
+        )
+        for key, runner in runners.items()
+    }
+
+
+class _TelemetryHarvest:
+    """Progress hook shared by all sweeps of one CLI invocation.
+
+    Merges every run's metrics snapshot into one registry (counters and
+    histograms add; see :meth:`~repro.obs.metrics.MetricsRegistry.merge`)
+    and optionally prints a per-run completion heartbeat.
+    """
+
+    def __init__(self, show_progress: bool, collect_metrics: bool) -> None:
+        self.show_progress = show_progress
+        self.metrics = MetricsRegistry() if collect_metrics else None
+        self.runs = 0
+
+    def __call__(self, done: int, total: int, outcome: RunOutcome) -> None:
+        """The executor's ``progress(done, total, outcome)`` callback."""
+        self.runs += 1
+        telemetry = outcome.telemetry
+        if (
+            self.metrics is not None
+            and telemetry is not None
+            and telemetry.get("metrics") is not None
+        ):
+            self.metrics.merge(telemetry["metrics"])
+        if self.show_progress:
+            print(
+                f"[{done}/{total}] {outcome.app} policy={outcome.policy} "
+                f"nodes={outcome.nodes} sim={outcome.time_s:.3f}s "
+                f"wall={outcome.wall_clock_s:.2f}s "
+                f"migrations={outcome.migrations}",
+                file=sys.stderr,
+                flush=True,
+            )
 
 
 def _render_ablations(data: dict) -> str:
@@ -87,32 +153,110 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes per sweep (default: all usable cores; "
         "results are identical for any value)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="stream each run's trace events to per-run JSONL files "
+        "derived from PATH (run.jsonl -> run-000.jsonl, ...)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the merged cross-run metrics snapshot as JSON",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=sorted(LEVELS),
+        help="enable structured run logging on stderr at this level",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a heartbeat line on stderr as each run completes",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="(report target) saved JSONL trace file to render",
+    )
+    parser.add_argument(
+        "--oid",
+        type=int,
+        metavar="N",
+        help="(report target) object id to report on "
+        "(default: the most-migrated object)",
+    )
     args = parser.parse_args(argv)
+
+    if args.target == "report":
+        if not args.trace:
+            parser.error("the report target requires --trace PATH")
+        from repro.bench.obs_report import render_trace_report
+
+        print(render_trace_report(args.trace, oid=args.oid))
+        return 0
+
     mode = "full" if args.full else "quick"
     jobs = args.jobs if args.jobs is not None else default_jobs()
     if jobs < 1:
         parser.error(f"--jobs must be >= 1, got {jobs}")
 
+    obs = ObsSpec(
+        trace_path=args.trace_out,
+        metrics=args.metrics_out is not None,
+        log_level=args.log_level,
+    )
+    harvest = _TelemetryHarvest(
+        show_progress=args.progress,
+        collect_metrics=args.metrics_out is not None,
+    )
+    obs_arg = obs if obs.enabled else None
+    progress_arg = harvest if (args.progress or obs.enabled) else None
+
     collected: dict = {}
-    targets = TARGETS[:-1] if args.target == "all" else (args.target,)
+    targets = (
+        ("figure2", "figure3", "figure5", "ablation")
+        if args.target == "all"
+        else (args.target,)
+    )
     for target in targets:
+        target_obs = _derive_obs(obs_arg, target)
         if target == "figure2":
-            collected["figure2"] = run_figure2(mode=mode, jobs=jobs)
+            collected["figure2"] = run_figure2(
+                mode=mode, jobs=jobs, obs=target_obs, progress=progress_arg
+            )
             print(render_figure2(collected["figure2"]))
         elif target == "figure3":
-            collected["figure3"] = run_figure3(mode=mode, jobs=jobs)
+            collected["figure3"] = run_figure3(
+                mode=mode, jobs=jobs, obs=target_obs, progress=progress_arg
+            )
             print(render_figure3(collected["figure3"]))
         elif target == "figure5":
-            collected["figure5"] = run_figure5(mode=mode, jobs=jobs)
+            collected["figure5"] = run_figure5(
+                mode=mode, jobs=jobs, obs=target_obs, progress=progress_arg
+            )
             print(render_figure5(collected["figure5"]))
         elif target == "ablation":
-            collected["ablation"] = _run_ablations(jobs=jobs)
+            collected["ablation"] = _run_ablations(
+                jobs=jobs, obs=target_obs, progress=progress_arg
+            )
             print(_render_ablations(collected["ablation"]))
         print()
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(collected, handle, indent=2, default=str)
         print(f"raw results written to {args.json}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"runs": harvest.runs, **harvest.metrics.snapshot()},
+                handle,
+                indent=2,
+            )
+        print(f"merged metrics ({harvest.runs} runs) written to "
+              f"{args.metrics_out}")
+    if args.trace_out:
+        print(f"per-run traces written alongside {args.trace_out}")
     return 0
 
 

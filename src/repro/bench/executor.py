@@ -29,9 +29,10 @@ from __future__ import annotations
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext as _null_context
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.apps import (
@@ -72,6 +73,51 @@ POLICY_CLASSES: dict[str, Callable[..., Any]] = {
 
 
 @dataclass(frozen=True)
+class ObsSpec:
+    """Declarative, picklable observability configuration for one run.
+
+    All fields default to "off", so ``ObsSpec()`` is an explicit no-op.
+    ``trace_path`` streams the run's trace events to a JSONL file via
+    :class:`~repro.obs.export.JsonlTraceWriter` (``trace_kinds`` filters
+    which event kinds, ``None`` = all); ``metrics`` builds a
+    :class:`~repro.obs.metrics.MetricsRegistry` whose snapshot lands on
+    the outcome; ``log_level`` enables a stderr
+    :class:`~repro.obs.logging.RunLogger`; ``heartbeat_events`` installs
+    a simulator heartbeat logging progress every N events (implies an
+    info-level logger when ``log_level`` is unset).
+    """
+
+    trace_path: str | None = None
+    trace_kinds: tuple[str, ...] | None = None
+    metrics: bool = False
+    log_level: str | None = None
+    heartbeat_events: int | None = None
+
+    @property
+    def enabled(self) -> bool:
+        """True when any instrument is switched on."""
+        return (
+            self.trace_path is not None
+            or self.metrics
+            or self.log_level is not None
+            or self.heartbeat_events is not None
+        )
+
+    def for_run(self, index: int, total: int) -> "ObsSpec":
+        """Derive the per-run variant for run ``index`` of ``total``.
+
+        With more than one run sharing a ``trace_path``, each run's
+        stream gets its own file: ``trace.jsonl`` becomes
+        ``trace-000.jsonl``, ``trace-001.jsonl``, ...  (suffix inserted
+        before the extension).  Single-run sweeps keep the path as-is.
+        """
+        if self.trace_path is None or total <= 1:
+            return self
+        root, ext = os.path.splitext(self.trace_path)
+        return replace(self, trace_path=f"{root}-{index:03d}{ext}")
+
+
+@dataclass(frozen=True)
 class RunSpec:
     """Declarative description of one simulated run.
 
@@ -99,6 +145,7 @@ class RunSpec:
     nthreads: int | None = None
     verify: bool = True
     tag: Any = None
+    obs: ObsSpec | None = None
 
 
 @dataclass(frozen=True)
@@ -109,8 +156,15 @@ class RunOutcome:
     assemble their result dictionaries from these fields instead of
     holding on to live :class:`~repro.gos.jvm.RunResult` objects (which
     carry the whole simulated cluster and cannot cross processes).
-    ``wall_clock_s`` is the only nondeterministic field; everything else
-    is a pure function of the spec.
+    ``wall_clock_s`` and ``telemetry`` are the only nondeterministic
+    fields; everything else is a pure function of the spec.
+
+    ``telemetry`` is populated when the spec carried an enabled
+    :class:`ObsSpec`: ``{"phases": <PhaseTimer report>, "metrics":
+    <MetricsRegistry snapshot> | None, "trace": {"path", "events"} |
+    None}``.  It stays JSON-friendly and picklable, but the phase wall
+    times (and the trace path) vary run to run, so
+    :meth:`deterministic` strips it along with the wall clock.
     """
 
     tag: Any
@@ -131,6 +185,7 @@ class RunOutcome:
     events: dict[str, int]
     msg_count: dict[str, int]
     msg_bytes: dict[str, int]
+    telemetry: dict | None = None
 
     @property
     def time_s(self) -> float:
@@ -138,10 +193,12 @@ class RunOutcome:
         return self.time_us / 1e6
 
     def deterministic(self) -> dict:
-        """All fields except the wall-clock — the bit-stable view two
-        executions of the same spec must agree on exactly."""
+        """All fields except the wall-clock and telemetry — the
+        bit-stable view two executions of the same spec must agree on
+        exactly."""
         payload = self.__dict__.copy()
         payload.pop("wall_clock_s")
+        payload.pop("telemetry")
         return payload
 
 
@@ -183,34 +240,91 @@ def _make_policy(spec: RunSpec) -> Any:
     )
 
 
+def _build_obs(obs: ObsSpec):
+    """Realize an :class:`ObsSpec` into live instruments.
+
+    Returns ``(metrics, writer, logger, timer)``; any of the first three
+    may be ``None`` when the corresponding instrument is off.
+    """
+    from repro.obs.export import JsonlTraceWriter
+    from repro.obs.logging import RunLogger
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.timers import PhaseTimer
+
+    metrics = MetricsRegistry() if obs.metrics else None
+    writer = (
+        JsonlTraceWriter(obs.trace_path, kinds=obs.trace_kinds)
+        if obs.trace_path is not None
+        else None
+    )
+    level = obs.log_level
+    if level is None and obs.heartbeat_events is not None:
+        level = "info"  # a heartbeat without a logger would be silent
+    logger = RunLogger(level=level) if level is not None else None
+    return metrics, writer, logger, PhaseTimer()
+
+
 def run_spec(spec: RunSpec) -> RunOutcome:
     """Realize and run one :class:`RunSpec` in the current process.
 
     This is the worker function :func:`execute` fans out; it is also the
     entire sequential path, so both modes share one code path per run.
+    When ``spec.obs`` is enabled, the run is instrumented and the
+    resulting :attr:`RunOutcome.telemetry` carries phase timings, the
+    metrics snapshot and the trace-file summary.
     """
     from repro.bench.runner import make_comm_model, make_mechanism
     from repro.gos.jvm import DistributedJVM
 
+    obs = spec.obs if spec.obs is not None and spec.obs.enabled else None
+    if obs is None:
+        metrics = writer = logger = timer = None
+    else:
+        metrics, writer, logger, timer = _build_obs(obs)
+
     start = time.perf_counter()
-    app = _make_app(spec)
-    comm_model = (
-        make_comm_model(spec.comm_model)
-        if isinstance(spec.comm_model, str)
-        else spec.comm_model
-    )
-    jvm = DistributedJVM(
-        nodes=spec.nodes,
-        comm_model=comm_model,
-        policy=None if spec.protocol == "homeless" else _make_policy(spec),
-        mechanism=make_mechanism(spec.mechanism),
-        protocol=spec.protocol,
-        lock_discipline=spec.lock_discipline,
-        seed=spec.seed,
-    )
-    result = jvm.run(app, nthreads=spec.nthreads)
-    if spec.verify:
-        app.verify(result.output)
+    telemetry: dict | None = None
+    try:
+        with timer.phase("build") if timer else _null_context():
+            app = _make_app(spec)
+            comm_model = (
+                make_comm_model(spec.comm_model)
+                if isinstance(spec.comm_model, str)
+                else spec.comm_model
+            )
+            jvm = DistributedJVM(
+                nodes=spec.nodes,
+                comm_model=comm_model,
+                policy=(
+                    None if spec.protocol == "homeless" else _make_policy(spec)
+                ),
+                mechanism=make_mechanism(spec.mechanism),
+                protocol=spec.protocol,
+                lock_discipline=spec.lock_discipline,
+                seed=spec.seed,
+                tracer=writer,
+                metrics=metrics,
+                logger=logger,
+                heartbeat_events=obs.heartbeat_events if obs else None,
+            )
+        with timer.phase("simulate") if timer else _null_context():
+            result = jvm.run(app, nthreads=spec.nthreads)
+        if spec.verify:
+            with timer.phase("verify") if timer else _null_context():
+                app.verify(result.output)
+    finally:
+        if writer is not None:
+            writer.close()
+    if obs is not None:
+        telemetry = {
+            "phases": timer.report(),
+            "metrics": metrics.snapshot() if metrics is not None else None,
+            "trace": (
+                {"path": obs.trace_path, "events": writer.events_written}
+                if writer is not None
+                else None
+            ),
+        }
     stats = result.stats
     return RunOutcome(
         tag=spec.tag,
@@ -231,6 +345,7 @@ def run_spec(spec: RunSpec) -> RunOutcome:
         events=dict(stats.events),
         msg_count={cat.value: n for cat, n in stats.msg_count.items()},
         msg_bytes={cat.value: n for cat, n in stats.msg_bytes.items()},
+        telemetry=telemetry,
     )
 
 
@@ -242,13 +357,30 @@ def default_jobs() -> int:
         return os.cpu_count() or 1
 
 
-def _execute_sequential(specs: list[RunSpec]) -> list[RunOutcome]:
+#: Signature of :func:`execute`'s ``progress`` callback:
+#: ``progress(done, total, outcome)`` after each run completes.
+ProgressCallback = Callable[[int, int, RunOutcome], None]
+
+
+def _execute_sequential(
+    specs: list[RunSpec], progress: ProgressCallback | None = None
+) -> list[RunOutcome]:
     """In-process execution, in order — the ``jobs=1`` / fallback path."""
-    return [run_spec(spec) for spec in specs]
+    outcomes = []
+    total = len(specs)
+    for spec in specs:
+        outcome = run_spec(spec)
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(len(outcomes), total, outcome)
+    return outcomes
 
 
 def execute(
-    specs: Iterable[RunSpec], jobs: int | None = None
+    specs: Iterable[RunSpec],
+    jobs: int | None = None,
+    obs: ObsSpec | None = None,
+    progress: ProgressCallback | None = None,
 ) -> list[RunOutcome]:
     """Run every spec; return outcomes in spec order.
 
@@ -259,22 +391,48 @@ def execute(
     pickled (in-line application callables) or the pool cannot be
     started (restricted environments), execution silently falls back to
     the sequential path — the results are identical either way.
+
+    ``obs`` applies one observability configuration to every spec that
+    does not already carry its own (per-run trace files are derived via
+    :meth:`ObsSpec.for_run`).  ``progress`` is called as
+    ``progress(done, total, outcome)`` after each run finishes, in
+    completion order — use it for live heartbeats and for harvesting
+    telemetry incrementally.  Neither affects the deterministic fields
+    of the outcomes.
     """
     spec_list = list(specs)
     if jobs is None:
         jobs = default_jobs()
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if obs is not None and obs.enabled:
+        total = len(spec_list)
+        spec_list = [
+            spec if spec.obs is not None
+            else replace(spec, obs=obs.for_run(i, total))
+            for i, spec in enumerate(spec_list)
+        ]
     jobs = min(jobs, len(spec_list))
     if jobs <= 1:
-        return _execute_sequential(spec_list)
+        return _execute_sequential(spec_list, progress)
     try:
         pickle.dumps(spec_list)
     except Exception:
-        return _execute_sequential(spec_list)
+        return _execute_sequential(spec_list, progress)
     try:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(run_spec, spec) for spec in spec_list]
-            return [future.result() for future in futures]
+            futures = {
+                pool.submit(run_spec, spec): i
+                for i, spec in enumerate(spec_list)
+            }
+            results: list[RunOutcome | None] = [None] * len(spec_list)
+            done = 0
+            for future in as_completed(futures):
+                outcome = future.result()
+                results[futures[future]] = outcome
+                done += 1
+                if progress is not None:
+                    progress(done, len(spec_list), outcome)
+            return results  # type: ignore[return-value]
     except (OSError, BrokenProcessPool):
-        return _execute_sequential(spec_list)
+        return _execute_sequential(spec_list, progress)

@@ -16,7 +16,12 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.apps.base import DsmApplication
-from repro.bench.executor import RunSpec, execute
+from repro.bench.executor import (
+    ObsSpec,
+    ProgressCallback,
+    RunSpec,
+    execute,
+)
 from repro.bench.report import format_table
 
 #: Paper problem sizes (``full``) and scaled-down defaults (``quick``),
@@ -46,6 +51,8 @@ def run_figure2(
     apps: dict[str, Callable[[], DsmApplication]] | None = None,
     verify: bool = True,
     jobs: int | None = 1,
+    obs: ObsSpec | None = None,
+    progress: ProgressCallback | None = None,
 ) -> dict:
     """Run the Figure-2 sweep; returns ``{app: {variant: {P: seconds}}}``
     plus message counts under ``"messages"``.
@@ -76,7 +83,7 @@ def run_figure2(
     messages: dict[str, dict[str, dict[int, int]]] = {
         name: {v: {} for v in VARIANTS} for name in entries
     }
-    for outcome in execute(specs, jobs=jobs):
+    for outcome in execute(specs, jobs=jobs, obs=obs, progress=progress):
         app_name, variant, nodes = outcome.tag
         times[app_name][variant][nodes] = outcome.time_s
         messages[app_name][variant][nodes] = outcome.messages

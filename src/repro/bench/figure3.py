@@ -12,7 +12,12 @@ with the problem size; ASP's stays roughly constant (amortized over its
 from __future__ import annotations
 
 from repro.analysis.metrics import improvement_percent
-from repro.bench.executor import RunSpec, execute
+from repro.bench.executor import (
+    ObsSpec,
+    ProgressCallback,
+    RunSpec,
+    execute,
+)
 from repro.bench.report import format_table
 
 PROBLEM_SIZES = {
@@ -41,6 +46,8 @@ def run_figure3(
     sizes: tuple[int, ...] | None = None,
     verify: bool = True,
     jobs: int | None = 1,
+    obs: ObsSpec | None = None,
+    progress: ProgressCallback | None = None,
 ) -> dict:
     """Run the Figure-3 sweep.
 
@@ -66,7 +73,7 @@ def run_figure3(
                 )
     improvements: dict[str, dict[int, dict[str, float]]] = {}
     raw: dict[str, dict[int, dict[str, dict[str, float]]]] = {}
-    for outcome in execute(specs, jobs=jobs):
+    for outcome in execute(specs, jobs=jobs, obs=obs, progress=progress):
         app_name, size, policy = outcome.tag
         raw.setdefault(app_name, {}).setdefault(size, {})[policy] = {
             "time": outcome.time_us,

@@ -15,7 +15,12 @@ repetition ``r`` of the single-writer pattern sweeps {2, 4, 8, 16}.
 from __future__ import annotations
 
 from repro.analysis.metrics import normalize_map
-from repro.bench.executor import RunSpec, execute
+from repro.bench.executor import (
+    ObsSpec,
+    ProgressCallback,
+    RunSpec,
+    execute,
+)
 from repro.bench.report import format_bar_groups, format_table
 
 REPETITIONS = (2, 4, 8, 16)
@@ -32,6 +37,8 @@ def run_figure5(
     total_updates: int | None = None,
     verify: bool = True,
     jobs: int | None = 1,
+    obs: ObsSpec | None = None,
+    progress: ProgressCallback | None = None,
 ) -> dict:
     """Run the Figure-5 sweep.
 
@@ -65,7 +72,7 @@ def run_figure5(
     breakdowns: dict[int, dict[str, dict[str, int]]] = {
         r: {} for r in repetitions
     }
-    for outcome in execute(specs, jobs=jobs):
+    for outcome in execute(specs, jobs=jobs, obs=obs, progress=progress):
         repetition, protocol = outcome.tag
         times[repetition][protocol] = outcome.time_s
         breakdowns[repetition][protocol] = outcome.breakdown

@@ -1,0 +1,124 @@
+"""Offline reports over saved JSONL traces (``repro-bench report``).
+
+A saved trace (``--trace-out`` on any sweep, or
+:func:`~repro.obs.export.dump_trace`) contains everything needed to
+reconstruct an object's migration story after the fact:
+:func:`render_trace_report` loads the file through
+:func:`~repro.obs.export.load_trace` and renders
+
+* per-kind event counts (what the trace captured),
+* the migration timeline of one object — each hop with its simulated
+  timestamp and the threshold frozen at migration time — plus the
+  resulting home path,
+* the adaptive-threshold series at that object's migration decisions
+  (start/end/min/max and evenly sampled points).
+
+The object defaults to the one with the most migrations (the "hot"
+object every synthetic sweep revolves around); pass ``oid`` to inspect
+another.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.bench.report import format_table
+from repro.obs.export import load_trace
+from repro.trace.recorder import TraceRecorder
+
+#: Threshold-series sample rows rendered before eliding the middle.
+MAX_SERIES_ROWS = 12
+
+
+def _pick_oid(recorder: TraceRecorder) -> int | None:
+    """The object with the most migrations (ties: lowest oid), else the
+    most-traced object, else ``None`` for an empty trace."""
+    migrated = Counter(e.oid for e in recorder.migrations())
+    if migrated:
+        return min(
+            migrated, key=lambda oid: (-migrated[oid], oid)
+        )
+    touched = Counter(e.oid for e in recorder.events)
+    if touched:
+        return min(touched, key=lambda oid: (-touched[oid], oid))
+    return None
+
+
+def _sample(rows: list, limit: int) -> list:
+    """At most ``limit`` evenly spaced rows, always keeping first/last."""
+    if len(rows) <= limit:
+        return rows
+    step = (len(rows) - 1) / (limit - 1)
+    picked = [rows[round(i * step)] for i in range(limit)]
+    picked[-1] = rows[-1]
+    return picked
+
+
+def render_trace_report(path: str, oid: int | None = None) -> str:
+    """Render the migration/threshold report for one saved trace file."""
+    recorder = load_trace(path)
+    blocks = []
+
+    kind_counts = Counter(e.kind for e in recorder.events)
+    blocks.append(
+        format_table(
+            ["kind", "events"],
+            [[kind, n] for kind, n in sorted(kind_counts.items())],
+            title=f"Trace {path} — {len(recorder.events)} events",
+        )
+    )
+
+    if oid is None:
+        oid = _pick_oid(recorder)
+    if oid is None:
+        blocks.append("(empty trace: no events to report on)")
+        return "\n\n".join(blocks)
+
+    migrations = recorder.migrations(oid)
+    if migrations:
+        rows = [
+            [
+                f"{e.time_us:,.1f}",
+                e.detail.get("old_home", e.node),
+                e.detail["new_home"],
+                e.detail.get("frozen_threshold", ""),
+            ]
+            for e in migrations
+        ]
+        path_nodes = [migrations[0].detail.get("old_home", migrations[0].node)]
+        path_nodes += [e.detail["new_home"] for e in migrations]
+        if len(path_nodes) > MAX_SERIES_ROWS:
+            shown = " -> ".join(map(str, path_nodes[:MAX_SERIES_ROWS]))
+            path_text = f"{shown} -> ... ({len(path_nodes) - 1} hops)"
+        else:
+            path_text = " -> ".join(map(str, path_nodes))
+        blocks.append(
+            format_table(
+                ["time_us", "old_home", "new_home", "frozen_T"],
+                _sample(rows, MAX_SERIES_ROWS),
+                title=f"Object {oid} — {len(migrations)} migrations "
+                f"(home path {path_text})",
+            )
+        )
+    else:
+        blocks.append(f"Object {oid}: no migration events in this trace")
+
+    series = recorder.threshold_series(oid)
+    if series:
+        values = [t for _, t in series]
+        summary = format_table(
+            ["points", "first", "last", "min", "max"],
+            [[len(series), values[0], values[-1], min(values), max(values)]],
+            title=f"Object {oid} — adaptive threshold at migration decisions",
+        )
+        samples = format_table(
+            ["time_us", "threshold"],
+            [[f"{t:,.1f}", thr] for t, thr in _sample(series, MAX_SERIES_ROWS)],
+        )
+        blocks.append(summary + "\n" + samples)
+    else:
+        blocks.append(
+            f"Object {oid}: no threshold series (decision events absent "
+            "or kind-filtered)"
+        )
+    return "\n\n".join(blocks)

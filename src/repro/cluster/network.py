@@ -42,6 +42,7 @@ class Network:
         nnodes: int,
         stats: ClusterStats | None = None,
         service_us: float | None = None,
+        metrics=None,
     ):
         if nnodes < 1:
             raise ValueError(f"need at least one node, got {nnodes}")
@@ -51,6 +52,9 @@ class Network:
         node_kwargs = {} if service_us is None else {"service_us": service_us}
         self.nodes = [Node(i, sim, **node_kwargs) for i in range(nnodes)]
         self._nic_free = [0.0] * nnodes
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when set,
+        #: per-category message/byte counters accrue on every send.
+        self.metrics = metrics
 
     @property
     def nnodes(self) -> int:
@@ -83,6 +87,12 @@ class Network:
             payload=payload,
         )
         self.stats.record_message(message)
+        if self.metrics is not None:
+            label = category.value
+            self.metrics.counter("net_messages_total", category=label).inc()
+            self.metrics.counter("net_bytes_total", category=label).inc(
+                message.size_bytes
+            )
 
         now = self.sim.now
         injection_start = max(now, self._nic_free[src])

@@ -51,6 +51,7 @@ from repro.dsm.locks import LockHandle, LockTable
 from repro.dsm.redirection import NotificationMechanism
 from repro.memory.diff import Diff, apply_diff, compute_diff
 from repro.memory.heap import ObjectHeap
+from repro.obs.timers import EpochTimer, SpanTracker
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -262,6 +263,8 @@ class DsmEngine:
         tracer=None,
         lock_discipline: str = "fifo",
         seed: int = 0,
+        metrics=None,
+        logger=None,
     ):
         if lock_discipline not in ("fifo", "retry"):
             raise ValueError(
@@ -280,6 +283,45 @@ class DsmEngine:
         import random
 
         self._rng = random.Random(10_007 * (node_id + 1) + seed)
+
+        # -- telemetry (optional; every site guards on a cached handle so
+        # the disabled path costs one `is not None` check) ------------------
+        self.metrics = metrics
+        self.logger = logger
+        if metrics is not None:
+            self._m_fault_us = metrics.histogram(
+                "dsm_fault_in_us", node=node_id
+            )
+            self._m_redirect_hops = metrics.histogram(
+                "dsm_redirect_chain_length",
+                buckets=(0, 1, 2, 4, 8, 16, 32, 64),
+                node=node_id,
+            )
+            self._m_diff_bytes = metrics.histogram(
+                "dsm_diff_bytes", node=node_id
+            )
+            self._m_migrations = metrics.counter(
+                "dsm_migrations_total", node=node_id
+            )
+            self._m_lock_epoch_us = metrics.histogram(
+                "dsm_lock_epoch_us", node=node_id
+            )
+            self._m_barrier_interval_us = metrics.histogram(
+                "dsm_barrier_interval_us", node=node_id
+            )
+            self._lock_epochs: SpanTracker | None = SpanTracker()
+            self._barrier_epochs: dict[int, EpochTimer] = {}
+        else:
+            self._m_fault_us = None
+            self._m_redirect_hops = None
+            self._m_diff_bytes = None
+            self._m_migrations = None
+            self._m_lock_epoch_us = None
+            self._m_barrier_interval_us = None
+            self._lock_epochs = None
+            self._barrier_epochs = {}
+        self._log_debug = logger is not None and logger.enabled_for("debug")
+        self._log_info = logger is not None and logger.enabled_for("info")
 
         self.cache: dict[int, CacheEntry] = {}
         self.homes: dict[int, HomeEntry] = {}
@@ -691,7 +733,12 @@ class DsmEngine:
         marker = Future(label=f"inflight-{oid}")
         self._inflight[oid] = marker
         try:
-            payload = yield from self._fault_in_primary(oid, for_write)
+            if self._m_fault_us is not None:
+                started = self.sim.now
+                payload = yield from self._fault_in_primary(oid, for_write)
+                self._m_fault_us.observe(self.sim.now - started)
+            else:
+                payload = yield from self._fault_in_primary(oid, for_write)
             return payload
         finally:
             del self._inflight[oid]
@@ -895,6 +942,8 @@ class DsmEngine:
         self.apply_notices(notices)
         self.invalidate_all_cached()
         self.interval += 1
+        if self._m_lock_epoch_us is not None:
+            self._lock_epochs.begin(handle.lock_id, self.sim.now)
 
     def _acquire_fifo(
         self, handle: LockHandle, own_notices: dict[int, int]
@@ -975,6 +1024,10 @@ class DsmEngine:
 
     def release(self, handle: LockHandle) -> Generator[Any, Any, None]:
         """Flush this interval's diffs, then release the lock with notices."""
+        if self._m_lock_epoch_us is not None:
+            span = self._lock_epochs.end(handle.lock_id, self.sim.now)
+            if span is not None:
+                self._m_lock_epoch_us.observe(span)
         notices = yield from self.flush_diffs()
         if handle.home == self.node_id:
             self._manager_release(handle.lock_id, self.node_id, notices)
@@ -1066,6 +1119,13 @@ class DsmEngine:
             return
         round_no, merged, writers = state.complete_round()
         self.stats.incr("barrier_round")
+        if self._m_barrier_interval_us is not None:
+            timer = self._barrier_epochs.setdefault(
+                msg.barrier_id, EpochTimer()
+            )
+            span = timer.lap(self.sim.now)
+            if span is not None:
+                self._m_barrier_interval_us.observe(span)
         new_homes: dict[int, int] = {}
         if self.policy.wants_barrier_migration():
             new_homes = self._order_barrier_migrations(writers)
@@ -1211,6 +1271,8 @@ class DsmEngine:
         state.record_remote_read(request.requester)
         state.record_redirections(request.hops)
         self.stats.incr("remote_read")
+        if self._m_redirect_hops is not None:
+            self._m_redirect_hops.observe(request.hops)
         alpha = self.alpha(oid, state)
         migrate = self.policy.should_migrate(
             state, request.requester, alpha, request.for_write
@@ -1266,20 +1328,40 @@ class DsmEngine:
         alpha: float,
         migrated: bool,
     ) -> None:
-        if self.tracer is None or not self.tracer.wants("decision"):
+        traced = self.tracer is not None and self.tracer.wants("decision")
+        metered = self.metrics is not None
+        if not (traced or metered or self._log_debug):
             return
-        self.tracer.record(
-            "decision",
-            self.sim.now,
-            oid,
-            self.node_id,
-            requester=requester,
-            threshold=self.policy.current_threshold(state, alpha),
-            consecutive=state.consecutive_writes,
-            exclusive_home_writes=state.exclusive_home_writes,
-            redirections=state.redirections,
-            migrated=migrated,
-        )
+        threshold = self.policy.current_threshold(state, alpha)
+        if traced:
+            self.tracer.record(
+                "decision",
+                self.sim.now,
+                oid,
+                self.node_id,
+                requester=requester,
+                threshold=threshold,
+                consecutive=state.consecutive_writes,
+                exclusive_home_writes=state.exclusive_home_writes,
+                redirections=state.redirections,
+                migrated=migrated,
+            )
+        if metered:
+            if threshold is not None:
+                self.metrics.gauge("dsm_threshold", oid=oid).set(threshold)
+            self.metrics.counter(
+                "dsm_decisions_total", node=self.node_id, migrated=migrated
+            ).inc()
+        if self._log_debug:
+            self.logger.debug(
+                "decision",
+                node=self.node_id,
+                oid=oid,
+                requester=requester,
+                threshold=threshold,
+                consecutive=state.consecutive_writes,
+                migrated=migrated,
+            )
 
     def _trace_migration(self, oid: int, new_home: int, state) -> None:
         if self.tracer is not None and self.tracer.wants("migration"):
@@ -1288,6 +1370,16 @@ class DsmEngine:
                 self.sim.now,
                 oid,
                 self.node_id,
+                old_home=self.node_id,
+                new_home=new_home,
+                frozen_threshold=state.threshold_base,
+            )
+        if self._m_migrations is not None:
+            self._m_migrations.inc()
+        if self._log_info:
+            self.logger.info(
+                "migration",
+                oid=oid,
                 old_home=self.node_id,
                 new_home=new_home,
                 frozen_threshold=state.threshold_base,
@@ -1341,6 +1433,8 @@ class DsmEngine:
         entry.state.record_remote_write(msg.writer, msg.diff.size_bytes)
         self.stats.incr("diff")
         self.stats.incr("remote_write")
+        if self._m_diff_bytes is not None:
+            self._m_diff_bytes.observe(msg.diff.size_bytes)
         self._send(
             msg.writer,
             MsgCategory.DIFF_ACK,

@@ -80,12 +80,19 @@ class DistributedJVM:
         tracer=None,
         lock_discipline: str = "fifo",
         seed: int = 0,
+        metrics=None,
+        logger=None,
+        heartbeat_events: int | None = None,
     ):
         if nodes < 1:
             raise ValueError(f"need at least one node, got {nodes}")
         if protocol not in ("home-based", "homeless"):
             raise ValueError(
                 f"protocol must be 'home-based' or 'homeless', got {protocol!r}"
+            )
+        if heartbeat_events is not None and heartbeat_events < 1:
+            raise ValueError(
+                f"heartbeat_events must be >= 1, got {heartbeat_events}"
             )
         self.nodes = nodes
         self.comm_model = comm_model
@@ -98,6 +105,14 @@ class DistributedJVM:
         self.tracer = tracer
         self.lock_discipline = lock_discipline
         self.seed = seed
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry` threaded
+        #: into the network and engines of every home-based run.
+        self.metrics = metrics
+        #: Optional :class:`~repro.obs.logging.RunLogger`.
+        self.logger = logger
+        #: When set, :meth:`run` installs a simulator heartbeat logging an
+        #: ``info``-level progress line every this many processed events.
+        self.heartbeat_events = heartbeat_events
 
     def run(
         self, app: "DsmApplication", nthreads: int | None = None
@@ -129,6 +144,27 @@ class DistributedJVM:
                 tracer=self.tracer,
                 lock_discipline=self.lock_discipline,
                 seed=self.seed,
+                metrics=self.metrics,
+                logger=self.logger,
+            )
+        log = self.logger
+        log_info = log is not None and log.enabled_for("info")
+        if log_info:
+            log.info(
+                "run_start",
+                app=app.name,
+                protocol=self.protocol,
+                nodes=self.nodes,
+                threads=threads,
+            )
+        if self.heartbeat_events is not None and log_info:
+            gos.sim.set_heartbeat(
+                self.heartbeat_events,
+                lambda sim: log.info(
+                    "heartbeat",
+                    events=sim.events_processed,
+                    sim_us=sim.now,
+                ),
             )
         app.setup(gos, threads)
         processes = []
@@ -151,6 +187,15 @@ class DistributedJVM:
             if process.finished.exception is not None:
                 raise process.finished.exception
         output = app.finalize(gos)
+        if log_info:
+            log.info(
+                "run_end",
+                app=app.name,
+                sim_time_us=execution_time,
+                events=gos.sim.events_processed,
+                messages=gos.stats.total_messages(),
+                migrations=gos.stats.events.get("migration", 0),
+            )
         return RunResult(
             app_name=app.name,
             policy_name=(

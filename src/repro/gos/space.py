@@ -39,6 +39,8 @@ class GlobalObjectSpace:
         tracer=None,
         lock_discipline: str = "fifo",
         seed: int = 0,
+        metrics=None,
+        logger=None,
     ):
         self.sim = Simulator()
         self.stats = ClusterStats()
@@ -47,10 +49,21 @@ class GlobalObjectSpace:
             mechanism if mechanism is not None else ForwardingPointerMechanism()
         )
         self.tracer = tracer
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry` shared by the
+        #: network and every engine; ``None`` keeps the hot path bare.
+        self.metrics = metrics
+        #: Optional :class:`~repro.obs.logging.RunLogger` for the engines.
+        self.logger = logger
         self.network = Network(
-            self.sim, comm_model, nnodes, self.stats, service_us=service_us
+            self.sim, comm_model, nnodes, self.stats, service_us=service_us,
+            metrics=metrics,
         )
         self.heap = ObjectHeap()
+        engine_logger = (
+            logger.child(clock=lambda: self.sim.now)
+            if logger is not None
+            else None
+        )
         self.engines = [
             DsmEngine(
                 node_id=i,
@@ -63,6 +76,8 @@ class GlobalObjectSpace:
                 tracer=tracer,
                 lock_discipline=lock_discipline,
                 seed=seed,
+                metrics=metrics,
+                logger=engine_logger,
             )
             for i in range(nnodes)
         ]

@@ -1,0 +1,59 @@
+"""Run-wide observability: metrics, streaming traces, timers, logging.
+
+The paper's argument is telemetry-shaped — threshold series, migration
+counts, message breakdowns — and this subpackage makes the reproduction
+observable *while it runs* instead of only post-hoc:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of labeled
+  counters/gauges/histograms with mergeable snapshots (cross-process
+  aggregation for parallel sweeps);
+* :mod:`repro.obs.export` — a streaming :class:`JsonlTraceWriter`
+  (bounded-memory alternative to the in-memory
+  :class:`~repro.trace.recorder.TraceRecorder`) plus
+  :func:`load_trace` / :func:`iter_trace` / :func:`dump_trace`;
+* :mod:`repro.obs.timers` — :class:`PhaseTimer` / :class:`EpochTimer` /
+  :class:`SpanTracker` over simulated and wall clock;
+* :mod:`repro.obs.logging` — a structured, level-gated
+  :class:`RunLogger`.
+
+Everything is opt-in: the simulator, network and protocol engines carry
+``None`` handles by default and every instrumentation site sits behind a
+cheap ``is not None`` (or pre-hoisted boolean) guard, so a run with
+telemetry disabled pays nothing measurable.
+"""
+
+from repro.obs.export import (
+    JsonlTraceWriter,
+    TRACE_SCHEMA,
+    dump_trace,
+    iter_trace,
+    load_trace,
+)
+from repro.obs.logging import LEVELS, NULL_LOGGER, RunLogger
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.timers import EpochTimer, PhaseTimer, SpanTracker
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EpochTimer",
+    "Gauge",
+    "Histogram",
+    "JsonlTraceWriter",
+    "LEVELS",
+    "MetricsRegistry",
+    "NULL_LOGGER",
+    "PhaseTimer",
+    "RunLogger",
+    "SpanTracker",
+    "TRACE_SCHEMA",
+    "dump_trace",
+    "iter_trace",
+    "load_trace",
+]

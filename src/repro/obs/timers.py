@@ -1,0 +1,140 @@
+"""Span and phase timers over simulated and wall clock.
+
+Three small primitives cover the timing questions a run raises:
+
+* :class:`PhaseTimer` — named accumulating phases ("build", "simulate",
+  "verify") measured in wall seconds and, when a simulated clock is
+  supplied, simulated microseconds; reports merge across processes;
+* :class:`EpochTimer` — successive laps on one monotonic clock
+  (per-barrier-interval durations: ``lap(now)`` returns the elapsed time
+  since the previous lap);
+* :class:`SpanTracker` — keyed begin/end spans (per-lock-epoch durations:
+  ``begin(lock_id, now)`` ... ``end(lock_id, now)``).
+
+All three are clock-agnostic: callers pass timestamps (or a zero-arg
+clock callable), so the same machinery times the simulator's virtual
+microseconds and the host's ``perf_counter`` seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Hashable, Iterator
+
+
+class PhaseTimer:
+    """Accumulates named phases in wall seconds (and optional sim µs).
+
+    ::
+
+        timer = PhaseTimer()
+        with timer.phase("build"):
+            ...
+        with timer.phase("simulate", sim_clock=lambda: gos.sim.now):
+            ...
+        timer.report()
+        # {"build": {"wall_s": ..., "sim_us": 0.0, "count": 1}, ...}
+
+    Re-entering a phase name accumulates into the same entry and bumps
+    its ``count``; :meth:`merge` folds another report in, so per-process
+    phase timings from a parallel sweep aggregate like metrics do.
+    """
+
+    def __init__(
+        self, wall_clock: Callable[[], float] = time.perf_counter
+    ) -> None:
+        self._wall_clock = wall_clock
+        self._phases: dict[str, dict[str, float]] = {}
+
+    def _entry(self, name: str) -> dict[str, float]:
+        entry = self._phases.get(name)
+        if entry is None:
+            entry = self._phases[name] = {
+                "wall_s": 0.0, "sim_us": 0.0, "count": 0
+            }
+        return entry
+
+    @contextmanager
+    def phase(
+        self, name: str, sim_clock: Callable[[], float] | None = None
+    ) -> Iterator[None]:
+        """Time one entry into phase ``name`` (context manager)."""
+        wall0 = self._wall_clock()
+        sim0 = sim_clock() if sim_clock is not None else 0.0
+        try:
+            yield
+        finally:
+            entry = self._entry(name)
+            entry["wall_s"] += self._wall_clock() - wall0
+            if sim_clock is not None:
+                entry["sim_us"] += sim_clock() - sim0
+            entry["count"] += 1
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """Plain-dict copy of all phases, sorted by name (JSON-friendly)."""
+        return {
+            name: dict(entry)
+            for name, entry in sorted(self._phases.items())
+        }
+
+    def merge(self, report: "PhaseTimer | dict") -> "PhaseTimer":
+        """Accumulate another timer's (or report dict's) phases into this
+        one; returns ``self`` for chaining."""
+        other = report.report() if isinstance(report, PhaseTimer) else report
+        for name, entry in other.items():
+            mine = self._entry(name)
+            for key in ("wall_s", "sim_us", "count"):
+                mine[key] += entry.get(key, 0)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PhaseTimer {sorted(self._phases)}>"
+
+
+class EpochTimer:
+    """Measures successive epochs on one monotonic clock.
+
+    The first :meth:`lap` arms the timer and returns ``None``; every
+    subsequent lap returns the time elapsed since the previous one.  The
+    protocol layer uses one per barrier to turn release timestamps into
+    per-barrier-interval durations.
+    """
+
+    __slots__ = ("last",)
+
+    def __init__(self) -> None:
+        self.last: float | None = None
+
+    def lap(self, now: float) -> float | None:
+        """Record a lap at ``now``; return the elapsed epoch (or None)."""
+        previous = self.last
+        self.last = now
+        return None if previous is None else now - previous
+
+
+class SpanTracker:
+    """Keyed begin/end spans on one monotonic clock.
+
+    ``begin(key, now)`` opens a span; ``end(key, now)`` closes it and
+    returns its duration (``None`` for an unmatched end — e.g. a lock
+    acquired before telemetry was enabled).  The protocol layer uses one
+    per engine to time lock epochs (acquire-grant to release).
+    """
+
+    __slots__ = ("_open",)
+
+    def __init__(self) -> None:
+        self._open: dict[Hashable, float] = {}
+
+    def begin(self, key: Hashable, now: float) -> None:
+        """Open (or restart) the span identified by ``key``."""
+        self._open[key] = now
+
+    def end(self, key: Hashable, now: float) -> float | None:
+        """Close the span for ``key``; return its duration or ``None``."""
+        start = self._open.pop(key, None)
+        return None if start is None else now - start
+
+    def __len__(self) -> int:
+        return len(self._open)

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections import deque
+from typing import Iterable, MutableSequence
 
 from repro.trace.events import KINDS, TraceEvent
 
@@ -12,9 +13,23 @@ class TraceRecorder:
 
     ``kinds`` restricts capture (decision events in particular are
     frequent); by default everything is recorded.
+
+    ``max_events`` bounds memory: when set, the recorder keeps only the
+    *newest* ``max_events`` events, dropping the oldest and counting the
+    casualties in :attr:`dropped`.  Beware the interaction with
+    :meth:`home_path`: the path is reconstructed by replaying migration
+    events from ``initial_home``, so if early migrations were dropped the
+    reconstructed path starts mid-journey (its first hop is no longer the
+    true initial home).  Check ``dropped == 0`` — or use the streaming
+    :class:`~repro.obs.export.JsonlTraceWriter`, which needs no bound —
+    before trusting full-history queries on a bounded recorder.
     """
 
-    def __init__(self, kinds: Iterable[str] | None = None):
+    def __init__(
+        self,
+        kinds: Iterable[str] | None = None,
+        max_events: int | None = None,
+    ):
         if kinds is None:
             self.kinds = frozenset(KINDS)
         else:
@@ -22,15 +37,28 @@ class TraceRecorder:
             unknown = self.kinds - KINDS
             if unknown:
                 raise ValueError(f"unknown trace kinds {sorted(unknown)}")
-        self.events: list[TraceEvent] = []
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self.dropped = 0
+        self.events: MutableSequence[TraceEvent] = (
+            [] if max_events is None else deque(maxlen=max_events)
+        )
 
     def wants(self, kind: str) -> bool:
+        """True when events of ``kind`` are captured (cheap hot-path guard)."""
         return kind in self.kinds
 
     def record(
         self, kind: str, time_us: float, oid: int, node: int, **detail
     ) -> None:
+        """Append one event (silently skipped for filtered kinds)."""
         if kind in self.kinds:
+            if (
+                self.max_events is not None
+                and len(self.events) == self.max_events
+            ):
+                self.dropped += 1  # deque(maxlen) evicts the oldest
             self.events.append(
                 TraceEvent(
                     time_us=time_us, kind=kind, oid=oid, node=node,
@@ -41,6 +69,7 @@ class TraceRecorder:
     # -- queries ------------------------------------------------------------
 
     def of_kind(self, kind: str, oid: int | None = None) -> list[TraceEvent]:
+        """Events of one kind, optionally restricted to one object."""
         return [
             e for e in self.events
             if e.kind == kind and (oid is None or e.oid == oid)
@@ -51,7 +80,14 @@ class TraceRecorder:
         return self.of_kind("migration", oid)
 
     def home_path(self, oid: int, initial_home: int) -> list[int]:
-        """The sequence of homes an object lived at."""
+        """The sequence of homes an object lived at.
+
+        Complete only when every migration event survived capture: with
+        ``kinds`` excluding ``"migration"`` the path is just
+        ``[initial_home]``, and with a ``max_events`` bound that dropped
+        early migrations the replay starts mid-journey (see the class
+        docstring).
+        """
         path = [initial_home]
         for event in self.migrations(oid):
             path.append(event.detail["new_home"])

@@ -55,6 +55,49 @@ def test_breakdown_has_all_figure5_categories(stats):
     assert breakdown["mig"] == 0
 
 
+def test_merge_accumulates_all_counters(stats):
+    stats.record_message(_msg(MsgCategory.DIFF, 100))
+    stats.incr("migration", 2)
+    other = ClusterStats()
+    other.record_message(_msg(MsgCategory.DIFF, 50))
+    other.record_message(_msg(MsgCategory.OBJ_REPLY, 500))
+    other.incr("migration")
+    other.incr("redir", 4)
+    returned = stats.merge(other)
+    assert returned is stats
+    assert stats.msg_count[MsgCategory.DIFF] == 2
+    assert stats.msg_bytes[MsgCategory.DIFF] == 150
+    assert stats.msg_count[MsgCategory.OBJ_REPLY] == 1
+    assert stats.events["migration"] == 3
+    assert stats.events["redir"] == 4
+    # other is untouched
+    assert other.msg_count[MsgCategory.DIFF] == 1
+    assert other.events["migration"] == 1
+
+
+def test_from_snapshot_round_trips(stats):
+    stats.record_message(_msg(MsgCategory.DIFF, 100))
+    stats.record_message(_msg(MsgCategory.LOCK_GRANT, 60))
+    stats.incr("obj", 7)
+    rebuilt = ClusterStats.from_snapshot(stats.snapshot())
+    assert rebuilt.snapshot() == stats.snapshot()
+    assert rebuilt.msg_count[MsgCategory.DIFF] == 1
+    assert rebuilt.data_messages() == stats.data_messages()
+
+
+def test_merge_of_snapshots_across_boundary(stats):
+    """Snapshots shipped across processes aggregate via from_snapshot."""
+    stats.record_message(_msg(MsgCategory.DIFF, 100))
+    stats.incr("migration")
+    wire = stats.snapshot()  # what crosses the process boundary
+    total = ClusterStats()
+    total.merge(ClusterStats.from_snapshot(wire))
+    total.merge(ClusterStats.from_snapshot(wire))
+    assert total.msg_count[MsgCategory.DIFF] == 2
+    assert total.msg_bytes[MsgCategory.DIFF] == 200
+    assert total.events["migration"] == 2
+
+
 def test_snapshot_is_plain_and_stable(stats):
     stats.record_message(_msg(MsgCategory.DIFF, 100))
     stats.incr("migration")

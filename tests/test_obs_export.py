@@ -1,0 +1,131 @@
+"""Tests for streaming JSONL trace export/import round-trips."""
+
+import json
+
+import pytest
+
+from repro.apps import SingleWriterBenchmark
+from repro.cluster.hockney import FAST_ETHERNET
+from repro.core.policies import AdaptiveThreshold
+from repro.gos.jvm import DistributedJVM
+from repro.obs.export import (
+    TRACE_SCHEMA,
+    JsonlTraceWriter,
+    dump_trace,
+    iter_trace,
+    load_trace,
+)
+from repro.trace import TraceRecorder
+
+
+def test_writer_meta_line_and_events(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    with JsonlTraceWriter(path, kinds=["migration"]) as sink:
+        assert sink.wants("migration")
+        assert not sink.wants("decision")
+        sink.record("migration", 1.5, oid=1, node=0, new_home=2)
+        sink.record("decision", 2.0, oid=1, node=0)  # filtered: no-op
+        assert sink.events_written == 1
+    lines = [json.loads(l) for l in open(path, encoding="utf-8")]
+    assert lines[0] == {"schema": TRACE_SCHEMA, "kinds": ["migration"]}
+    assert lines[1] == {
+        "t": 1.5, "kind": "migration", "oid": 1, "node": 0,
+        "detail": {"new_home": 2},
+    }
+
+
+def test_writer_creates_parent_directories(tmp_path):
+    path = str(tmp_path / "deep" / "nested" / "trace.jsonl")
+    with JsonlTraceWriter(path) as sink:
+        sink.record("migration", 1.0, oid=1, node=0, new_home=2)
+    assert load_trace(path).events[0].oid == 1
+
+
+def test_writer_validates_kinds_and_flush_every(tmp_path):
+    with pytest.raises(ValueError):
+        JsonlTraceWriter(str(tmp_path / "x.jsonl"), kinds=["bogus"])
+    with pytest.raises(ValueError):
+        JsonlTraceWriter(str(tmp_path / "y.jsonl"), flush_every=0)
+
+
+def test_record_after_close_raises(tmp_path):
+    sink = JsonlTraceWriter(str(tmp_path / "t.jsonl"))
+    sink.close()
+    sink.close()  # idempotent
+    with pytest.raises(ValueError):
+        sink.record("migration", 1.0, oid=1, node=0, new_home=2)
+
+
+def test_load_trace_rejects_non_trace_files(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ValueError):
+        load_trace(str(empty))
+    bogus = tmp_path / "bogus.jsonl"
+    bogus.write_text('{"not": "a trace"}\n')
+    with pytest.raises(ValueError):
+        load_trace(str(bogus))
+
+
+def _run(tracer):
+    app = SingleWriterBenchmark(total_updates=128, repetition=8)
+    jvm = DistributedJVM(
+        nodes=5, comm_model=FAST_ETHERNET, policy=AdaptiveThreshold(),
+        tracer=tracer,
+    )
+    result = jvm.run(app)
+    return result, app
+
+
+def test_streamed_trace_round_trips_to_recorder_queries(tmp_path):
+    """Acceptance: the same deterministic run traced to memory and to a
+    JSONL stream yields identical events and query results."""
+    recorder = TraceRecorder()
+    _run(recorder)
+
+    path = str(tmp_path / "run.jsonl")
+    with JsonlTraceWriter(path) as sink:
+        result, app = _run(sink)
+    assert sink.events_written == len(recorder.events)
+
+    loaded = load_trace(path)
+    assert loaded.kinds == recorder.kinds
+    assert loaded.events == recorder.events
+    oid = app.counter.oid
+    assert loaded.threshold_series(oid) == recorder.threshold_series(oid)
+    assert loaded.home_path(oid, 0) == recorder.home_path(oid, 0)
+    assert len(loaded.migrations()) == result.migrations
+
+
+def test_iter_trace_streams_without_loading(tmp_path):
+    recorder = TraceRecorder(kinds=["migration"])
+    _run(recorder)
+    path = str(tmp_path / "run.jsonl")
+    assert dump_trace(recorder, path) == len(recorder.events)
+    streamed = list(iter_trace(path))
+    assert streamed == list(recorder.events)
+
+
+def test_dump_trace_round_trips(tmp_path):
+    recorder = TraceRecorder()
+    recorder.record("migration", 1.0, oid=1, node=0, new_home=2)
+    recorder.record("decision", 2.0, oid=1, node=2, threshold=1.5,
+                    migrated=False)
+    path = str(tmp_path / "dump.jsonl")
+    dump_trace(recorder, path)
+    loaded = load_trace(path)
+    assert loaded.events == recorder.events
+    assert loaded.kinds == recorder.kinds
+
+
+def test_numpy_details_serialize(tmp_path):
+    import numpy as np
+
+    path = str(tmp_path / "np.jsonl")
+    with JsonlTraceWriter(path) as sink:
+        sink.record(
+            "ship", 1.0, oid=1, node=0,
+            size=np.int64(42), value=np.float64(1.5),
+        )
+    event = next(iter_trace(path))
+    assert event.detail == {"size": 42, "value": 1.5}

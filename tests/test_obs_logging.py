@@ -1,0 +1,72 @@
+"""Tests for the structured level-gated run logger."""
+
+import io
+
+import pytest
+
+from repro.obs.logging import LEVELS, NULL_LOGGER, RunLogger
+
+
+def test_level_gating():
+    buf = io.StringIO()
+    log = RunLogger(level="warning", stream=buf)
+    log.debug("d")
+    log.info("i")
+    log.warning("w")
+    log.error("e")
+    lines = buf.getvalue().splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("[warning]")
+    assert lines[1].startswith("[error]")
+
+
+def test_enabled_for_matches_emission():
+    log = RunLogger(level="info", stream=io.StringIO())
+    assert not log.enabled_for("debug")
+    assert log.enabled_for("info")
+    assert log.enabled_for("error")
+
+
+def test_unknown_level_rejected():
+    with pytest.raises(ValueError):
+        RunLogger(level="verbose")
+    with pytest.raises(ValueError):
+        RunLogger(stream=io.StringIO()).log("loud", "event")
+
+
+def test_structured_fields_and_clock():
+    buf = io.StringIO()
+    log = RunLogger(level="info", stream=buf, clock=lambda: 1234.5)
+    log.info("migration", oid=3, new_home=2)
+    line = buf.getvalue().strip()
+    assert line == "[info] repro migration sim_us=1234.5 oid=3 new_home=2"
+
+
+def test_values_with_spaces_are_quoted():
+    buf = io.StringIO()
+    log = RunLogger(level="info", stream=buf)
+    log.info("event", msg="two words", eq="a=b")
+    line = buf.getvalue().strip()
+    assert "msg='two words'" in line
+    assert "eq='a=b'" in line
+
+
+def test_child_binds_fields_and_clock():
+    buf = io.StringIO()
+    parent = RunLogger(level="info", stream=buf, run="r1")
+    child = parent.child(clock=lambda: 7.0, node=3)
+    child.info("event", x=1)
+    line = buf.getvalue().strip()
+    assert "sim_us=7" in line
+    assert "run=r1" in line
+    assert "node=3" in line
+    assert "x=1" in line
+
+
+def test_off_level_disables_everything():
+    buf = io.StringIO()
+    log = RunLogger(level="off", stream=buf)
+    log.error("even errors")
+    assert buf.getvalue() == ""
+    assert not NULL_LOGGER.enabled_for("error")
+    assert LEVELS["off"] > LEVELS["error"]
