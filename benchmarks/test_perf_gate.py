@@ -1,0 +1,131 @@
+"""Perf-regression gate: throughput within a band of a checked-in baseline.
+
+Two figures of merit, both normalised to rates so they are comparable
+across repeats:
+
+* **event-loop throughput** — events/second draining a heap of no-op
+  events; the cost floor under every simulation;
+* **protocol throughput** — engine events/second of a small pinned
+  DSM run (SOR/AT/4), which exercises dispatch, fault-in, diffs and
+  barriers together.
+
+Each is compared against ``benchmarks/perf_baseline.json`` with a
+±``BAND`` relative band.  Dropping below the band means the hot path
+regressed; rising above it means the baseline is stale (e.g. after a
+deliberate optimisation PR) and must be re-pinned *in that PR* so the
+trajectory stays recorded.
+
+Wall-clock on shared CI runners is noisy — the CI job runs this as a
+soft gate (``continue-on-error``), while same-host comparisons (the
+BENCH_PR<n>.json reports) are the authoritative perf record.  Re-pin by
+running ``PYTHONPATH=src python benchmarks/test_perf_gate.py``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).with_name("perf_baseline.json")
+
+#: Relative regression band around the pinned baseline.
+BAND = 0.35
+
+LOOP_EVENTS = 30_000
+REPEATS = 3
+
+
+def measure_event_loop() -> float:
+    """Best-of-``REPEATS`` no-op event throughput (events/second)."""
+    from repro.sim.engine import Simulator
+
+    def noop():
+        pass
+
+    best = None
+    for _ in range(REPEATS):
+        sim = Simulator()
+        schedule = sim.schedule
+        start = time.perf_counter()
+        for i in range(LOOP_EVENTS):
+            schedule(float(i % 97), noop)
+        sim.run()
+        wall = time.perf_counter() - start
+        best = wall if best is None else min(best, wall)
+    return LOOP_EVENTS / best
+
+
+def measure_protocol() -> float:
+    """Best-of-``REPEATS`` engine events/second of a small pinned run."""
+    from repro.bench.executor import RunSpec, run_spec
+
+    spec = RunSpec(
+        app="sor",
+        app_kwargs={"size": 32, "iterations": 10},
+        policy="AT",
+        nodes=4,
+        tag="perf-gate",
+        verify=False,
+    )
+    run_spec(spec)  # warm
+    best_rate = 0.0
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        outcome = run_spec(spec)
+        wall = time.perf_counter() - start
+        best_rate = max(best_rate, outcome.events_processed / wall)
+    return best_rate
+
+
+def _check(name: str, rate: float, baseline: float) -> None:
+    low = baseline * (1.0 - BAND)
+    high = baseline * (1.0 + BAND)
+    assert rate >= low, (
+        f"{name} regressed: {rate:,.0f}/s is below the baseline band "
+        f"[{low:,.0f}, {high:,.0f}] (pinned {baseline:,.0f}/s); the hot "
+        f"path got slower — profile before merging"
+    )
+    assert rate <= high, (
+        f"{name} at {rate:,.0f}/s exceeds the baseline band "
+        f"[{low:,.0f}, {high:,.0f}] (pinned {baseline:,.0f}/s); nice, but "
+        f"re-pin benchmarks/perf_baseline.json in this PR so the gate "
+        f"keeps teeth (run: PYTHONPATH=src python benchmarks/test_perf_gate.py)"
+    )
+
+
+def test_event_loop_throughput_within_band():
+    baseline = json.loads(BASELINE_PATH.read_text())
+    _check(
+        "event-loop throughput",
+        measure_event_loop(),
+        baseline["event_loop_events_per_sec"],
+    )
+
+
+def test_protocol_throughput_within_band():
+    baseline = json.loads(BASELINE_PATH.read_text())
+    _check(
+        "protocol throughput",
+        measure_protocol(),
+        baseline["protocol_events_per_sec"],
+    )
+
+
+def _repin() -> None:
+    """Re-measure and rewrite the pinned baseline (run as a script)."""
+    import platform
+
+    payload = {
+        "event_loop_events_per_sec": measure_event_loop(),
+        "protocol_events_per_sec": measure_protocol(),
+        "band": BAND,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"pinned: {json.dumps(payload, indent=2)}")
+
+
+if __name__ == "__main__":
+    _repin()

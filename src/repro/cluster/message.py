@@ -14,6 +14,7 @@ accounting.
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -27,6 +28,12 @@ NOTICE_ENTRY_BYTES = 12
 
 class MsgCategory(enum.Enum):
     """Protocol-level category of a message (for statistics)."""
+
+    # Identity hash instead of Enum's Python-level ``hash(self._name_)``:
+    # members are singletons compared by identity, so hashing by id is
+    # consistent — and it turns the per-message stats-counter updates
+    # (four hashes per send) into C-speed slot calls.
+    __hash__ = object.__hash__
 
     OBJ_REQUEST = "obj_request"  # fault-in request to a (presumed) home
     OBJ_REPLY = "obj_reply"  # object image reply, no migration
@@ -62,16 +69,12 @@ SYNC_CATEGORIES = frozenset(
 )
 
 
-_seq_counter = 0
+# C-level sequence source: one slot call per message instead of a Python
+# frame with a global load/store (tens of thousands of messages per run).
+_next_seq = itertools.count(1).__next__
 
 
-def _next_seq() -> int:
-    global _seq_counter
-    _seq_counter += 1
-    return _seq_counter
-
-
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One message in flight.
 

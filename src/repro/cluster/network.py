@@ -52,6 +52,17 @@ class Network:
         node_kwargs = {} if service_us is None else {"service_us": service_us}
         self.nodes = [Node(i, sim, **node_kwargs) for i in range(nnodes)]
         self._nic_free = [0.0] * nnodes
+        #: Pre-bound per-node delivery table: ``send`` schedules
+        #: ``_deliver[dst]`` with the message as an event-tuple argument,
+        #: so the hot path allocates no closure and does no list+attribute
+        #: re-resolution per message.
+        self._deliver = [node.deliver for node in self.nodes]
+        # Hot-path pre-binds: one attribute resolution at construction
+        # instead of three per message.
+        self._transfer_us = comm_model.transfer_us
+        self._startup_us = comm_model.startup_us
+        self._sim_at = sim.at
+        self._record = self.stats.record_message
         #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when set,
         #: per-category message/byte counters accrue on every send.
         self.metrics = metrics
@@ -86,7 +97,7 @@ class Network:
             size_bytes=size_bytes + HEADER_BYTES,
             payload=payload,
         )
-        self.stats.record_message(message)
+        self._record(message)
         if self.metrics is not None:
             label = category.value
             self.metrics.counter("net_messages_total", category=label).inc()
@@ -94,14 +105,12 @@ class Network:
                 message.size_bytes
             )
 
-        now = self.sim.now
-        injection_start = max(now, self._nic_free[src])
-        injection_end = injection_start + self.comm_model.transfer_us(
-            message.size_bytes
-        )
+        now = self.sim._now  # direct read; the property is hot-path overhead
+        nic_free = self._nic_free[src]
+        injection_start = now if now >= nic_free else nic_free
+        injection_end = injection_start + self._transfer_us(message.size_bytes)
         self._nic_free[src] = injection_end
-        arrival = injection_end + self.comm_model.startup_us
-        self.sim.at(arrival, lambda: self.nodes[dst].deliver(message))
+        self._sim_at(injection_end + self._startup_us, self._deliver[dst], message)
         return message
 
     def broadcast(

@@ -47,8 +47,7 @@ class Node:
             raise RuntimeError(
                 f"node {self.node_id} received {message!r} with no handler"
             )
-        handler = self._handler
-        self.sim.schedule(self.service_us, lambda: handler(message))
+        self.sim.schedule(self.service_us, self._handler, message)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Node {self.node_id}>"

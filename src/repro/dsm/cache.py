@@ -27,7 +27,7 @@ class AccessMode(enum.Enum):
     WRITE = "write"
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheEntry:
     """One node's cached copy of a remote-homed object."""
 

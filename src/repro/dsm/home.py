@@ -21,9 +21,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.state import ObjectAccessState
+from repro.dsm.pending import VersionIndexedQueue
 
 
-@dataclass
+@dataclass(slots=True)
 class HomeEntry:
     """The home replica of one object plus its access monitor."""
 
@@ -37,8 +38,9 @@ class HomeEntry:
     write_interval: int = -1
 
     #: Requests deferred because the entry has not yet reached the
-    #: requester's required version (safety net; see protocol notes).
-    pending: list = field(default_factory=list)
+    #: requester's required version (safety net; see protocol notes),
+    #: indexed by that version so a bump pops only newly-eligible ones.
+    pending: VersionIndexedQueue = field(default_factory=VersionIndexedQueue)
 
     def trap_home_read(self, interval: int) -> bool:
         """Record a home read fault once per interval; True if trapped now."""

@@ -193,6 +193,35 @@ class HomelessEngine:
 
     # -- thread-facing operations -------------------------------------------
 
+    def try_read_local(self, oid: int) -> np.ndarray | None:
+        """Readable payload if up to date locally, else ``None``.
+
+        Same contract as the home-based protocol's ``try_read_local``:
+        lets :class:`~repro.gos.thread.ThreadContext` skip generator
+        construction on local hits.  Materialising the initial replica
+        is a local operation, so it happens here exactly as in
+        :meth:`read`.
+        """
+        replica = self._replica(oid)
+        if replica.mode is AccessMode.INVALID or self._missing_writers(
+            oid, replica
+        ):
+            return None
+        return replica.payload
+
+    def try_write_local(self, oid: int) -> np.ndarray | None:
+        """Writable payload if up to date locally, else ``None``."""
+        replica = self._replica(oid)
+        if replica.mode is AccessMode.INVALID or self._missing_writers(
+            oid, replica
+        ):
+            return None
+        if replica.twin is None:
+            replica.twin = make_twin(replica.payload)
+            replica.mode = AccessMode.WRITE
+        self.dirty.add(oid)
+        return replica.payload
+
     def read(self, oid: int) -> Generator[Any, Any, np.ndarray]:
         replica = self._replica(oid)
         missing = self._missing_writers(oid, replica)

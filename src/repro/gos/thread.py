@@ -46,12 +46,21 @@ class ThreadContext:
 
     def read(self, obj: SharedObject) -> Generator[Any, Any, np.ndarray]:
         """Readable payload of ``obj`` (may fault in from the home)."""
-        payload = yield from self.engine.read(obj.oid)
+        # Local hits (home copy or valid cached copy) resolve as a plain
+        # call; the protocol generator is only built when communication
+        # is actually needed.  Same side effects either way.
+        engine = self.engine
+        payload = engine.try_read_local(obj.oid)
+        if payload is None:
+            payload = yield from engine.read(obj.oid)
         return payload
 
     def write(self, obj: SharedObject) -> Generator[Any, Any, np.ndarray]:
         """Writable payload of ``obj`` (faults, twins, or home-write traps)."""
-        payload = yield from self.engine.write(obj.oid)
+        engine = self.engine
+        payload = engine.try_write_local(obj.oid)
+        if payload is None:
+            payload = yield from engine.write(obj.oid)
         return payload
 
     def read_many(

@@ -22,9 +22,18 @@ RUN_HEADER_BYTES = 8
 
 def _runs(indices: np.ndarray) -> int:
     """Number of maximal runs of consecutive indices (indices sorted)."""
-    if indices.size == 0:
+    n = int(indices.size)
+    if n == 0:
         return 0
-    return 1 + int(np.count_nonzero(np.diff(indices) != 1))
+    # Contiguous-block fast path: dense writes (SOR row sweeps, LU panel
+    # updates) change one solid span, recognisable from the endpoints
+    # alone — no per-element gap scan needed.
+    if int(indices[-1]) - int(indices[0]) + 1 == n:
+        return 1
+    # Direct subtraction instead of np.diff: same gap vector without the
+    # generic wrapper's axis/prepend handling, which shows up at this
+    # call rate.
+    return 1 + int(np.count_nonzero(indices[1:] - indices[:-1] != 1))
 
 
 def diff_size_bytes(indices: np.ndarray, itemsize: int) -> int:
@@ -38,7 +47,7 @@ def diff_size_bytes(indices: np.ndarray, itemsize: int) -> int:
     )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Diff:
     """An encoded update set for one object.
 
@@ -71,14 +80,15 @@ def compute_diff(oid: int, twin: np.ndarray, current: np.ndarray) -> Diff | None
             f"twin/current layout mismatch for oid {oid}: "
             f"{twin.dtype}{twin.shape} vs {current.dtype}{current.shape}"
         )
-    # Cheap exit: most sync intervals leave most twins untouched, and an
-    # equality check is far cheaper than materialising the index set.
-    if np.array_equal(twin, current):
+    # Single scan: one element-wise comparison feeds the cheap exit, the
+    # index extraction, and (via ``_runs``) the wire-size computation.
+    # Most sync intervals leave most twins untouched, so the ``not
+    # neq.any()`` exit fires far more often than the materialisation.
+    neq = current != twin
+    if not neq.any():
         return None
-    changed = np.nonzero(current != twin)[0]
-    if changed.size == 0:  # pragma: no cover - array_equal caught it
-        return None
-    values = current[changed].copy()
+    changed = np.flatnonzero(neq)
+    values = current[changed]  # fancy indexing already copies
     return Diff(
         oid=oid,
         indices=changed,

@@ -11,10 +11,17 @@ from repro.sim.errors import DeadlockError, SimulationError
 class Simulator:
     """Deterministic discrete-event simulator.
 
-    Events are ``(time, seq, callback)`` triples kept in a binary heap; the
-    monotonically increasing ``seq`` breaks ties so that events scheduled
-    for the same instant run in scheduling order.  Determinism of the whole
-    reproduction rests on this property plus seeded application randomness.
+    Events are ``(time, seq, callback, args)`` tuples kept in a binary
+    heap; the monotonically increasing ``seq`` breaks ties so that events
+    scheduled for the same instant run in scheduling order.  Determinism
+    of the whole reproduction rests on this property plus seeded
+    application randomness.
+
+    Callbacks are invoked as ``callback(*args)``.  Carrying the arguments
+    in the event tuple lets hot callers (the network's delivery path, the
+    process stepper) schedule a pre-bound method with its operands instead
+    of allocating a fresh closure per event — the per-message lambda churn
+    was the single largest interpreter overhead in the PR-1 profile.
 
     Time is a float in **microseconds** by convention throughout the
     package (the Hockney model's natural unit).
@@ -23,7 +30,7 @@ class Simulator:
     def __init__(self) -> None:
         self._now: float = 0.0
         self._seq: int = 0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._processes: list[Any] = []  # Process instances, for deadlock report
         self.events_processed: int = 0
         self._heartbeat: tuple[int, Callable[["Simulator"], None]] | None = None
@@ -49,28 +56,35 @@ class Simulator:
         """Current simulated time in microseconds."""
         return self._now
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` ``delay`` microseconds from now.
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Run ``callback(*args)`` ``delay`` microseconds from now.
 
         ``delay`` must be non-negative; zero-delay events run after all
         events already scheduled for the current instant.
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        self.at(self._now + delay, callback)
+        heappush(self._heap, (self._now + delay, self._seq, callback, args))
+        self._seq += 1
 
-    def at(self, time: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` at absolute simulated ``time``."""
+    def at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        heappush(self._heap, (time, self._seq, callback))
+        heappush(self._heap, (time, self._seq, callback, args))
         self._seq += 1
 
-    def call_soon(self, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` at the current instant (after pending ties)."""
-        self.at(self._now, callback)
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at the current instant (after
+        pending ties)."""
+        heappush(self._heap, (self._now, self._seq, callback, args))
+        self._seq += 1
 
     def spawn(
         self, generator: Generator[Any, Any, Any], name: str = "proc"
@@ -110,30 +124,41 @@ class Simulator:
                     if until is not None and time > until:
                         self._now = until
                         return self._now
-                    _, _seq, callback = pop(heap)
+                    _, _seq, callback, args = pop(heap)
                     self._now = time
                     self.events_processed += 1
-                    callback()
+                    if args:
+                        callback(*args)
+                    else:
+                        callback()
                     countdown -= 1
                     if countdown == 0:
                         countdown = every
                         beat(self)
             elif until is None:
                 while heap:
-                    time, _seq, callback = pop(heap)
+                    time, _seq, callback, args = pop(heap)
                     self._now = time
                     processed += 1
-                    callback()
+                    # args-free events take the fast CALL path; argful
+                    # ones pay the unpacking call exactly once.
+                    if args:
+                        callback(*args)
+                    else:
+                        callback()
             else:
                 while heap:
                     time = heap[0][0]
                     if time > until:
                         self._now = until
                         return self._now
-                    _, _seq, callback = pop(heap)
+                    _, _seq, callback, args = pop(heap)
                     self._now = time
                     processed += 1
-                    callback()
+                    if args:
+                        callback(*args)
+                    else:
+                        callback()
         finally:
             self.events_processed += processed
         blocked = [p.name for p in self._processes if not p.done]

@@ -25,7 +25,9 @@ class Future:
     def __init__(self, label: str = ""):
         self._value: Any = _UNSET
         self._exception: BaseException | None = None
-        self._callbacks: list[Callable[[Future], None]] = []
+        # Lazily allocated: most futures get zero or one callback, and
+        # tens of thousands are created per run.
+        self._callbacks: list[Callable[[Future], None]] | None = None
         self.label = label
 
     @property
@@ -61,17 +63,34 @@ class Future:
         self._exception = exc
         self._fire()
 
+    def peek(self) -> tuple[Any, BaseException | None]:
+        """``(value, exception)`` without raising — exactly one is set.
+
+        Hot-path accessor for the process stepper: resuming a generator
+        needs both slots without the :attr:`value` property's raise-on-
+        error behaviour.  Must only be called on a resolved future; on an
+        unresolved one it raises :class:`SimulationError`.
+        """
+        if self._exception is not None:
+            return None, self._exception
+        if self._value is _UNSET:
+            raise SimulationError(f"future {self.label!r} peeked unresolved")
+        return self._value, None
+
     def add_done_callback(self, callback: Callable[[Future], None]) -> None:
         """Run ``callback(self)`` when resolved (immediately if already)."""
         if self.resolved:
             callback(self)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 
     def _fire(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "resolved" if self.resolved else "pending"

@@ -71,42 +71,52 @@ class Process:
         if self._started:
             raise SimulationError(f"process {self.name!r} started twice")
         self._started = True
-        self.sim.call_soon(lambda: self._step(None, None))
+        self.sim.call_soon(self._step, None, None)
 
     def _step(self, value: Any, exc: BaseException | None) -> None:
-        try:
-            if exc is not None:
-                effect = self._gen.throw(exc)
-            else:
-                effect = self._gen.send(value)
-        except StopIteration as stop:
-            self.finished.resolve(stop.value)
-            return
-        except Exception as error:  # noqa: BLE001 - boundary of simulated code
-            self.finished.fail(ProcessFailed(self.name, error))
-            return
-        self._dispatch(effect)
-
-    def _dispatch(self, effect: Any) -> None:
-        if effect is None:
-            self.sim.call_soon(lambda: self._step(None, None))
-        elif isinstance(effect, Delay):
-            self.sim.schedule(effect.duration_us, lambda: self._step(None, None))
-        elif isinstance(effect, Future):
-            effect.add_done_callback(self._on_future)
-        else:
+        # Hot loop: one generator resumption per iteration.  Effect
+        # dispatch is inlined (no trampoline call) and continuation events
+        # are scheduled as (bound method, args) tuples, so stepping never
+        # allocates a closure.  A yield of an *already resolved* future
+        # continues the generator inline instead of paying a schedule/
+        # dispatch round trip — that is the ``while True``.
+        gen = self._gen
+        sim = self.sim
+        while True:
+            try:
+                if exc is not None:
+                    effect = gen.throw(exc)
+                else:
+                    effect = gen.send(value)
+            except StopIteration as stop:
+                self.finished.resolve(stop.value)
+                return
+            except Exception as error:  # noqa: BLE001 - simulated-code boundary
+                self.finished.fail(ProcessFailed(self.name, error))
+                return
+            if effect is None:
+                sim.call_soon(self._step, None, None)
+                return
+            if type(effect) is Delay:
+                sim.schedule(effect.duration_us, self._step, None, None)
+                return
+            if isinstance(effect, Future):
+                if effect.resolved:
+                    value, exc = effect.peek()
+                    continue
+                effect.add_done_callback(self._on_future)
+                return
             self.finished.fail(
                 ProcessFailed(
                     self.name,
                     SimulationError(f"process yielded unknown effect {effect!r}"),
                 )
             )
+            return
 
     def _on_future(self, future: Future) -> None:
-        if future.exception is not None:
-            self.sim.call_soon(lambda: self._step(None, future.exception))
-        else:
-            self.sim.call_soon(lambda: self._step(future.value, None))
+        value, exc = future.peek()
+        self.sim.call_soon(self._step, value, exc)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.done else "running"

@@ -47,5 +47,8 @@ def test_reads_and_writes_trap_independently():
     assert trapped
 
 
-def test_pending_list_starts_empty():
-    assert make_home().pending == []
+def test_pending_queue_starts_empty():
+    entry = make_home()
+    assert not entry.pending
+    assert len(entry.pending) == 0
+    assert list(entry.pending) == []

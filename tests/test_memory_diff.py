@@ -157,3 +157,54 @@ def test_property_size_bounds(indices, itemsize):
     payload = len(indices) * itemsize
     assert size >= DIFF_HEADER_BYTES + RUN_HEADER_BYTES + payload
     assert size <= DIFF_HEADER_BYTES + len(indices) * RUN_HEADER_BYTES + payload
+
+
+class _CountingArray(np.ndarray):
+    """ndarray view that counts element-wise comparison invocations."""
+
+    ne_calls = 0
+    eq_calls = 0
+
+    def __ne__(self, other):
+        _CountingArray.ne_calls += 1
+        return np.ndarray.__ne__(self, other)
+
+    def __eq__(self, other):
+        _CountingArray.eq_calls += 1
+        return np.ndarray.__eq__(self, other)
+
+    __hash__ = None
+
+
+@pytest.fixture
+def comparison_counter():
+    _CountingArray.ne_calls = 0
+    _CountingArray.eq_calls = 0
+    yield _CountingArray
+
+
+def test_compute_diff_single_comparison_when_changed(comparison_counter):
+    """The single-scan contract: one array comparison per compute_diff.
+
+    The cheap exit, the changed-index extraction and the wire-size
+    computation must all feed off one ``!=`` scan — a second comparison
+    (the pre-PR-3 shape computed ``==`` for the exit and ``!=`` for the
+    extraction) is a hot-path regression this test pins down.
+    """
+    twin = np.zeros(64).view(comparison_counter)
+    current = np.zeros(64).view(comparison_counter)
+    current[5] = 1.0
+    current[17] = 2.0
+    diff = compute_diff(1, twin, current)
+    assert diff is not None and diff.nchanged == 2
+    assert comparison_counter.ne_calls == 1
+    assert comparison_counter.eq_calls == 0
+
+
+def test_compute_diff_single_comparison_when_clean(comparison_counter):
+    """The no-change exit also costs exactly one comparison."""
+    twin = np.arange(64.0).view(comparison_counter)
+    current = np.arange(64.0).view(comparison_counter)
+    assert compute_diff(1, twin, current) is None
+    assert comparison_counter.ne_calls == 1
+    assert comparison_counter.eq_calls == 0

@@ -131,3 +131,78 @@ def test_determinism_across_instances():
         return log
 
     assert build_and_run() == build_and_run()
+
+
+# -- run(until=...) edge cases with argument-carrying event tuples ---------
+
+
+def test_heartbeat_run_until_stops_early(sim):
+    """The instrumented (heartbeat) drain honours ``until`` exactly like
+    the plain drain: later events stay queued, the clock lands on
+    ``until``, and the heartbeat saw only the executed prefix."""
+    ran = []
+    beats = []
+    sim.set_heartbeat(2, lambda s: beats.append(s.events_processed))
+    for t in (1.0, 2.0, 3.0, 10.0, 11.0):
+        sim.at(t, ran.append, t)
+    assert sim.run(until=5.0) == 5.0
+    assert ran == [1.0, 2.0, 3.0]
+    assert beats == [2]  # 3 events executed -> one full interval of 2
+    # the deferred tail runs on resume
+    assert sim.run() == 11.0
+    assert ran == [1.0, 2.0, 3.0, 10.0, 11.0]
+
+
+def test_zero_delay_ties_from_inside_callback_run_in_order(sim):
+    """Events scheduled at the current instant from a running callback
+    execute after already-queued ties, in scheduling order — for arg
+    tuples exactly as for bare callbacks."""
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0.0, order.append, "nested-arg")
+        sim.call_soon(lambda: order.append("nested-lambda"))
+
+    sim.at(1.0, first)
+    sim.at(1.0, order.append, "tie")
+    assert sim.run() == 1.0
+    assert order == ["first", "tie", "nested-arg", "nested-lambda"]
+
+
+def test_run_until_boundary_executes_events_at_until(sim):
+    """An event scheduled exactly at ``until`` runs; strictly-later ones
+    do not."""
+    ran = []
+    sim.at(5.0, ran.append, "at-until")
+    sim.at(5.0 + 1e-9, ran.append, "after")
+    assert sim.run(until=5.0) == 5.0
+    assert ran == ["at-until"]
+
+
+def test_run_until_with_blocked_process_does_not_raise(sim):
+    """Stopping at ``until`` with a process still blocked is not a
+    deadlock — the process may be waiting for events beyond the horizon."""
+    def sleeper():
+        yield Delay(100.0)
+
+    sim.spawn(sleeper(), name="sleeper")
+    assert sim.run(until=1.0) == 1.0
+    # draining past the wake-up completes it without error
+    assert sim.run() == 100.0
+
+
+def test_deadlock_report_names_blocked_processes_with_tuple_events(sim):
+    """A drained heap with waiting processes still names every blocked
+    process, also when the heap only ever held argument-carrying tuples."""
+    gate = Future(label="never")
+
+    def waiter(name):
+        yield gate
+
+    sim.spawn(waiter("w1"), name="w1")
+    sim.spawn(waiter("w2"), name="w2")
+    sim.at(1.0, (lambda *a: None), "arg1", "arg2")
+    with pytest.raises(DeadlockError) as excinfo:
+        sim.run()
+    assert "w1" in str(excinfo.value) and "w2" in str(excinfo.value)
