@@ -1,0 +1,122 @@
+"""Memory-regression gate: peak footprint within a band of a baseline.
+
+The memory analogue of ``test_perf_gate.py``: one pinned large workload
+(SOR 256, AT, 16 nodes — the bounded-sharing leg of the PR-4 memory
+tier) runs with barrier-epoch GC enabled in an **isolated subprocess**
+(``ru_maxrss`` is a process-lifetime high-water mark, so sharing the
+pytest process would contaminate it) and two figures of merit are
+compared against ``benchmarks/perf_baseline.json``:
+
+* **peak RSS** (``ru_maxrss``, KiB) — what the OS actually had to give
+  the run at its worst moment;
+* **tracemalloc peak** — peak bytes of Python-traced allocations,
+  which excludes interpreter baseline noise and so moves earlier and
+  more sharply when protocol state starts accreting.
+
+Exceeding the band means protocol memory state regressed (a leak of
+cache entries, twins, notices or arena slabs); dropping below it means
+the baseline is stale after a deliberate memory PR and must be
+re-pinned in that PR.  RSS on shared CI runners varies with allocator
+and interpreter build — the CI job runs this as a soft gate
+(``continue-on-error``); same-host BENCH_PR<n>.json reports are the
+authoritative record.  Re-pin by running
+``PYTHONPATH=src python benchmarks/test_memory_gate.py`` (after
+re-pinning the perf baselines, which the script preserves).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).with_name("perf_baseline.json")
+BENCH_SCRIPT = Path(__file__).parent.parent / "scripts" / "bench_perf.py"
+
+#: Relative band around the pinned memory baselines.  Wider than the
+#: throughput band would need to be — RSS includes allocator/arena
+#: granularity effects — but tight enough that an un-GC'd ASP-style
+#: blowup (≥ +50% RSS at this scale) cannot slip through.
+MEM_BAND = 0.35
+
+#: The pinned memory workload (must be a ``LARGE_WORKLOADS`` name in
+#: scripts/bench_perf.py).  SOR is the cheaper of the two tier legs.
+WORKLOAD = "sor_large_16"
+
+
+def measure_memory() -> dict:
+    """Run the pinned workload in a fresh subprocess; return its leg dict."""
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(Path(__file__).parent.parent / "src"),
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(BENCH_SCRIPT),
+            "--memory-leg",
+            WORKLOAD,
+            "--emit-json",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def _check(name: str, value: float, baseline: float) -> None:
+    low = baseline * (1.0 - MEM_BAND)
+    high = baseline * (1.0 + MEM_BAND)
+    assert value <= high, (
+        f"{name} regressed: {value:,.0f} is above the baseline band "
+        f"[{low:,.0f}, {high:,.0f}] (pinned {baseline:,.0f}); protocol "
+        f"memory state is accreting — check arena frees, INVALID-entry "
+        f"drops and notice-floor pruning before merging"
+    )
+    assert value >= low, (
+        f"{name} at {value:,.0f} is below the baseline band "
+        f"[{low:,.0f}, {high:,.0f}] (pinned {baseline:,.0f}); nice, but "
+        f"re-pin benchmarks/perf_baseline.json in this PR so the gate "
+        f"keeps teeth (run: PYTHONPATH=src python benchmarks/test_memory_gate.py)"
+    )
+
+
+def test_memory_footprint_within_band():
+    baseline = json.loads(BASELINE_PATH.read_text())
+    leg = measure_memory()
+    assert leg["gc_enabled"] is True
+    # drained end state is a hard invariant, not a banded one
+    assert leg["footprint"]["cache_entries"] == 0
+    assert leg["footprint"]["notice_floors"] == 0
+    _check(
+        "peak RSS (KiB)",
+        leg["peak_rss_kb"],
+        baseline["memory_peak_rss_kb"],
+    )
+    _check(
+        "tracemalloc peak (bytes)",
+        leg["tracemalloc_peak_bytes"],
+        baseline["memory_tracemalloc_peak_bytes"],
+    )
+
+
+def _repin() -> None:
+    """Re-measure and rewrite the memory baselines (run as a script).
+
+    Preserves every other key in ``perf_baseline.json`` (the throughput
+    baselines are re-pinned by ``test_perf_gate.py``).
+    """
+    leg = measure_memory()
+    payload = json.loads(BASELINE_PATH.read_text())
+    payload["memory_workload"] = WORKLOAD
+    payload["memory_peak_rss_kb"] = leg["peak_rss_kb"]
+    payload["memory_tracemalloc_peak_bytes"] = leg["tracemalloc_peak_bytes"]
+    payload["memory_band"] = MEM_BAND
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"pinned: {json.dumps(payload, indent=2)}")
+
+
+if __name__ == "__main__":
+    _repin()

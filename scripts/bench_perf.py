@@ -24,10 +24,23 @@ percentage reduction, so the checked-in report is a same-host,
 same-interpreter comparison rather than numbers from two different
 machines.
 
+A third mode (``--tier large``) measures the *memory* tier: each large
+workload (ASP 512 and SOR 256 at 16 nodes) runs twice in isolated
+subprocesses — barrier-epoch GC off, then on — recording peak RSS
+(``ru_maxrss``), the tracemalloc peak/current of traced allocations, and
+the cluster's arena/GC footprint counters.  Subprocess isolation matters
+because ``ru_maxrss`` is a process-lifetime high-water mark: legs must
+not share a process or the first leg's peak masks the second's.  The
+report records the GC-on vs GC-off reduction percentages plus the
+pinned-workload walls, giving the PR-4 memory work the same checked-in
+evidence trail the PR-3 hot-path work has.
+
 Usage:
     PYTHONPATH=src python scripts/bench_perf.py [--out BENCH_PR2.json]
     PYTHONPATH=src python scripts/bench_perf.py --pinned \
         [--compare-src .baseline/wt/src] [--out BENCH_PR3.json]
+    PYTHONPATH=src python scripts/bench_perf.py --tier large \
+        [--out BENCH_PR4.json]
 """
 
 import argparse
@@ -57,6 +70,26 @@ PINNED_WORKLOADS = {
 
 #: Events in the bare event-loop microbenchmark.
 MICROBENCH_EVENTS = 50_000
+
+#: The large-workload memory tier: big enough that protocol memory state
+#: (cached payloads, twins, notice floors) dominates the interpreter
+#: baseline, at 16 nodes so per-node caches multiply.  ASP is the
+#: all-pairs broadcast pattern (every node eventually caches every row);
+#: SOR is the nearest-neighbour pattern (bounded sharing).
+LARGE_WORKLOADS = {
+    "asp_large_16": {
+        "app": "asp",
+        "app_kwargs": {"size": 512},
+        "policy": "AT",
+        "nodes": 16,
+    },
+    "sor_large_16": {
+        "app": "sor",
+        "app_kwargs": {"size": 256, "iterations": 30},
+        "policy": "AT",
+        "nodes": 16,
+    },
+}
 
 
 def build_sweep():
@@ -199,6 +232,156 @@ def _measure_old_tree(src: str, repeats: int) -> dict:
     return json.loads(proc.stdout)
 
 
+def _memory_leg(workload: str, gc_enabled: bool) -> dict:
+    """Run one large workload in THIS process and measure its memory.
+
+    Invoked in a fresh subprocess per leg (``--memory-leg``) so that
+    ``ru_maxrss`` — a process-lifetime high-water mark — reflects this
+    leg alone.  Returns a JSON-friendly measurement dict including a
+    digest of the deterministic results, so the caller can assert GC
+    changed memory and nothing else.
+    """
+    import hashlib
+    import resource
+    import tracemalloc
+
+    from repro.bench.executor import RunSpec, _make_app, _make_policy
+    from repro.bench.runner import make_comm_model, make_mechanism
+    from repro.gos.jvm import DistributedJVM
+
+    cfg = LARGE_WORKLOADS[workload]
+    spec = RunSpec(
+        app=cfg["app"],
+        app_kwargs=cfg["app_kwargs"],
+        policy=cfg["policy"],
+        nodes=cfg["nodes"],
+        verify=False,
+        gc_enabled=gc_enabled,
+        tag=workload,
+    )
+    app = _make_app(spec)
+    jvm = DistributedJVM(
+        nodes=spec.nodes,
+        comm_model=make_comm_model(spec.comm_model),
+        policy=_make_policy(spec),
+        mechanism=make_mechanism(spec.mechanism),
+        gc_enabled=gc_enabled,
+    )
+    tracemalloc.start()
+    base_current, _ = tracemalloc.get_traced_memory()
+    start = time.perf_counter()
+    result = jvm.run(app, nthreads=spec.nthreads)
+    wall = time.perf_counter() - start
+    current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    footprint = result.gos.memory_footprint()
+    rusage = resource.getrusage(resource.RUSAGE_SELF)
+    digest = hashlib.sha256(
+        json.dumps(
+            {
+                "stats": result.stats.snapshot(),
+                "time_us": result.execution_time_us,
+                "migrations": result.migrations,
+            },
+            sort_keys=True,
+        ).encode()
+    ).hexdigest()
+    return {
+        "workload": workload,
+        "gc_enabled": gc_enabled,
+        "wall_s": wall,
+        "sim_time_us": result.execution_time_us,
+        "engine_events": result.gos.sim.events_processed,
+        "peak_rss_kb": rusage.ru_maxrss,  # KiB on Linux
+        "tracemalloc_peak_bytes": peak,
+        "tracemalloc_end_bytes": current,
+        "tracemalloc_delta_bytes": current - base_current,
+        "footprint": footprint,
+        "result_digest": digest,
+    }
+
+
+def _spawn_memory_leg(workload: str, gc_enabled: bool) -> dict:
+    """Run one memory leg in an isolated subprocess; parse its JSON."""
+    cmd = [
+        sys.executable,
+        os.path.abspath(__file__),
+        "--memory-leg",
+        workload,
+        "--emit-json",
+    ]
+    if not gc_enabled:
+        cmd.append("--no-gc")
+    proc = subprocess.run(
+        cmd, env=os.environ.copy(), capture_output=True, text=True, check=True
+    )
+    return json.loads(proc.stdout)
+
+
+def large_main(args) -> None:
+    """``--tier large``: the memory tier — GC-off vs GC-on legs per
+    workload in isolated subprocesses, plus the pinned walls."""
+    if args.memory_leg:
+        json.dump(_memory_leg(args.memory_leg, not args.no_gc), sys.stdout)
+        return
+
+    workloads = {}
+    for name in LARGE_WORKLOADS:
+        print(f"{name}: measuring gc-off leg ...", flush=True)
+        no_gc = _spawn_memory_leg(name, gc_enabled=False)
+        print(f"{name}: measuring gc-on leg ...", flush=True)
+        gc_on = _spawn_memory_leg(name, gc_enabled=True)
+        if no_gc["result_digest"] != gc_on["result_digest"]:
+            raise SystemExit(
+                f"FATAL: GC changed simulated results for {name}"
+            )
+        workloads[name] = {
+            "spec": LARGE_WORKLOADS[name],
+            "no_gc": no_gc,
+            "gc": gc_on,
+            "reduction": {
+                "peak_rss_pct": 100.0
+                * (1.0 - gc_on["peak_rss_kb"] / no_gc["peak_rss_kb"]),
+                "tracemalloc_peak_pct": 100.0
+                * (
+                    1.0
+                    - gc_on["tracemalloc_peak_bytes"]
+                    / no_gc["tracemalloc_peak_bytes"]
+                ),
+                "cache_payload_pct": 100.0
+                * (
+                    1.0
+                    - gc_on["footprint"]["cache_payload_bytes"]
+                    / max(1, no_gc["footprint"]["cache_payload_bytes"])
+                ),
+            },
+            "identical_results": True,
+        }
+
+    report = {
+        "mode": "large-memory-tier",
+        "host": _host(),
+        "workloads": workloads,
+        "pinned": measure_pinned(args.repeats),
+        "microbench": measure_microbench(3),
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    for name, entry in workloads.items():
+        red = entry["reduction"]
+        print(
+            f"{name}: peak RSS {entry['no_gc']['peak_rss_kb']} -> "
+            f"{entry['gc']['peak_rss_kb']} KiB "
+            f"({red['peak_rss_pct']:.1f}% lower with GC), "
+            f"tracemalloc peak {red['tracemalloc_peak_pct']:.1f}% lower, "
+            f"live cache payload {red['cache_payload_pct']:.1f}% lower"
+        )
+    for name, w in report["pinned"].items():
+        print(f"{name}: {w['wall_s_best']:.4f}s best of {args.repeats}")
+    print(f"report written to {args.out}")
+
+
 def pinned_main(args) -> None:
     """``--pinned``: measure the gate workloads, optionally vs an old tree."""
     if args.emit_json:
@@ -304,7 +487,26 @@ def main() -> None:
         action="store_true",
         help=argparse.SUPPRESS,  # internal: used for the --compare-src subprocess
     )
+    parser.add_argument(
+        "--tier",
+        choices=("quick", "large"),
+        default="quick",
+        help="'large' runs the memory tier (GC-off vs GC-on subprocesses)",
+    )
+    parser.add_argument(
+        "--memory-leg",
+        default=None,
+        help=argparse.SUPPRESS,  # internal: one isolated memory measurement
+    )
+    parser.add_argument(
+        "--no-gc",
+        action="store_true",
+        help="disable barrier-epoch memory GC (memory-ablation leg)",
+    )
     args = parser.parse_args()
+    if args.tier == "large" or args.memory_leg:
+        large_main(args)
+        return
     if args.pinned:
         pinned_main(args)
         return

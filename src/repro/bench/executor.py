@@ -146,6 +146,9 @@ class RunSpec:
     verify: bool = True
     tag: Any = None
     obs: ObsSpec | None = None
+    #: Barrier-epoch memory GC in the engines (results are identical
+    #: either way; ``False`` is the memory-ablation leg).
+    gc_enabled: bool = True
 
 
 @dataclass(frozen=True)
@@ -306,6 +309,7 @@ def run_spec(spec: RunSpec) -> RunOutcome:
                 metrics=metrics,
                 logger=logger,
                 heartbeat_events=obs.heartbeat_events if obs else None,
+                gc_enabled=spec.gc_enabled,
             )
         with timer.phase("simulate") if timer else _null_context():
             result = jvm.run(app, nthreads=spec.nthreads)

@@ -30,6 +30,11 @@ class ClusterStats:
         self.msg_count: Counter[MsgCategory] = Counter()
         self.msg_bytes: Counter[MsgCategory] = Counter()
         self.events: Counter[str] = Counter()
+        #: High-water marks of protocol memory state (``name -> max``).
+        #: A side channel deliberately *excluded* from :meth:`snapshot`
+        #: — the determinism digest hashes the snapshot, and peaks are
+        #: memory telemetry, not protocol behaviour.
+        self.peaks: dict[str, int] = {}
 
     # -- raw traffic ------------------------------------------------------
 
@@ -70,6 +75,17 @@ class ClusterStats:
         """Figure 5b's message breakdown: obj / mig / diff / redir counts."""
         return {name: self.events.get(name, 0) for name in BREAKDOWN_EVENTS}
 
+    # -- memory telemetry --------------------------------------------------
+
+    def record_peak(self, name: str, value: int) -> None:
+        """Track the high-water mark of a memory-state quantity."""
+        if self.peaks.get(name, 0) < value:
+            self.peaks[name] = value
+
+    def memory_snapshot(self) -> dict[str, int]:
+        """Sorted copy of the peak telemetry (reports only, never hashed)."""
+        return dict(sorted(self.peaks.items()))
+
     # -- reporting --------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -94,6 +110,9 @@ class ClusterStats:
         self.msg_count.update(other.msg_count)
         self.msg_bytes.update(other.msg_bytes)
         self.events.update(other.events)
+        for name, value in other.peaks.items():
+            if self.peaks.get(name, 0) < value:
+                self.peaks[name] = value
         return self
 
     @classmethod

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from repro.memory.version import merge_notices
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BarrierHandle:
     """Application-facing barrier identity."""
 
@@ -29,7 +29,7 @@ class BarrierHandle:
             raise ValueError(f"barrier needs >= 1 parties, got {self.parties}")
 
 
-@dataclass
+@dataclass(slots=True)
 class BarrierRound:
     """Manager-side state of the in-progress round."""
 

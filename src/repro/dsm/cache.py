@@ -15,10 +15,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.memory.twin import make_twin
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memory.arena import Arena
 
 
 class AccessMode(enum.Enum):
@@ -42,13 +46,18 @@ class CacheEntry:
     def writable(self) -> bool:
         return self.mode is AccessMode.WRITE
 
-    def upgrade_to_write(self) -> None:
-        """Write fault on a READ copy: snapshot the twin, allow writes."""
+    def upgrade_to_write(self, pool: "Arena | None" = None) -> None:
+        """Write fault on a READ copy: snapshot the twin, allow writes.
+
+        With ``pool`` set, the twin buffer is carved from (and later
+        returned to) that arena, so repeated write intervals on the same
+        object recycle one buffer instead of churning the allocator.
+        """
         if self.mode is AccessMode.WRITE:
             return
         if self.mode is AccessMode.INVALID:
             raise RuntimeError("cannot upgrade an INVALID cache entry to WRITE")
-        self.twin = make_twin(self.payload)
+        self.twin = make_twin(self.payload, pool)
         self.mode = AccessMode.WRITE
 
     def invalidate(self) -> None:
@@ -60,7 +69,9 @@ class CacheEntry:
             )
         self.mode = AccessMode.INVALID
 
-    def downgrade_after_flush(self, acked_version: int) -> None:
+    def downgrade_after_flush(
+        self, acked_version: int, pool: "Arena | None" = None
+    ) -> None:
         """After the diff was acked by the home, drop the twin.
 
         If the ack shows our update applied directly on top of the version
@@ -69,7 +80,7 @@ class CacheEntry:
         diff interleaved (multiple-writer interval) and our copy misses its
         updates, so it must be invalidated.
         """
-        self.twin = None
+        self._drop_twin(pool)
         if acked_version == self.version + 1:
             self.version = acked_version
             self.mode = AccessMode.READ
@@ -77,8 +88,13 @@ class CacheEntry:
             self.mode = AccessMode.INVALID
             self.version = acked_version
 
-    def downgrade_clean(self) -> None:
+    def downgrade_clean(self, pool: "Arena | None" = None) -> None:
         """Release with no actual changes: drop twin, back to READ."""
-        self.twin = None
+        self._drop_twin(pool)
         if self.mode is AccessMode.WRITE:
             self.mode = AccessMode.READ
+
+    def _drop_twin(self, pool: "Arena | None") -> None:
+        if self.twin is not None and pool is not None:
+            pool.free(self.twin)
+        self.twin = None

@@ -39,6 +39,7 @@ from repro.cluster.stats import ClusterStats
 from repro.dsm.barrier import BarrierHandle, BarrierState
 from repro.dsm.cache import AccessMode
 from repro.dsm.locks import LockHandle, LockTable
+from repro.memory.arena import Arena
 from repro.memory.diff import Diff, apply_diff, compute_diff
 from repro.memory.heap import ObjectHeap
 from repro.memory.twin import make_twin
@@ -51,14 +52,14 @@ SYNC_BASE_BYTES = 8
 NOTICE_BYTES = 16
 
 
-@dataclass
+@dataclass(slots=True)
 class _StampedDiff:
     seq: int
     stamp: float  # flush simulated time: causal order for serialized writes
     diff: Diff
 
 
-@dataclass
+@dataclass(slots=True)
 class _Replica:
     payload: np.ndarray
     mode: AccessMode = AccessMode.READ
@@ -67,7 +68,7 @@ class _Replica:
     applied: dict[int, int] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class DiffRequest:
     oid: int
     writer_seq_from: int
@@ -75,13 +76,13 @@ class DiffRequest:
     request_id: tuple[int, int]
 
 
-@dataclass
+@dataclass(slots=True)
 class DiffReply:
     request_id: tuple[int, int]
     diffs: list[_StampedDiff]
 
 
-@dataclass
+@dataclass(slots=True)
 class _LockAcquire:
     lock_id: int
     requester: int
@@ -89,21 +90,21 @@ class _LockAcquire:
     notices: dict
 
 
-@dataclass
+@dataclass(slots=True)
 class _LockGrant:
     lock_id: int
     request_id: tuple[int, int]
     notices: dict
 
 
-@dataclass
+@dataclass(slots=True)
 class _LockRelease:
     lock_id: int
     releaser: int
     notices: dict
 
 
-@dataclass
+@dataclass(slots=True)
 class _BarrierArrive:
     barrier_id: int
     node: int
@@ -111,14 +112,14 @@ class _BarrierArrive:
     notices: dict
 
 
-@dataclass
+@dataclass(slots=True)
 class _BarrierRelease:
     barrier_id: int
     round_no: int
     notices: dict
 
 
-@dataclass
+@dataclass(slots=True)
 class _GcTraffic:
     """Inert accounting message: the bytes a global diff GC moves.
 
@@ -143,12 +144,17 @@ class HomelessEngine:
         network: Network,
         heap: ObjectHeap,
         stats: ClusterStats,
+        arena: Arena | None = None,
     ):
         self.node_id = node_id
         self.sim = sim
         self.network = network
         self.heap = heap
         self.stats = stats
+        #: Pooled payload/twin storage (same discipline as DsmEngine;
+        #: replica payloads and twins are strictly node-local here, so
+        #: no cross-arena traffic exists at all).
+        self.arena: Arena = arena if arena is not None else Arena()
         self.replicas: dict[int, _Replica] = {}
         #: Our own diff history per object (retained for remote fetches).
         self.history: dict[int, list[_StampedDiff]] = {}
@@ -180,7 +186,7 @@ class HomelessEngine:
         if replica is None:
             # materialise the initial image locally, as TreadMarks
             # processes share identical initial pages
-            payload = self.heap.get(oid).new_payload()
+            payload = self.heap.get(oid).new_payload(self.arena)
             initial = getattr(self.heap, "initial_values", {}).get(oid)
             if initial is not None:
                 payload[:] = initial
@@ -217,7 +223,7 @@ class HomelessEngine:
         ):
             return None
         if replica.twin is None:
-            replica.twin = make_twin(replica.payload)
+            replica.twin = make_twin(replica.payload, self.arena)
             replica.mode = AccessMode.WRITE
         self.dirty.add(oid)
         return replica.payload
@@ -239,7 +245,7 @@ class HomelessEngine:
             if replica.mode is AccessMode.INVALID:
                 replica.mode = AccessMode.READ
         if replica.twin is None:
-            replica.twin = make_twin(replica.payload)
+            replica.twin = make_twin(replica.payload, self.arena)
             replica.mode = AccessMode.WRITE
         self.dirty.add(oid)
         return replica.payload
@@ -317,7 +323,13 @@ class HomelessEngine:
             replica = self.replicas.get(oid)
             if replica is None or replica.twin is None:
                 continue
-            diff = compute_diff(oid, replica.twin, replica.payload)
+            diff = compute_diff(
+                oid,
+                replica.twin,
+                replica.payload,
+                scratch=self.arena.bool_scratch(replica.payload.size),
+            )
+            self.arena.free(replica.twin)
             replica.twin = None
             replica.mode = AccessMode.READ
             if diff is None:

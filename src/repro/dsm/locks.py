@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from repro.memory.version import merge_notices
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LockHandle:
     """Application-facing lock identity: id + manager (home) node."""
 
@@ -31,13 +31,13 @@ class LockHandle:
             raise ValueError(f"invalid lock handle ({self.lock_id}, {self.home})")
 
 
-@dataclass
+@dataclass(slots=True)
 class _Waiter:
     node: int
     request_id: tuple[int, int]
 
 
-@dataclass
+@dataclass(slots=True)
 class LockState:
     """Manager-side state of one lock."""
 

@@ -109,6 +109,19 @@ class KeyedFifo:
         queue = self._by_key.pop(key, None)
         return [] if queue is None else list(queue)
 
+    def prune_empty(self) -> int:
+        """Drop keys whose queue is empty; return how many were dropped.
+
+        ``add``/``pop_all`` never leave empty queues behind, but callers
+        holding a queue reference could drain one in place; the
+        barrier-epoch GC calls this so the invariant "truthiness means
+        parked work" survives such use and the key map cannot accrete.
+        """
+        empty = [key for key, queue in self._by_key.items() if not queue]
+        for key in empty:
+            del self._by_key[key]
+        return len(empty)
+
     def __len__(self) -> int:
         return sum(len(queue) for queue in self._by_key.values())
 

@@ -50,6 +50,7 @@ from repro.dsm.home import HomeEntry
 from repro.dsm.locks import LockHandle, LockTable
 from repro.dsm.pending import KeyedFifo
 from repro.dsm.redirection import NotificationMechanism
+from repro.memory.arena import Arena
 from repro.memory.diff import Diff, apply_diff, compute_diff
 from repro.memory.heap import ObjectHeap
 from repro.obs.timers import EpochTimer, SpanTracker
@@ -266,6 +267,8 @@ class DsmEngine:
         seed: int = 0,
         metrics=None,
         logger=None,
+        arenas: "list[Arena] | None" = None,
+        gc_enabled: bool = True,
     ):
         if lock_discipline not in ("fifo", "retry"):
             raise ValueError(
@@ -281,6 +284,20 @@ class DsmEngine:
         self.mechanism = mechanism
         self.tracer = tracer
         self.lock_discipline = lock_discipline
+        #: Shared per-node arena list (index = node id).  Reply payload
+        #: copies are carved from the *receiver's* arena — modelling the
+        #: receive-side buffer a real transport would fill — so that every
+        #: payload living on a node came from that node's arena and the
+        #: free/reuse cycle closes locally.  Standalone engines (unit
+        #: tests) get a private arena and skip the cross-node discipline.
+        self.arenas = arenas
+        self.arena: Arena = (
+            arenas[node_id] if arenas is not None else Arena()
+        )
+        self.gc_enabled = gc_enabled
+        #: Barrier-epoch GC tallies (observability only; never in stats).
+        self.gc_cache_drops = 0
+        self.gc_notice_prunes = 0
         import random
 
         self._rng = random.Random(10_007 * (node_id + 1) + seed)
@@ -365,7 +382,7 @@ class DsmEngine:
         """Materialise the home entry for an object initially homed here."""
         obj = self.heap.get(oid)
         self.homes[oid] = HomeEntry(
-            payload=obj.new_payload(),
+            payload=obj.new_payload(self.arena),
             version=0,
             state=ObjectAccessState(oid=oid, object_bytes=obj.size_bytes),
         )
@@ -388,6 +405,17 @@ class DsmEngine:
         self, dst: int, category: MsgCategory, size_bytes: int, payload: Any
     ) -> None:
         self.network.send(self.node_id, dst, category, size_bytes, payload)
+
+    def _dst_arena(self, node: int) -> Arena:
+        """The arena a payload copy destined for ``node`` is carved from.
+
+        Models the receive buffer the destination allocates: the copy's
+        lifetime is entirely on the receiving node, so its storage should
+        come from — and eventually return to — that node's pool.
+        """
+        if self.arenas is not None:
+            return self.arenas[node]
+        return self.arena
 
     def _notice_size(self, notices: dict[int, int]) -> int:
         return SYNC_BASE_BYTES + NOTICE_ENTRY_BYTES * len(notices)
@@ -430,7 +458,7 @@ class DsmEngine:
             return entry.payload
         cached = self.cache.get(oid)
         if cached is not None and cached.readable():
-            cached.upgrade_to_write()
+            cached.upgrade_to_write(self.arena)
             self.dirty.add(oid)
             return cached.payload
         return None
@@ -507,8 +535,10 @@ class DsmEngine:
             for oid, version, data in reply.items:
                 if version < self.required_version.get(oid, 0):
                     leftovers.append(oid)  # stale (rare race): refetch singly
+                    self.arena.free(data)
                     continue
                 self.home_hint[oid] = reply.home
+                self._retire_cached(oid)
                 self.cache[oid] = CacheEntry(
                     payload=data, version=version, mode=AccessMode.READ
                 )
@@ -532,7 +562,13 @@ class DsmEngine:
             entry.state.record_remote_read(request.requester)
             self.stats.incr("remote_read")
             self.stats.incr("obj")
-            items.append((oid, entry.version, entry.payload.copy()))
+            items.append(
+                (
+                    oid,
+                    entry.version,
+                    self._dst_arena(request.requester).take_copy(entry.payload),
+                )
+            )
         size = REQUEST_BYTES + sum(
             self.heap.get(oid).size_bytes + REPLY_EXTRA_BYTES
             for oid, _v, _d in items
@@ -625,7 +661,7 @@ class DsmEngine:
             if reply.migrated:
                 # the policy moved the home to us; install it and run
                 # fn locally as a home write
-                self.cache.pop(oid, None)
+                self._free_dead_entry(self.cache.pop(oid, None))
                 self.forwards.pop(oid, None)
                 self.homes[oid] = HomeEntry(
                     payload=reply.data,
@@ -705,7 +741,9 @@ class DsmEngine:
                     version=entry.version,
                     home=request.requester,
                     migrated=True,
-                    data=entry.payload.copy(),
+                    data=self._dst_arena(request.requester).take_copy(
+                        entry.payload
+                    ),
                     monitor=state,
                 ),
             )
@@ -851,7 +889,7 @@ class DsmEngine:
         self.home_hint[oid] = reply.home
         if reply.migrated:
             assert reply.monitor is not None
-            self.cache.pop(oid, None)
+            self._free_dead_entry(self.cache.pop(oid, None))
             self.forwards.pop(oid, None)  # we are home again: drop stale pointer
             self.homes[oid] = HomeEntry(
                 payload=reply.data, version=reply.version, state=reply.monitor
@@ -866,10 +904,31 @@ class DsmEngine:
                 f"home replied version {reply.version} < required {required} "
                 f"for oid {oid}"
             )
+        self._retire_cached(oid)
         self.cache[oid] = CacheEntry(
             payload=reply.data, version=reply.version, mode=AccessMode.READ
         )
         return reply.data
+
+    def _retire_cached(self, oid: int) -> None:
+        """Recycle the payload of an about-to-be-replaced cache entry."""
+        self._free_dead_entry(self.cache.get(oid))
+
+    def _free_dead_entry(self, entry: CacheEntry | None) -> None:
+        """Pool a dropped entry's payload iff it is provably dead.
+
+        Only ``INVALID`` twinless copies qualify: application threads
+        re-fault after every synchronization point, so nothing can still
+        reach an invalid copy's buffer (see ``docs/PROTOCOL.md`` §12).
+        READ/WRITE copies are never freed here — a local thread may hold
+        the payload reference within the current interval.
+        """
+        if (
+            entry is not None
+            and entry.mode is AccessMode.INVALID
+            and entry.twin is None
+        ):
+            self.arena.free(entry.payload)
 
     # -- diff flushing --------------------------------------------------
 
@@ -882,13 +941,19 @@ class DsmEngine:
         """
         notices: dict[int, int] = {}
         waits: list[tuple[int, CacheEntry, Future]] = []
+        arena = self.arena
         for oid in sorted(self.dirty):
             cached = self.cache.get(oid)
             if cached is None or cached.twin is None:
                 continue
-            diff = compute_diff(oid, cached.twin, cached.payload)
+            diff = compute_diff(
+                oid,
+                cached.twin,
+                cached.payload,
+                scratch=arena.bool_scratch(cached.payload.size),
+            )
             if diff is None:
-                cached.downgrade_clean()
+                cached.downgrade_clean(arena)
                 continue
             request_id = self._next_request_id()
             fut = Future(label=f"diffack-{oid}-{request_id}")
@@ -906,7 +971,7 @@ class DsmEngine:
         for oid, cached, fut in waits:
             ack: DiffAck = yield fut
             self.home_hint[oid] = ack.home
-            cached.downgrade_after_flush(ack.version)
+            cached.downgrade_after_flush(ack.version, arena)
             notices[oid] = ack.version
         for oid in sorted(self.home_dirty):
             entry = self.homes.get(oid)
@@ -953,6 +1018,75 @@ class DsmEngine:
         for cached in self.cache.values():
             if cached.mode is AccessMode.READ:
                 cached.mode = AccessMode.INVALID
+
+    def collect_garbage(self, released: dict[int, int]) -> None:
+        """Barrier-epoch memory GC (``docs/PROTOCOL.md`` §12).
+
+        Runs after ``apply_notices``/``invalidate_all_cached`` of a
+        barrier release.  Two reclamations, both behaviour-free:
+
+        * **Invalid cached copies** are dropped and their payload
+          buffers pooled.  Every later access re-faults anyway (Java
+          consistency invalidated them wholesale), and
+          ``_install_home_transfer`` falls back to the transferred image
+          when no cached array exists, so nothing observes the missing
+          entry.  Without this, every node's cache accumulates one dead
+          payload per object it ever touched.
+        * **Write-notice floors** (``required_version``) are pruned up
+          to the release's version horizon: home versions are monotone
+          and travel with migration, and a notice is only emitted after
+          its home reached that version — so a floor at or below the
+          version this release announced (or whose object is homed
+          here, where the floor is moot) can never defer a future
+          request.  The floor map stops growing with run history.
+
+        Deliberately touches no :class:`ClusterStats` counters, sends
+        no messages, and consumes no simulated time: results and the
+        determinism digest are bit-identical with GC on or off.
+        """
+        cache = self.cache
+        required = self.required_version
+        # pre-GC footprint peaks: the bounded-steady-state evidence
+        self.stats.record_peak("cache_entries", len(cache))
+        self.stats.record_peak("notice_floors", len(required))
+        if cache:
+            dead = [
+                oid
+                for oid, entry in cache.items()
+                if entry.mode is AccessMode.INVALID and entry.twin is None
+            ]
+            arena = self.arena
+            for oid in dead:
+                arena.free(cache.pop(oid).payload)
+            self.gc_cache_drops += len(dead)
+        if required:
+            homes = self.homes
+            prunable = [
+                oid
+                for oid, floor in required.items()
+                if floor <= released.get(oid, 0) or oid in homes
+            ]
+            for oid in prunable:
+                del required[oid]
+            self.gc_notice_prunes += len(prunable)
+        # deferred-work queues are provably drained at a completed
+        # barrier (flush blocks on diff acks; transfers precede release
+        # delivery), but stale empty keys cost memory — compact them.
+        self.pending_foreign.prune_empty()
+        self._pending_diffs.prune_empty()
+        if self.metrics is not None:
+            arena_stats = self.arena.stats()
+            node = self.node_id
+            self.metrics.gauge("dsm_arena_live_bytes", node=node).set(
+                arena_stats["live_bytes"]
+            )
+            self.metrics.gauge("dsm_arena_pooled_bytes", node=node).set(
+                arena_stats["pooled_bytes"]
+            )
+            self.metrics.gauge("dsm_cache_entries", node=node).set(len(cache))
+            self.metrics.gauge("dsm_notice_floors", node=node).set(
+                len(required)
+            )
 
     # -- locks ------------------------------------------------------------
 
@@ -1142,6 +1276,8 @@ class DsmEngine:
         self.home_hint.update(release.new_homes)
         self.invalidate_all_cached()
         self.interval += 1
+        if self.gc_enabled:
+            self.collect_garbage(release.notices)
 
     def _manager_barrier_arrive(self, msg: BarrierArriveMsg) -> None:
         state = self.barriers[msg.barrier_id]
@@ -1338,7 +1474,9 @@ class DsmEngine:
                     oid=oid,
                     request_id=request.request_id,
                     version=entry.version,
-                    data=entry.payload.copy(),
+                    data=self._dst_arena(request.requester).take_copy(
+                        entry.payload
+                    ),
                     home=self.node_id,
                 ),
             )
@@ -1357,7 +1495,9 @@ class DsmEngine:
                 oid=oid,
                 request_id=request.request_id,
                 version=entry.version,
-                data=entry.payload.copy(),
+                data=self._dst_arena(request.requester).take_copy(
+                    entry.payload
+                ),
                 home=request.requester,
                 migrated=True,
                 monitor=state,
@@ -1594,7 +1734,7 @@ class DsmEngine:
             HomeTransferMsg(
                 oid=order.oid,
                 version=entry.version,
-                data=entry.payload.copy(),
+                data=self._dst_arena(order.new_home).take_copy(entry.payload),
                 monitor=state,
             ),
         )
@@ -1621,8 +1761,18 @@ class DsmEngine:
             payload = cached.payload
             local_diff = None
             if cached.twin is not None:
-                local_diff = compute_diff(oid, cached.twin, cached.payload)
+                local_diff = compute_diff(
+                    oid,
+                    cached.twin,
+                    cached.payload,
+                    scratch=self.arena.bool_scratch(cached.payload.size),
+                )
+                self.arena.free(cached.twin)
+                cached.twin = None
             payload[:] = msg.data
+            # the transferred image was absorbed into the cached array;
+            # its receive buffer (carved from our arena) is dead
+            self.arena.free(msg.data)
             if local_diff is not None:
                 apply_diff(payload, local_diff)
                 self.dirty.discard(oid)

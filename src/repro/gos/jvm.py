@@ -83,6 +83,7 @@ class DistributedJVM:
         metrics=None,
         logger=None,
         heartbeat_events: int | None = None,
+        gc_enabled: bool = True,
     ):
         if nodes < 1:
             raise ValueError(f"need at least one node, got {nodes}")
@@ -113,6 +114,10 @@ class DistributedJVM:
         #: When set, :meth:`run` installs a simulator heartbeat logging an
         #: ``info``-level progress line every this many processed events.
         self.heartbeat_events = heartbeat_events
+        #: Barrier-epoch memory GC in the home-based engines (``--no-gc``
+        #: escape hatch turns it off; results are identical either way,
+        #: only the memory footprint differs).
+        self.gc_enabled = gc_enabled
 
     def run(
         self, app: "DsmApplication", nthreads: int | None = None
@@ -146,6 +151,7 @@ class DistributedJVM:
                 seed=self.seed,
                 metrics=self.metrics,
                 logger=self.logger,
+                gc_enabled=self.gc_enabled,
             )
         log = self.logger
         log_info = log is not None and log.enabled_for("info")

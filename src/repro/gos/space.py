@@ -13,6 +13,7 @@ from repro.dsm.redirection import (
     ForwardingPointerMechanism,
     NotificationMechanism,
 )
+from repro.memory.arena import Arena
 from repro.memory.heap import ObjectHeap
 from repro.memory.objects import SharedObject
 from repro.sim.engine import Simulator
@@ -41,6 +42,7 @@ class GlobalObjectSpace:
         seed: int = 0,
         metrics=None,
         logger=None,
+        gc_enabled: bool = True,
     ):
         self.sim = Simulator()
         self.stats = ClusterStats()
@@ -59,6 +61,12 @@ class GlobalObjectSpace:
             metrics=metrics,
         )
         self.heap = ObjectHeap()
+        #: One arena per node, shared across engines so reply payload
+        #: copies are carved from the *receiving* node's pool (the
+        #: free/reuse cycle then closes inside each node; see
+        #: :class:`~repro.memory.arena.Arena`).
+        self.arenas = [Arena(label=f"node{i}") for i in range(nnodes)]
+        self.gc_enabled = gc_enabled
         engine_logger = (
             logger.child(clock=lambda: self.sim.now)
             if logger is not None
@@ -78,6 +86,8 @@ class GlobalObjectSpace:
                 seed=seed,
                 metrics=metrics,
                 logger=engine_logger,
+                arenas=self.arenas,
+                gc_enabled=gc_enabled,
             )
             for i in range(nnodes)
         ]
@@ -188,4 +198,52 @@ class GlobalObjectSpace:
             "monitor_bytes": monitor,
             "forwarding_bytes": forwards,
             "cache_payload_bytes": cache_payload,
+        }
+
+    def memory_footprint(self) -> dict:
+        """Cluster-wide memory-engine snapshot (arena + GC + cache state).
+
+        Everything the memory tier reports: summed arena accounting,
+        live protocol state sizes, and the heap's payload denominator
+        (one full replica set costs ``heap_data_bytes``).  Pure
+        introspection — reading it changes nothing.
+        """
+        arena_totals = {
+            "slabs": 0,
+            "slab_bytes": 0,
+            "carves": 0,
+            "reuses": 0,
+            "frees": 0,
+            "live_bytes": 0,
+            "pooled_bytes": 0,
+            "pooled_buffers": 0,
+            "scratch_bytes": 0,
+        }
+        for arena in self.arenas:
+            snap = arena.stats()
+            for key in arena_totals:
+                arena_totals[key] += snap[key]
+        cache_entries = 0
+        cache_payload = 0
+        notice_floors = 0
+        gc_cache_drops = 0
+        gc_notice_prunes = 0
+        for engine in self.engines:
+            cache_entries += len(engine.cache)
+            cache_payload += sum(
+                entry.payload.nbytes for entry in engine.cache.values()
+            )
+            notice_floors += len(engine.required_version)
+            gc_cache_drops += engine.gc_cache_drops
+            gc_notice_prunes += engine.gc_notice_prunes
+        return {
+            "arena": arena_totals,
+            "cache_entries": cache_entries,
+            "cache_payload_bytes": cache_payload,
+            "notice_floors": notice_floors,
+            "gc_cache_drops": gc_cache_drops,
+            "gc_notice_prunes": gc_notice_prunes,
+            "gc_enabled": self.gc_enabled,
+            "heap_data_bytes": self.heap.total_data_bytes(),
+            "peaks": self.stats.memory_snapshot(),
         }

@@ -1,0 +1,202 @@
+"""Arena allocator: pooled slab storage for payload/twin/scratch buffers.
+
+Every replica payload, twin snapshot, and diff scratch buffer in the DSM
+layer is a 1-D numpy array whose size is fixed by its object's layout.
+Allocating them with ``np.empty``/``copy()`` per fault-in and per write
+interval churns the allocator and lets peak RSS grow with the *history*
+of the run instead of its *live set* — the garbage problem real HLRC
+runtimes solve with pooling.  An :class:`Arena` replaces that churn:
+
+* storage is carved from large contiguous **slabs** (one ``uint8`` numpy
+  buffer each); an allocation is a dtype view of a slab slice, aligned
+  to :data:`ALIGN_BYTES`;
+* :meth:`free` returns a buffer to a per-``(length, dtype)`` **free
+  list**; the next :meth:`alloc` of that exact shape reuses it instead
+  of carving new slab space, so steady-state allocation traffic is
+  recycled and slabs stop growing once the live set stabilises;
+* a single growable **bool scratch** buffer backs ``compute_diff``'s
+  element-wise comparison, eliminating one temporary per diff.
+
+Ownership discipline (see ``docs/PROTOCOL.md`` §12): a buffer may be
+freed only when *provably dead* — no thread, cache entry, home entry or
+in-flight message can reach it.  Twins (never exposed to application
+code) and cache payloads dropped while ``INVALID`` satisfy this; live
+payloads never do.  Freeing is permissive about origin: buffers
+allocated by another node's arena (an object image that travelled in a
+message) may be freed into this one — ownership travels with the data,
+exactly like the payload bytes it carries.
+
+Determinism: arenas change *where* bytes live, never their values.
+Every allocation handed out is either fully zeroed (:meth:`zeros`) or
+fully overwritten (:meth:`take_copy`), so buffer reuse cannot leak
+stale values into results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Carve offsets are rounded up to this many bytes so dtype views stay
+#: aligned (numpy tolerates unaligned views but they are slow).
+ALIGN_BYTES = 16
+
+#: Default slab size.  Large enough that a figure-scale run needs only a
+#: handful of slabs per node; a single oversized allocation gets a
+#: dedicated slab of its own size.
+DEFAULT_SLAB_BYTES = 1 << 20
+
+
+class Arena:
+    """Slab allocator with exact-size free lists for one node.
+
+    All buffers are 1-D.  ``alloc`` returns uninitialised memory —
+    callers must overwrite it fully (use :meth:`zeros` or
+    :meth:`take_copy` unless they already do).
+    """
+
+    __slots__ = (
+        "label",
+        "slab_bytes",
+        "_slab",
+        "_offset",
+        "_free",
+        "_scratch",
+        "slabs_allocated",
+        "slab_bytes_total",
+        "carve_count",
+        "reuse_count",
+        "free_count",
+        "live_bytes",
+        "pooled_bytes",
+    )
+
+    def __init__(
+        self, slab_bytes: int = DEFAULT_SLAB_BYTES, label: str = ""
+    ) -> None:
+        if slab_bytes < ALIGN_BYTES:
+            raise ValueError(f"slab_bytes must be >= {ALIGN_BYTES}, got {slab_bytes}")
+        self.label = label
+        self.slab_bytes = slab_bytes
+        self._slab: np.ndarray | None = None
+        self._offset = 0
+        #: (length, dtype) -> list of reusable views.
+        self._free: dict[tuple[int, np.dtype], list[np.ndarray]] = {}
+        self._scratch: np.ndarray = np.empty(0, dtype=bool)
+        # -- accounting (introspection/telemetry only) ---------------------
+        self.slabs_allocated = 0
+        self.slab_bytes_total = 0
+        self.carve_count = 0
+        self.reuse_count = 0
+        self.free_count = 0
+        self.live_bytes = 0
+        self.pooled_bytes = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, length: int, dtype: str | np.dtype = "float64") -> np.ndarray:
+        """An uninitialised 1-D buffer of ``length`` elements of ``dtype``.
+
+        Reuses a freed buffer of the exact same shape when one is
+        pooled; otherwise carves fresh slab space.
+        """
+        if length <= 0:
+            raise ValueError(f"allocation length must be positive, got {length}")
+        # np.dtype objects hash/compare by value, so they key the free
+        # lists directly (cheaper than canonicalising to a string).
+        dt = dtype if isinstance(dtype, np.dtype) else np.dtype(dtype)
+        stack = self._free.get((length, dt))
+        if stack:
+            view = stack.pop()
+            self.reuse_count += 1
+            self.pooled_bytes -= view.nbytes
+            self.live_bytes += view.nbytes
+            return view
+        view = self._carve(length, dt)
+        self.carve_count += 1
+        self.live_bytes += view.nbytes
+        return view
+
+    def zeros(self, length: int, dtype: str | np.dtype = "float64") -> np.ndarray:
+        """A zeroed buffer (pool-reuse equivalent of ``np.zeros``)."""
+        view = self.alloc(length, dtype)
+        view.fill(0)
+        return view
+
+    def take_copy(self, src: np.ndarray) -> np.ndarray:
+        """A pooled copy of 1-D ``src`` (pool-reuse equivalent of ``.copy()``)."""
+        if src.ndim != 1:
+            raise ValueError(f"arenas hold 1-D buffers, got ndim={src.ndim}")
+        view = self.alloc(src.size, src.dtype)
+        np.copyto(view, src)
+        return view
+
+    def free(self, buf: np.ndarray) -> None:
+        """Return ``buf`` to the pool for same-shape reuse.
+
+        The caller asserts the buffer is dead: nothing else may read or
+        write it afterwards.  Buffers of foreign origin (another arena,
+        or a plain numpy allocation that entered the protocol before the
+        arena existed) are accepted — pooling them is strictly a win.
+        """
+        if buf.ndim != 1:
+            raise ValueError(f"arenas hold 1-D buffers, got ndim={buf.ndim}")
+        key = (buf.size, buf.dtype)
+        stack = self._free.get(key)
+        if stack is None:
+            stack = self._free[key] = []
+        stack.append(buf)
+        self.free_count += 1
+        self.pooled_bytes += buf.nbytes
+        self.live_bytes = max(0, self.live_bytes - buf.nbytes)
+
+    def bool_scratch(self, length: int) -> np.ndarray:
+        """A reusable boolean buffer of ``length`` elements.
+
+        One buffer per arena, grown geometrically and never returned —
+        the ``out=`` target for ``compute_diff``'s element-wise compare.
+        Contents are unspecified on entry; the caller overwrites fully.
+        """
+        if self._scratch.size < length:
+            self._scratch = np.empty(
+                max(length, 2 * self._scratch.size), dtype=bool
+            )
+        return self._scratch[:length]
+
+    # -- internals ----------------------------------------------------------
+
+    def _carve(self, length: int, dt: np.dtype) -> np.ndarray:
+        nbytes = length * dt.itemsize
+        aligned = -(-nbytes // ALIGN_BYTES) * ALIGN_BYTES
+        slab = self._slab
+        if slab is None or self._offset + aligned > slab.size:
+            size = max(self.slab_bytes, aligned)
+            slab = self._slab = np.empty(size, dtype=np.uint8)
+            self._offset = 0
+            self.slabs_allocated += 1
+            self.slab_bytes_total += size
+        start = self._offset
+        self._offset = start + aligned
+        return slab[start : start + nbytes].view(dt)
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Plain-dict accounting snapshot (telemetry and tests)."""
+        return {
+            "label": self.label,
+            "slabs": self.slabs_allocated,
+            "slab_bytes": self.slab_bytes_total,
+            "carves": self.carve_count,
+            "reuses": self.reuse_count,
+            "frees": self.free_count,
+            "live_bytes": self.live_bytes,
+            "pooled_bytes": self.pooled_bytes,
+            "pooled_buffers": sum(len(v) for v in self._free.values()),
+            "scratch_bytes": self._scratch.nbytes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Arena {self.label or id(self):x} slabs={self.slabs_allocated} "
+            f"live={self.live_bytes}B pooled={self.pooled_bytes}B>"
+        )

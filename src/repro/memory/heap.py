@@ -69,6 +69,16 @@ class ObjectHeap:
         """The well-known initial home node of ``oid``."""
         return self._initial_home[oid]
 
+    def total_data_bytes(self) -> int:
+        """Sum of every allocated object's payload data bytes.
+
+        The denominator for memory-footprint reporting: one full replica
+        set of the heap costs exactly this much payload storage, so
+        arena/GC telemetry can express live cache bytes as a multiple of
+        the heap's data size.
+        """
+        return sum(obj.spec.data_bytes for obj in self._objects.values())
+
     def __len__(self) -> int:
         return len(self._objects)
 

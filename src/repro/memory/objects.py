@@ -13,9 +13,12 @@ every object pays :data:`OBJECT_HEADER_BYTES` of header; array objects add
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memory.arena import Arena
 
 #: JVM-like per-object header (mark word, class pointer, array length).
 OBJECT_HEADER_BYTES = 16
@@ -37,7 +40,9 @@ class ArraySpec:
     def itemsize(self) -> int:
         return np.dtype(self.dtype).itemsize
 
-    def new_payload(self) -> np.ndarray:
+    def new_payload(self, arena: "Arena | None" = None) -> np.ndarray:
+        if arena is not None:
+            return arena.zeros(self.length, self.dtype)
         return np.zeros(self.length, dtype=self.dtype)
 
     @property
@@ -73,7 +78,9 @@ class FieldsSpec:
         except ValueError:
             raise KeyError(f"object has no field {name!r}") from None
 
-    def new_payload(self) -> np.ndarray:
+    def new_payload(self, arena: "Arena | None" = None) -> np.ndarray:
+        if arena is not None:
+            return arena.zeros(len(self.fields), self.dtype)
         return np.zeros(len(self.fields), dtype=self.dtype)
 
     @property
@@ -104,9 +111,13 @@ class SharedObject:
     def itemsize(self) -> int:
         return self.spec.itemsize
 
-    def new_payload(self) -> np.ndarray:
-        """A fresh zeroed payload with this object's layout."""
-        return self.spec.new_payload()
+    def new_payload(self, arena: "Arena | None" = None) -> np.ndarray:
+        """A fresh zeroed payload with this object's layout.
+
+        With ``arena`` set, the buffer comes from that node's pooled
+        slabs instead of a standalone numpy allocation.
+        """
+        return self.spec.new_payload(arena)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         tag = self.label or type(self.spec).__name__

@@ -177,6 +177,21 @@ class MetricsRegistry:
             c.value for (n, _), c in self._counters.items() if n == name
         )
 
+    def gauge_value(self, name: str, **labels: Any) -> float:
+        """Current value of a gauge (0.0 if never touched)."""
+        entry = self._gauges.get((name, _labels_key(labels)))
+        return entry.value if entry is not None else 0.0
+
+    def gauge_total(self, name: str) -> float:
+        """Sum of a gauge over all label sets (0.0 if never touched).
+
+        Meaningful for per-node resource gauges (arena bytes, cache
+        entries) whose cluster-wide footprint is the sum over nodes.
+        """
+        return sum(
+            g.value for (n, _), g in self._gauges.items() if n == name
+        )
+
     def __len__(self) -> int:
         return (
             len(self._counters) + len(self._gauges) + len(self._histograms)

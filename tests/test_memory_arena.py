@@ -1,0 +1,164 @@
+"""Arena allocator: carving, free-list reuse, scratch, and accounting."""
+
+import numpy as np
+import pytest
+
+from repro.memory.arena import ALIGN_BYTES, Arena
+from repro.memory.twin import make_twin
+
+
+def test_alloc_returns_requested_shape_and_dtype():
+    arena = Arena()
+    buf = arena.alloc(100, "float64")
+    assert buf.shape == (100,)
+    assert buf.dtype == np.float64
+    assert buf.ndim == 1
+
+
+def test_zeros_is_fully_zeroed():
+    arena = Arena()
+    # dirty the pool first so zeros() must actually clear reused storage
+    dirty = arena.alloc(64, "float64")
+    dirty.fill(7.5)
+    arena.free(dirty)
+    buf = arena.zeros(64, "float64")
+    assert np.all(buf == 0.0)
+
+
+def test_take_copy_matches_source_and_is_independent():
+    arena = Arena()
+    src = np.arange(32, dtype="float64")
+    copy = arena.take_copy(src)
+    np.testing.assert_array_equal(copy, src)
+    copy[0] = -1.0
+    assert src[0] == 0.0
+
+
+def test_take_copy_rejects_multidimensional():
+    arena = Arena()
+    with pytest.raises(ValueError):
+        arena.take_copy(np.zeros((4, 4)))
+
+
+def test_free_rejects_multidimensional():
+    arena = Arena()
+    with pytest.raises(ValueError):
+        arena.free(np.zeros((2, 2)))
+
+
+def test_alloc_rejects_nonpositive_length():
+    arena = Arena()
+    with pytest.raises(ValueError):
+        arena.alloc(0)
+    with pytest.raises(ValueError):
+        arena.alloc(-3)
+
+
+def test_free_then_alloc_reuses_exact_shape():
+    arena = Arena()
+    a = arena.alloc(128, "float64")
+    arena.free(a)
+    b = arena.alloc(128, "float64")
+    # same underlying storage came back out of the pool
+    assert b.__array_interface__["data"][0] == a.__array_interface__["data"][0]
+    assert arena.reuse_count == 1
+    assert arena.carve_count == 1
+
+
+def test_free_list_is_keyed_by_length_and_dtype():
+    arena = Arena()
+    arena.free(arena.alloc(128, "float64"))
+    # different length: no reuse
+    c = arena.alloc(64, "float64")
+    assert arena.reuse_count == 0
+    arena.free(c)
+    # same length, different dtype: no reuse either
+    arena.alloc(64, "int64")
+    assert arena.reuse_count == 0
+
+
+def test_carves_are_aligned():
+    arena = Arena()
+    # odd byte sizes force padding between consecutive carves
+    for _ in range(8):
+        buf = arena.alloc(3, "int8")  # 3 bytes -> padded to ALIGN_BYTES
+        addr = buf.__array_interface__["data"][0]
+        assert addr % ALIGN_BYTES == 0
+
+
+def test_oversized_allocation_gets_dedicated_slab():
+    arena = Arena(slab_bytes=1024)
+    big = arena.alloc(4096, "float64")  # 32 KiB >> 1 KiB slab
+    assert big.size == 4096
+    assert arena.slabs_allocated == 1
+    assert arena.slab_bytes_total >= big.nbytes
+
+
+def test_slab_rollover_allocates_new_slab():
+    arena = Arena(slab_bytes=1024)
+    arena.alloc(100, "float64")  # 800 B
+    arena.alloc(100, "float64")  # does not fit the 1 KiB remainder
+    assert arena.slabs_allocated == 2
+
+
+def test_rejects_tiny_slab_bytes():
+    with pytest.raises(ValueError):
+        Arena(slab_bytes=ALIGN_BYTES - 1)
+
+
+def test_foreign_buffer_may_be_freed_and_reused():
+    # ownership travels with the data: a plain numpy array (or another
+    # arena's view) can enter the pool and be handed back out
+    arena = Arena()
+    foreign = np.arange(16, dtype="float64")
+    arena.free(foreign)
+    out = arena.alloc(16, "float64")
+    assert out.__array_interface__["data"][0] == (
+        foreign.__array_interface__["data"][0]
+    )
+
+
+def test_bool_scratch_grows_and_is_reused():
+    arena = Arena()
+    small = arena.bool_scratch(10)
+    assert small.size == 10
+    assert small.dtype == np.bool_
+    big = arena.bool_scratch(100)
+    assert big.size == 100
+    # asking for a smaller view again must not shrink the backing buffer
+    again = arena.bool_scratch(10)
+    assert again.__array_interface__["data"][0] == (
+        big.__array_interface__["data"][0]
+    )
+    assert arena.stats()["scratch_bytes"] >= 100
+
+
+def test_stats_accounting_balances():
+    arena = Arena(label="t")
+    a = arena.alloc(64, "float64")
+    b = arena.alloc(64, "float64")
+    assert arena.live_bytes == a.nbytes + b.nbytes
+    arena.free(a)
+    stats = arena.stats()
+    assert stats["label"] == "t"
+    assert stats["carves"] == 2
+    assert stats["frees"] == 1
+    assert stats["pooled_buffers"] == 1
+    assert stats["pooled_bytes"] == a.nbytes
+    assert stats["live_bytes"] == b.nbytes
+    arena.alloc(64, "float64")
+    assert arena.stats()["pooled_buffers"] == 0
+    assert arena.reuse_count == 1
+
+
+def test_make_twin_draws_from_pool_when_given():
+    arena = Arena()
+    payload = np.arange(32, dtype="float64")
+    seeded = arena.alloc(32, "float64")
+    arena.free(seeded)
+    twin = make_twin(payload, arena)
+    np.testing.assert_array_equal(twin, payload)
+    assert arena.reuse_count == 1
+    # without a pool, plain copy still works
+    plain = make_twin(payload)
+    np.testing.assert_array_equal(plain, payload)

@@ -1,0 +1,105 @@
+"""Barrier-epoch memory GC: result-neutral, bounded, and switchable.
+
+The memory-engine GC (``ProtocolEngine.collect_garbage``) runs at every
+barrier release and must be a pure *storage* operation: dropping dead
+INVALID cache entries, pruning version-horizon-covered write-notice
+floors, and compacting pending-work maps may never change simulated
+time, message traffic, stats, or application output.  These tests pin
+that contract and the boundedness claims the large-workload tier
+measures.
+"""
+
+import hashlib
+import json
+
+import numpy as np
+
+from repro.apps import Sor
+from repro.bench.runner import make_mechanism, make_policy
+from repro.cluster.hockney import FAST_ETHERNET
+from repro.gos.jvm import DistributedJVM
+
+
+def _run(gc_enabled, iterations=6, policy="AT"):
+    jvm = DistributedJVM(
+        nodes=4,
+        comm_model=FAST_ETHERNET,
+        policy=make_policy(policy),
+        mechanism=make_mechanism("forwarding-pointer"),
+        gc_enabled=gc_enabled,
+    )
+    return jvm.run(Sor(size=24, iterations=iterations))
+
+
+def _digest(result) -> str:
+    payload = {
+        "stats": result.stats.snapshot(),
+        "time_us": result.execution_time_us,
+        "migrations": result.migrations,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def test_gc_on_and_off_produce_identical_runs():
+    on = _run(gc_enabled=True)
+    off = _run(gc_enabled=False)
+    assert _digest(on) == _digest(off)
+    np.testing.assert_array_equal(on.output, off.output)
+    assert on.execution_time_us == off.execution_time_us
+    assert on.stats.total_messages() == off.stats.total_messages()
+
+
+def test_gc_drops_dead_cache_entries_and_notice_floors():
+    on = _run(gc_enabled=True)
+    off = _run(gc_enabled=False)
+    fp_on = on.gos.memory_footprint()
+    fp_off = off.gos.memory_footprint()
+    assert fp_on["gc_enabled"] is True
+    assert fp_off["gc_enabled"] is False
+    # with GC the run ends drained; without it, history accretes
+    assert fp_on["cache_entries"] == 0
+    assert fp_on["notice_floors"] == 0
+    assert fp_on["gc_cache_drops"] > 0
+    assert fp_on["gc_notice_prunes"] > 0
+    assert fp_off["gc_cache_drops"] == 0
+    assert fp_off["gc_notice_prunes"] == 0
+    assert fp_off["notice_floors"] > 0
+    assert fp_off["cache_payload_bytes"] > fp_on["cache_payload_bytes"]
+
+
+def test_gc_bounds_steady_state_independent_of_run_length():
+    # peak live protocol state must track the live set, not the run
+    # history: tripling the iteration count must not grow the peaks
+    short = _run(gc_enabled=True, iterations=4)
+    long = _run(gc_enabled=True, iterations=12)
+    peaks_short = short.gos.memory_footprint()["peaks"]
+    peaks_long = long.gos.memory_footprint()["peaks"]
+    assert peaks_long["cache_entries"] <= peaks_short["cache_entries"] + 2
+    assert peaks_long["notice_floors"] <= peaks_short["notice_floors"] + 2
+
+
+def test_gc_recycles_arena_storage():
+    result = _run(gc_enabled=True, iterations=10)
+    arena = result.gos.memory_footprint()["arena"]
+    # steady state runs out of the free lists, not fresh slab space
+    assert arena["reuses"] > arena["carves"]
+    assert arena["frees"] > 0
+
+
+def test_no_migration_policy_also_gc_neutral():
+    # the notice-horizon rule must hold when homes never move
+    on = _run(gc_enabled=True, policy="NM")
+    off = _run(gc_enabled=False, policy="NM")
+    assert _digest(on) == _digest(off)
+    np.testing.assert_array_equal(on.output, off.output)
+    assert on.gos.memory_footprint()["notice_floors"] == 0
+
+
+def test_peaks_channel_is_excluded_from_stats_snapshot():
+    result = _run(gc_enabled=True)
+    snapshot = result.stats.snapshot()
+    assert "peaks" not in snapshot
+    peaks = result.stats.memory_snapshot()
+    assert peaks.get("cache_entries", 0) > 0
