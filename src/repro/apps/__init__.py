@@ -11,7 +11,10 @@
 * :class:`~repro.apps.synthetic.SingleWriterBenchmark` — the Figure-4
   skeleton: a shared counter updated ``r`` consecutive times per lock
   tenure, the knob that sweeps transient vs lasting single-writer
-  patterns.
+  patterns;
+* :class:`~repro.apps.fromspec.SpecProgram` — executes a fuzzed
+  episode spec from :mod:`repro.check.fuzz` (the conformance harness's
+  program-from-spec runner).
 
 All applications compute *real results* on the simulated DSM and are
 verified against sequential oracles.
@@ -19,6 +22,7 @@ verified against sequential oracles.
 
 from repro.apps.asp import Asp
 from repro.apps.base import DsmApplication
+from repro.apps.fromspec import SpecProgram
 from repro.apps.lu import Lu
 from repro.apps.nbody import NBody
 from repro.apps.pingpong import TokenRing
@@ -32,6 +36,7 @@ __all__ = [
     "Lu",
     "NBody",
     "SingleWriterBenchmark",
+    "SpecProgram",
     "TokenRing",
     "Sor",
     "Tsp",

@@ -2,7 +2,7 @@
 (also installed as the ``repro-bench`` console script).
 
 Targets: ``figure2``, ``figure3``, ``figure5``, ``ablation``, ``all``,
-``report``.  ``--full`` uses the paper's problem sizes (slow); the
+``report``, ``check``.  ``--full`` uses the paper's problem sizes (slow); the
 default quick sizes preserve every qualitative shape.  ``--jobs N``
 fans each sweep's independent runs out over N worker processes
 (default: all usable cores; results are bit-identical for any value).
@@ -15,6 +15,14 @@ merged cross-run metrics snapshot as JSON; ``--log-level LEVEL``
 enables structured run logging on stderr; ``--progress`` prints a
 heartbeat line as each run completes.  The ``report`` target renders a
 saved trace offline: ``repro-bench report --trace PATH [--oid N]``.
+
+The ``check`` target runs the protocol conformance harness
+(:mod:`repro.check`): ``repro-bench check --episodes N --seed S``
+fuzzes N seeded episodes through the coherence oracle and the runtime
+invariant checker, runs the mutation self-test, and exits non-zero on
+any violation.  ``--corpus-out DIR`` saves every episode's program and
+verdict as a replayable JSON corpus; ``--no-self-test`` skips the
+mutation leg.
 """
 
 from __future__ import annotations
@@ -41,7 +49,7 @@ from repro.bench.figure5 import render_figure5, run_figure5
 from repro.obs.logging import LEVELS
 from repro.obs.metrics import MetricsRegistry
 
-TARGETS = ("figure2", "figure3", "figure5", "ablation", "all", "report")
+TARGETS = ("figure2", "figure3", "figure5", "ablation", "all", "report", "check")
 
 
 def _derive_obs(obs: ObsSpec | None, label: str) -> ObsSpec | None:
@@ -129,6 +137,66 @@ def _render_ablations(data: dict) -> str:
     )
 
 
+def _run_check_target(args, parser) -> int:
+    """Drive a `repro check` conformance session from parsed CLI args."""
+    from repro.check.runner import run_check
+
+    if args.episodes < 1:
+        parser.error(f"--episodes must be >= 1, got {args.episodes}")
+
+    def progress(result):
+        status = "ok" if result.ok else "FAIL"
+        print(
+            f"episode seed={result.seed} {status} ops={result.ops} "
+            f"migrations={result.migrations} events={result.events}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    report = run_check(
+        episodes=args.episodes,
+        base_seed=args.seed,
+        corpus_dir=args.corpus_out,
+        self_test=not args.no_self_test,
+        progress=progress if args.progress else None,
+    )
+    failures = [e for e in report.episodes if not e.ok]
+    print(
+        f"conformance: {len(report.episodes)} episodes from seed "
+        f"{args.seed}, {len(failures)} with violations"
+    )
+    for episode in failures:
+        print(f"  seed {episode.seed}:")
+        for line in (
+            episode.oracle_violations + episode.invariant_violations
+        ):
+            print(f"    {line}")
+        if episode.run_error:
+            print(f"    run error: {episode.run_error}")
+    if report.self_test:
+        caught = sum(
+            1 for clean, flagged in report.self_test.values()
+            if clean and flagged
+        )
+        print(
+            f"self-test: {caught}/{len(report.self_test)} mutations "
+            f"detected"
+        )
+        for name, (clean, flagged) in sorted(report.self_test.items()):
+            verdict = "ok" if (clean and flagged) else "FAIL"
+            print(
+                f"  {name}: unmutated clean={clean} "
+                f"mutated flagged={flagged} -> {verdict}"
+            )
+    if args.corpus_out:
+        print(f"episode corpus written to {args.corpus_out}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"raw report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -186,7 +254,35 @@ def main(argv: list[str] | None = None) -> int:
         help="(report target) object id to report on "
         "(default: the most-migrated object)",
     )
+    parser.add_argument(
+        "--episodes",
+        type=int,
+        metavar="N",
+        default=25,
+        help="(check target) number of fuzzed episodes to run (default 25)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        metavar="S",
+        default=0,
+        help="(check target) base seed the episode sequence derives from",
+    )
+    parser.add_argument(
+        "--corpus-out",
+        metavar="DIR",
+        help="(check target) write each episode's program + verdict as "
+        "JSON into DIR (plus a report.json summary)",
+    )
+    parser.add_argument(
+        "--no-self-test",
+        action="store_true",
+        help="(check target) skip the mutation self-test leg",
+    )
     args = parser.parse_args(argv)
+
+    if args.target == "check":
+        return _run_check_target(args, parser)
 
     if args.target == "report":
         if not args.trace:

@@ -59,6 +59,15 @@ class MigrationPolicy(ABC):
         """The threshold this policy is applying, if it has one."""
         return None
 
+    def initial_base(self) -> float:
+        """``T_0``: the threshold base a fresh object monitor starts from.
+
+        The paper sets ``T_0 = T_init`` (§4.2); policies with a floor
+        above 1 must start new objects at that floor, or the update rule
+        would be evaluated with a base below it.
+        """
+        return 1.0
+
     def wants_barrier_migration(self) -> bool:
         """Whether the barrier manager should run this policy at barriers."""
         return False
@@ -134,6 +143,10 @@ class AdaptiveThreshold(MigrationPolicy):
         if state.consecutive_writer != requester:
             return False
         return state.consecutive_writes >= self.current_threshold(state, alpha)
+
+    def initial_base(self) -> float:
+        """Fresh monitors start at this policy's floor (``T_0 = T_init``)."""
+        return self.t_init
 
     def current_threshold(self, state, alpha) -> float:
         if self.fixed_alpha is not None:

@@ -341,6 +341,17 @@ class DsmEngine:
         self._log_debug = logger is not None and logger.enabled_for("debug")
         self._log_info = logger is not None and logger.enabled_for("info")
 
+        # -- conformance-stream guards (cached so the hot paths pay one
+        # attribute read when tracing is off; see PROTOCOL.md §13) ---------
+        self._tr_twin_create = tracer is not None and tracer.wants("twin_create")
+        self._tr_twin_free = tracer is not None and tracer.wants("twin_free")
+        self._tr_diff_send = tracer is not None and tracer.wants("diff_send")
+        self._tr_diff_apply = tracer is not None and tracer.wants("diff_apply")
+        self._tr_home_install = (
+            tracer is not None and tracer.wants("home_install")
+        )
+        self._tr_ship = tracer is not None and tracer.wants("ship")
+
         self.cache: dict[int, CacheEntry] = {}
         self.homes: dict[int, HomeEntry] = {}
         self.forwards: dict[int, int] = {}
@@ -384,8 +395,21 @@ class DsmEngine:
         self.homes[oid] = HomeEntry(
             payload=obj.new_payload(self.arena),
             version=0,
-            state=ObjectAccessState(oid=oid, object_bytes=obj.size_bytes),
+            state=ObjectAccessState(
+                oid=oid,
+                object_bytes=obj.size_bytes,
+                threshold_base=self.policy.initial_base(),
+            ),
         )
+        if self._tr_home_install:
+            self.tracer.record(
+                "home_install",
+                self.sim.now,
+                oid,
+                self.node_id,
+                origin="initial",
+                version=0,
+            )
 
     def best_home_hint(self, oid: int) -> int:
         """This node's best guess at ``oid``'s current home (initial-home
@@ -458,6 +482,14 @@ class DsmEngine:
             return entry.payload
         cached = self.cache.get(oid)
         if cached is not None and cached.readable():
+            if self._tr_twin_create and cached.twin is None:
+                self.tracer.record(
+                    "twin_create",
+                    self.sim.now,
+                    oid,
+                    self.node_id,
+                    interval=self.interval,
+                )
             cached.upgrade_to_write(self.arena)
             self.dirty.add(oid)
             return cached.payload
@@ -669,6 +701,15 @@ class DsmEngine:
                     state=reply.monitor,
                 )
                 self.home_hint[oid] = self.node_id
+                if self._tr_home_install:
+                    self.tracer.record(
+                        "home_install",
+                        self.sim.now,
+                        oid,
+                        self.node_id,
+                        origin="reply-mig",
+                        version=reply.version,
+                    )
                 self._serve_pending_foreign(oid)
                 self._serve_pending_diffs(oid)
                 for waiter in self._local_home_waits.pop(oid, []):
@@ -755,6 +796,15 @@ class DsmEngine:
         self.stats.incr("ship")
         self.stats.incr("remote_write")
         state.record_remote_write(request.requester, request.args_bytes)
+        if self._tr_ship:
+            self.tracer.record(
+                "ship",
+                self.sim.now,
+                request.oid,
+                self.node_id,
+                home=self.node_id,
+                requester=request.requester,
+            )
         result = request.fn(entry.payload)
         entry.version += 1
         self._recheck_pending(request.oid)
@@ -895,6 +945,15 @@ class DsmEngine:
                 payload=reply.data, version=reply.version, state=reply.monitor
             )
             self.home_hint[oid] = self.node_id
+            if self._tr_home_install:
+                self.tracer.record(
+                    "home_install",
+                    self.sim.now,
+                    oid,
+                    self.node_id,
+                    origin="reply-mig",
+                    version=reply.version,
+                )
             self._serve_pending_foreign(oid)
             self._serve_pending_diffs(oid)
             return self.homes[oid].payload
@@ -953,25 +1012,67 @@ class DsmEngine:
                 scratch=arena.bool_scratch(cached.payload.size),
             )
             if diff is None:
+                if self._tr_twin_free:
+                    self.tracer.record(
+                        "twin_free",
+                        self.sim.now,
+                        oid,
+                        self.node_id,
+                        interval=self.interval,
+                    )
                 cached.downgrade_clean(arena)
                 continue
             request_id = self._next_request_id()
             fut = Future(label=f"diffack-{oid}-{request_id}")
             self._reply_waiters[request_id] = fut
+            target = self.best_home_hint(oid)
+            if self._tr_diff_send:
+                self.tracer.record(
+                    "diff_send",
+                    self.sim.now,
+                    oid,
+                    self.node_id,
+                    target=target,
+                    size_bytes=diff.size_bytes,
+                    base_version=cached.version,
+                )
             self._send(
-                self.best_home_hint(oid),
+                target,
                 MsgCategory.DIFF,
                 diff.size_bytes + REQUEST_BYTES,
                 DiffMsg(
                     oid=oid, writer=self.node_id, request_id=request_id, diff=diff
                 ),
             )
+            # The write interval ends at the *send*: the diff captured its
+            # image, and the payload now equals what the home will hold
+            # once the diff lands.  Free the twin here so a co-located
+            # thread's write before the ack opens a fresh interval with a
+            # fresh twin against that post-diff image — keeping the old
+            # twin until the ack mis-bases the next diff and can silently
+            # drop a write that restores the old twin's value.
+            if self._tr_twin_free:
+                self.tracer.record(
+                    "twin_free",
+                    self.sim.now,
+                    oid,
+                    self.node_id,
+                    interval=self.interval,
+                )
+            arena.free(cached.twin)
+            cached.twin = None
+            cached.mode = AccessMode.READ
             waits.append((oid, cached, fut))
         self.dirty.clear()
         for oid, cached, fut in waits:
             ack: DiffAck = yield fut
             self.home_hint[oid] = ack.home
-            cached.downgrade_after_flush(ack.version, arena)
+            if cached.twin is not None:
+                # a co-located thread already opened the next write
+                # interval on the post-diff image: just advance the version
+                cached.version = ack.version
+            else:
+                cached.downgrade_after_flush(ack.version, arena)
             notices[oid] = ack.version
         for oid in sorted(self.home_dirty):
             entry = self.homes.get(oid)
@@ -1533,6 +1634,9 @@ class DsmEngine:
                 exclusive_home_writes=state.exclusive_home_writes,
                 redirections=state.redirections,
                 migrated=migrated,
+                writer=state.consecutive_writer,
+                alpha=alpha,
+                base=state.threshold_base,
             )
         if metered:
             if threshold is not None:
@@ -1616,9 +1720,21 @@ class DsmEngine:
                 self.stats.incr("deferred_diff")
                 self._pending_diffs.add(msg.oid, msg)
             return
+        version_before = entry.version
         apply_diff(entry.payload, msg.diff)
         entry.version += 1
         entry.state.record_remote_write(msg.writer, msg.diff.size_bytes)
+        if self._tr_diff_apply:
+            self.tracer.record(
+                "diff_apply",
+                self.sim.now,
+                msg.oid,
+                self.node_id,
+                writer=msg.writer,
+                size_bytes=msg.diff.size_bytes,
+                version_before=version_before,
+                version_after=entry.version,
+            )
         self.stats.incr("diff")
         self.stats.incr("remote_write")
         if self._m_diff_bytes is not None:
@@ -1767,6 +1883,14 @@ class DsmEngine:
                     cached.payload,
                     scratch=self.arena.bool_scratch(cached.payload.size),
                 )
+                if self._tr_twin_free:
+                    self.tracer.record(
+                        "twin_free",
+                        self.sim.now,
+                        oid,
+                        self.node_id,
+                        interval=self.interval,
+                    )
                 self.arena.free(cached.twin)
                 cached.twin = None
             payload[:] = msg.data
@@ -1782,6 +1906,15 @@ class DsmEngine:
             payload=payload, version=msg.version, state=msg.monitor
         )
         self.home_hint[oid] = self.node_id
+        if self._tr_home_install:
+            self.tracer.record(
+                "home_install",
+                self.sim.now,
+                oid,
+                self.node_id,
+                origin="transfer",
+                version=msg.version,
+            )
         self._serve_pending_foreign(oid)
         self._serve_pending_diffs(oid)
         for fut in self._local_home_waits.pop(oid, []):

@@ -6,7 +6,19 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 #: Event kinds the engine can emit.
-KINDS = frozenset({"migration", "redirect", "decision", "ship"})
+KINDS = frozenset(
+    {
+        "migration",
+        "redirect",
+        "decision",
+        "ship",
+        "home_install",
+        "diff_send",
+        "diff_apply",
+        "twin_create",
+        "twin_free",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -18,8 +30,20 @@ class TraceEvent:
     * ``migration`` — ``old_home``, ``new_home``, ``frozen_threshold``
     * ``redirect``  — ``obsolete_home``, ``requester``
     * ``decision``  — ``requester``, ``threshold``, ``consecutive``,
-      ``exclusive_home_writes``, ``redirections``, ``migrated``
+      ``exclusive_home_writes``, ``redirections``, ``migrated``,
+      ``writer``, ``alpha``, ``base``
     * ``ship``      — ``home``, ``requester``
+    * ``home_install`` — ``origin`` (``"initial"`` | ``"reply-mig"`` |
+      ``"transfer"``), ``version``
+    * ``diff_send``  — ``target``, ``size_bytes``, ``base_version``
+    * ``diff_apply`` — ``writer``, ``size_bytes``, ``version_before``,
+      ``version_after``
+    * ``twin_create`` / ``twin_free`` — ``interval``
+
+    The first four kinds are the analysis timeline the bench reports
+    consume; the last five are the conformance stream
+    :class:`~repro.check.invariants.InvariantChecker` replays protocol
+    invariants from (``docs/PROTOCOL.md`` §13).
     """
 
     time_us: float

@@ -1,0 +1,81 @@
+"""End-to-end conformance episodes: clean verdicts, byte-stable reports."""
+
+import json
+
+import pytest
+
+from repro.check.runner import run_check, run_episode
+
+#: Matches the CI conformance job's per-seed episode count.
+EPISODES = 25
+
+
+@pytest.fixture(scope="module")
+def session():
+    """One shared conformance session (episodes are cheap but not free)."""
+    return run_check(episodes=EPISODES, base_seed=0, self_test=False)
+
+
+def test_all_episodes_clean(session):
+    for episode in session.episodes:
+        assert episode.ok, (
+            f"seed {episode.seed}: "
+            f"{episode.oracle_violations + episode.invariant_violations} "
+            f"{episode.run_error}"
+        )
+    assert len(session.episodes) == EPISODES
+
+
+def test_episodes_exercise_the_protocol(session):
+    """The fuzzer must actually drive the machinery it claims to judge:
+    across the corpus there are ops, trace events, and some migrations."""
+    assert sum(e.ops for e in session.episodes) > 100
+    assert sum(e.events for e in session.episodes) > 100
+    assert sum(e.migrations for e in session.episodes) > 0
+
+
+def test_verdicts_are_byte_identical_across_runs(session):
+    again = run_check(episodes=EPISODES, base_seed=0, self_test=False)
+    first = [e.verdict() for e in session.episodes]
+    second = [e.verdict() for e in again.episodes]
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    )
+    specs_first = [e.spec.to_json() for e in session.episodes]
+    specs_second = [e.spec.to_json() for e in again.episodes]
+    assert specs_first == specs_second
+
+
+def test_corpus_round_trips(tmp_path, session):
+    report = run_check(
+        episodes=3, base_seed=11, corpus_dir=tmp_path, self_test=False
+    )
+    files = sorted(p.name for p in tmp_path.iterdir())
+    assert files == [
+        "episode-0000.json",
+        "episode-0001.json",
+        "episode-0002.json",
+        "report.json",
+    ]
+    for index in range(3):
+        payload = json.loads((tmp_path / f"episode-{index:04d}.json").read_text())
+        assert payload["index"] == index
+        assert payload["verdict"]["ok"] is True
+        # the stored program replays to the stored verdict
+        from repro.check.fuzz import ProgramSpec
+
+        spec = ProgramSpec.from_dict(payload["program"])
+        replayed = run_episode(spec=spec)
+        assert replayed.verdict() == payload["verdict"]
+    summary = json.loads((tmp_path / "report.json").read_text())
+    assert summary["ok"] is True
+    assert summary == json.loads(report.to_json())
+
+
+def test_run_episode_argument_validation():
+    with pytest.raises(ValueError):
+        run_episode()
+    with pytest.raises(ValueError):
+        from repro.check.fuzz import generate_program
+
+        run_episode(seed=1, spec=generate_program(1))

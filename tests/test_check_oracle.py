@@ -1,0 +1,91 @@
+"""Sequential oracle: op semantics, observation checks, heap comparison."""
+
+import numpy as np
+
+from repro.check import oracle
+from repro.check.fuzz import generate_program
+
+
+def _episode(seed=3):
+    spec = generate_program(seed)
+    heap = oracle.reference_heap(spec)
+    return spec, heap
+
+
+def test_reference_heap_matches_inits():
+    spec, heap = _episode()
+    for obj in spec.objects:
+        assert heap[obj.name].dtype == np.float64
+        np.testing.assert_array_equal(heap[obj.name], np.asarray(obj.init))
+
+
+def test_apply_op_semantics():
+    spec, heap = _episode()
+    obj = spec.objects[0].name
+    arr = heap[obj]
+    assert oracle.apply_op(heap, ("set", obj, 0, 2.5)) is None
+    assert arr[0] == 2.5
+    assert oracle.apply_op(heap, ("add", obj, 0, 1.5)) is None
+    assert arr[0] == 4.0
+    observed = oracle.apply_op(heap, ("read", obj, 0))
+    assert observed == 4.0
+    oracle.apply_op(heap, ("ship_add", obj, 0, -1.0))
+    assert arr[0] == 3.0
+
+
+def test_replay_accepts_faithful_log():
+    spec, heap = _episode()
+    obj = spec.objects[0].name
+    log = [
+        (0, ("set", obj, 0, 7.0), None),
+        (1, ("read", obj, 0), 7.0),
+        (0, ("add", obj, 0, 1.0), None),
+        (1, ("read", obj, 0), 8.0),
+    ]
+    _heap, violations = oracle.replay(spec, log)
+    assert violations == []
+
+
+def test_replay_flags_stale_observation():
+    spec, _ = _episode()
+    obj = spec.objects[0].name
+    log = [
+        (0, ("set", obj, 0, 7.0), None),
+        (1, ("read", obj, 0, ), 6.0),  # stale: replay says 7.0
+    ]
+    _heap, violations = oracle.replay(spec, log)
+    assert violations
+    assert "read" in violations[0] or obj in violations[0]
+
+
+def test_check_episode_flags_final_heap_divergence():
+    spec, heap = _episode()
+    obj = spec.objects[0].name
+    log = [(0, ("set", obj, 0, 7.0), None)]
+    good = {name: arr.copy() for name, arr in oracle.replay(spec, log)[0].items()}
+    assert oracle.check_episode(spec, log, good) == []
+    bad = {name: arr.copy() for name, arr in good.items()}
+    bad[obj][0] += 1.0
+    violations = oracle.check_episode(spec, log, bad)
+    assert violations
+    assert any(obj in v for v in violations)
+
+
+def test_check_episode_without_final_heap_skips_comparison():
+    # a crashed run has no final heap; the log itself is still judged
+    spec, _ = _episode()
+    obj = spec.objects[0].name
+    log = [(0, ("set", obj, 0, 7.0), None)]
+    assert oracle.check_episode(spec, log, None) == []
+
+
+def test_nan_equals_nan():
+    spec, _ = _episode()
+    obj = spec.objects[0].name
+    nan = float("nan")
+    log = [
+        (0, ("set", obj, 0, nan), None),
+        (1, ("read", obj, 0), nan),
+    ]
+    _heap, violations = oracle.replay(spec, log)
+    assert violations == []

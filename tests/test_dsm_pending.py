@@ -120,3 +120,19 @@ def test_prune_empty_drops_only_drained_in_place_keys():
     assert fifo.pop_all("live") == [1]
     # idempotent on a clean map
     assert fifo.prune_empty() == 0
+
+
+def test_add_after_prune_empty_starts_a_fresh_queue():
+    # pruning must fully forget the key: a later add for it creates a
+    # fresh FIFO, and a queue reference held across the prune cannot
+    # resurrect parked items into the new one
+    fifo = KeyedFifo()
+    fifo.add("k", "old")
+    stale_ref = fifo._by_key["k"]
+    stale_ref.clear()  # drained in place by a reference-holding caller
+    assert fifo.prune_empty() == 1
+    stale_ref.append("ghost")  # writes to the pruned, orphaned deque
+    fifo.add("k", "new")
+    assert fifo.pop_all("k") == ["new"]
+    assert not fifo
+    assert fifo.prune_empty() == 0

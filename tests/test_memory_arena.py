@@ -151,6 +151,58 @@ def test_stats_accounting_balances():
     assert arena.reuse_count == 1
 
 
+def test_zero_length_requests_rejected_everywhere():
+    # zero-length carves would alias: two size-0 views at the same slab
+    # offset compare equal to everything; the arena refuses them on every
+    # entry point rather than handing out degenerate buffers
+    arena = Arena()
+    with pytest.raises(ValueError):
+        arena.zeros(0)
+    with pytest.raises(ValueError):
+        arena.take_copy(np.empty(0, dtype="float64"))
+
+
+def test_mixed_dtype_free_list_reuse_is_exact():
+    # interleave frees of equal-length, different-dtype buffers: each
+    # alloc must get back storage of its own dtype, never a reinterpreted
+    # view of the other's
+    arena = Arena()
+    f = arena.alloc(32, "float64")
+    i = arena.alloc(32, "int64")
+    b = arena.alloc(32, "int8")  # same *byte* count as nothing above
+    f_addr = f.__array_interface__["data"][0]
+    i_addr = i.__array_interface__["data"][0]
+    arena.free(f)
+    arena.free(i)
+    arena.free(b)
+    i2 = arena.alloc(32, "int64")
+    f2 = arena.alloc(32, "float64")
+    assert i2.dtype == np.int64
+    assert f2.dtype == np.float64
+    assert i2.__array_interface__["data"][0] == i_addr
+    assert f2.__array_interface__["data"][0] == f_addr
+    assert arena.reuse_count == 2
+    # int8 pool untouched by the 8-byte-dtype traffic
+    assert arena.stats()["pooled_buffers"] == 1
+
+
+def test_scratch_survives_pool_churn():
+    # the bool scratch is never pooled: heavy free/alloc cycles (what a
+    # barrier-epoch GC pass looks like to the arena) must neither free
+    # nor shrink it, and growth is geometric from whatever size it had
+    arena = Arena()
+    first = arena.bool_scratch(64)
+    first_addr = first.__array_interface__["data"][0]
+    for _ in range(50):
+        arena.free(arena.alloc(64, "float64"))
+    again = arena.bool_scratch(64)
+    assert again.__array_interface__["data"][0] == first_addr
+    grown = arena.bool_scratch(65)  # just past: doubles, not +1
+    assert grown.size == 65
+    assert arena.stats()["scratch_bytes"] == 128
+    assert arena.stats()["pooled_buffers"] == 1
+
+
 def test_make_twin_draws_from_pool_when_given():
     arena = Arena()
     payload = np.arange(32, dtype="float64")

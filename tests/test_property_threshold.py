@@ -1,0 +1,101 @@
+"""Property-based invariants of the threshold rule under paper defaults.
+
+Complements ``test_core_threshold.py`` (which pins the rule's point
+values and basic monotonicity) with the paper-parameterisation
+properties the conformance harness leans on:
+
+* the default arguments *are* the paper's §4.2 constants — calling the
+  rule without ``lam``/``t_init`` is identical to passing ``LAMBDA`` and
+  ``T_INIT`` explicitly;
+* with the paper's balance ``lam = 1/alpha``, each exclusive home write
+  lowers the threshold by exactly one (until the floor), mirroring how
+  each redirection raises it by ``1/alpha``;
+* the clamp is *exactly* ``max(..., t_init)`` — whenever the unclamped
+  linear form stays above the floor the rule is affine, and whenever it
+  dips below, the result is the floor itself;
+* feedback composes: accumulating ``(R, E)`` in one step equals
+  freezing an intermediate base, as the engine does at migrations.
+
+All generators are derandomized so CI failures replay exactly.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.threshold import LAMBDA, T_INIT, adaptive_threshold
+
+# Moderate magnitudes: the composition/affine identities below compare
+# float sums for exact equality, which holds as long as every
+# intermediate is exactly representable (integers and halves well below
+# 2**52 are).
+_base = st.floats(min_value=1.0, max_value=1e6)
+_count = st.integers(min_value=0, max_value=10**6)
+_alpha = st.sampled_from([0.25, 0.5, 1.0, 2.0, 4.0])
+_lam = st.sampled_from([0.0, 0.5, 1.0, 2.0])
+
+
+@settings(derandomize=True)
+@given(base=_base, r=_count, e=_count)
+def test_property_defaults_are_paper_constants(base, r, e):
+    """Omitting lam/t_init must equal passing the §4.2 constants."""
+    assert adaptive_threshold(base, r, e, alpha=2.0) == adaptive_threshold(
+        base, r, e, alpha=2.0, lam=LAMBDA, t_init=T_INIT
+    )
+    assert LAMBDA == 1.0 and T_INIT == 1.0
+
+
+@settings(derandomize=True)
+@given(base=_base, r=_count, e=_count, alpha=_alpha)
+def test_property_lam_inverse_alpha_unit_decrement(base, r, e, alpha):
+    """With ``lam = 1/alpha`` each E lowers the threshold by exactly 1.
+
+    ``lam * (R - alpha*E) = R/alpha - E``: the positive feedback becomes
+    a unit decrement regardless of the network coefficient, which is the
+    balance point the paper's ``lam = 1`` default hits at ``alpha = 1``.
+    """
+    lam = 1.0 / alpha
+    with_e = adaptive_threshold(base, r, e, alpha, lam=lam)
+    without_e = adaptive_threshold(base, r, 0, alpha, lam=lam)
+    expected = max(without_e - e, T_INIT)
+    assert math.isclose(with_e, expected, rel_tol=0, abs_tol=1e-9)
+
+
+@settings(derandomize=True)
+@given(base=_base, r=_count, e=_count, alpha=_alpha, lam=_lam)
+def test_property_clamp_is_exact(base, r, e, alpha, lam):
+    """The rule is the affine form when above the floor, T_init when not."""
+    linear = base + lam * (r - alpha * e)
+    got = adaptive_threshold(base, r, e, alpha, lam=lam)
+    if linear >= T_INIT:
+        assert got == linear
+    else:
+        assert got == T_INIT
+
+
+@settings(derandomize=True)
+@given(
+    base=_base,
+    r1=_count,
+    e1=_count,
+    r2=_count,
+    e2=_count,
+    alpha=_alpha,
+    lam=_lam,
+)
+def test_property_feedback_composes_through_frozen_base(
+    base, r1, e1, r2, e2, alpha, lam
+):
+    """Freezing an intermediate threshold as the next base (what
+    ``on_migrated`` does) never yields less than accumulating the same
+    feedback in one epoch — the clamp can only raise the split path."""
+    one_shot = adaptive_threshold(base, r1 + r2, e1 + e2, alpha, lam=lam)
+    frozen = adaptive_threshold(base, r1, e1, alpha, lam=lam)
+    split = adaptive_threshold(frozen, r2, e2, alpha, lam=lam)
+    assert split >= one_shot or math.isclose(split, one_shot, abs_tol=1e-9)
+    # and when neither leg clamps, the two paths agree exactly
+    if (
+        base + lam * (r1 - alpha * e1) >= T_INIT
+        and frozen + lam * (r2 - alpha * e2) >= T_INIT
+    ):
+        assert math.isclose(split, one_shot, rel_tol=0, abs_tol=1e-9)

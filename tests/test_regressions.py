@@ -81,3 +81,46 @@ def test_home_returning_to_former_home_clears_stale_pointer():
     assert obj.oid not in gos.engines[0].forwards
     final = gos.read_global(obj)
     assert final[0] == 30.0 and final[1] == 11.0
+
+def test_fresh_monitor_starts_at_policy_floor():
+    """Bug 3 (found by the conformance fuzzer, episode seed 6): fresh
+    object monitors started from ``threshold_base = 1.0`` even under
+    ``AdaptiveThreshold(t_init=2)``, so the first decision crashed
+    Equation 2's floor check.  Monitors must start at the policy's own
+    floor (``T_0 = T_init``, paper §4.2)."""
+    from repro.check.runner import run_episode
+    from repro.core.policies import AdaptiveThreshold, NoMigration
+
+    assert NoMigration().initial_base() == 1.0
+    assert AdaptiveThreshold(t_init=2.0).initial_base() == 2.0
+    result = run_episode(seed=6)  # draws AT with t_init=2
+    assert result.ok, (
+        result.run_error,
+        result.oracle_violations,
+        result.invariant_violations,
+    )
+
+
+def test_colocated_flush_during_ack_window_keeps_all_writes():
+    """Bug 4 (found by the conformance fuzzer): a lock release by one
+    co-located thread flushed another thread's dirty object; a third
+    thread then wrote into the still-WRITE entry against the *old* twin
+    before the ack landed, and its diff could come out empty (a write
+    restoring the twin's value) — a silent lost update.  The write
+    interval now ends at diff *send*, so the later write opens a fresh
+    interval against the post-diff image.  These seeds reproduced the
+    loss (one per failure mode the fix went through)."""
+    from repro.check.runner import run_episode
+
+    for seed in (
+        1523881144904842212,
+        7020556084422670476,
+        2829050777472913798,
+    ):
+        result = run_episode(seed=seed)
+        assert result.ok, (
+            seed,
+            result.run_error,
+            result.oracle_violations,
+            result.invariant_violations,
+        )
