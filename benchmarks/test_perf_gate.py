@@ -1,39 +1,106 @@
-"""Perf-regression gate: throughput within a band of a checked-in baseline.
+"""Perf-regression gate: compiled speedup hard, absolute band soft.
 
-Two figures of merit, both normalised to rates so they are comparable
-across repeats:
+Three figures of merit:
 
+* **compiled-vs-python speedup** — the HARD gate.  Both backends are
+  timed in the same process over the same no-op event workload, rounds
+  interleaved, so host speed divides out: the ratio is stable even on
+  noisy shared runners.  Falling below ``MIN_COMPILED_SPEEDUP`` means
+  the compiled kernel stopped pulling its weight (skips with a reason
+  when the extension is unavailable, e.g. no C toolchain or
+  ``REPRO_BACKEND=python``);
 * **event-loop throughput** — events/second draining a heap of no-op
   events; the cost floor under every simulation;
 * **protocol throughput** — engine events/second of a small pinned
   DSM run (SOR/AT/4), which exercises dispatch, fault-in, diffs and
   barriers together.
 
-Each is compared against ``benchmarks/perf_baseline.json`` with a
-±``BAND`` relative band.  Dropping below the band means the hot path
-regressed; rising above it means the baseline is stale (e.g. after a
-deliberate optimisation PR) and must be re-pinned *in that PR* so the
-trajectory stays recorded.
-
-Wall-clock on shared CI runners is noisy — the CI job runs this as a
-soft gate (``continue-on-error``), while same-host comparisons (the
-BENCH_PR<n>.json reports) are the authoritative perf record.  Re-pin by
-running ``PYTHONPATH=src python benchmarks/test_perf_gate.py``.
+The two absolute rates are compared against
+``benchmarks/perf_baseline.json`` with a ±``BAND`` relative band — as a
+**soft** check: absolute wall-clock on shared CI runners varies by more
+than any sane band, so drift outside it emits a warning rather than
+failing the build.  Same-host comparisons (the BENCH_PR<n>.json
+reports) are the authoritative perf record.  Re-pin by running
+``PYTHONPATH=src python benchmarks/test_perf_gate.py`` (preserves the
+``memory_*`` keys pinned by the memory gate).
 """
 
 import json
 import time
+import warnings
 from pathlib import Path
 
 import pytest
 
 BASELINE_PATH = Path(__file__).with_name("perf_baseline.json")
 
-#: Relative regression band around the pinned baseline.
+#: Relative drift band around the pinned baseline (soft check).
 BAND = 0.35
+
+#: Hard floor on compiled/python event-loop speedup.  The compiled
+#: kernel measures ~4-5x on the raw loop; 2x leaves room for allocator
+#: and scheduler noise while still catching "the extension degenerated
+#: into a Python-speed shim".
+MIN_COMPILED_SPEEDUP = 2.0
 
 LOOP_EVENTS = 30_000
 REPEATS = 3
+
+#: Interleaved python/compiled rounds for the ratio gate.
+RATIO_ROUNDS = 3
+
+
+def _loop_wall(sim_cls) -> float:
+    """Wall seconds to schedule and drain ``LOOP_EVENTS`` no-op events."""
+
+    def noop():
+        pass
+
+    sim = sim_cls()
+    schedule = sim.schedule
+    start = time.perf_counter()
+    for i in range(LOOP_EVENTS):
+        schedule(float(i % 97), noop)
+    sim.run()
+    return time.perf_counter() - start
+
+
+def _backend_classes():
+    """(PySimulator, CompiledSimulator), or skip when there is no kernel."""
+    from repro import _kernel
+    from repro.sim import engine
+
+    kernel_module = _kernel.kernel()
+    if kernel_module is None:
+        pytest.skip(
+            "compiled backend unavailable: "
+            f"{_kernel.backend_info()['reason']}"
+        )
+    compiled_cls = engine.CompiledSimulator or engine._build_compiled_class(
+        kernel_module
+    )
+    return engine.PySimulator, compiled_cls
+
+
+def measure_backend_ratio() -> float:
+    """Best-python-wall / best-compiled-wall, rounds interleaved.
+
+    Interleaving matters: load spikes on a shared host come in
+    multi-second epochs, so timing all of one backend then all of the
+    other would let a single spike masquerade as a backend difference.
+    """
+    py_cls, compiled_cls = _backend_classes()
+    _loop_wall(py_cls)  # warm both paths (imports, allocator)
+    _loop_wall(compiled_cls)
+    best_py = best_compiled = None
+    for _ in range(RATIO_ROUNDS):
+        wall = _loop_wall(py_cls)
+        best_py = wall if best_py is None else min(best_py, wall)
+        wall = _loop_wall(compiled_cls)
+        best_compiled = (
+            wall if best_compiled is None else min(best_compiled, wall)
+        )
+    return best_py / best_compiled
 
 
 def measure_event_loop() -> float:
@@ -79,19 +146,28 @@ def measure_protocol() -> float:
 
 
 def _check(name: str, rate: float, baseline: float) -> None:
+    """Warn (don't fail) when ``rate`` drifts outside the pinned band."""
+    from repro import _kernel
+
     low = baseline * (1.0 - BAND)
     high = baseline * (1.0 + BAND)
-    assert rate >= low, (
-        f"{name} regressed: {rate:,.0f}/s is below the baseline band "
-        f"[{low:,.0f}, {high:,.0f}] (pinned {baseline:,.0f}/s); the hot "
-        f"path got slower — profile before merging"
-    )
-    assert rate <= high, (
-        f"{name} at {rate:,.0f}/s exceeds the baseline band "
-        f"[{low:,.0f}, {high:,.0f}] (pinned {baseline:,.0f}/s); nice, but "
-        f"re-pin benchmarks/perf_baseline.json in this PR so the gate "
-        f"keeps teeth (run: PYTHONPATH=src python benchmarks/test_perf_gate.py)"
-    )
+    if rate < low:
+        warnings.warn(
+            f"{name} regressed: {rate:,.0f}/s (backend "
+            f"{_kernel.backend_name()}) is below the baseline band "
+            f"[{low:,.0f}, {high:,.0f}] (pinned {baseline:,.0f}/s); "
+            f"profile on a quiet host before trusting this number",
+            stacklevel=2,
+        )
+    elif rate > high:
+        warnings.warn(
+            f"{name} at {rate:,.0f}/s (backend {_kernel.backend_name()}) "
+            f"exceeds the baseline band [{low:,.0f}, {high:,.0f}] (pinned "
+            f"{baseline:,.0f}/s); if this host matches the pin, re-pin "
+            f"benchmarks/perf_baseline.json "
+            f"(run: PYTHONPATH=src python benchmarks/test_perf_gate.py)",
+            stacklevel=2,
+        )
 
 
 def _load_baseline(*keys: str) -> dict:
@@ -117,6 +193,21 @@ def _load_baseline(*keys: str) -> dict:
     return baseline
 
 
+def test_compiled_backend_speedup():
+    """HARD gate: compiled kernel must beat pure Python by a clear margin.
+
+    A same-process ratio is immune to host speed, so unlike the absolute
+    bands this one is a real assert on every runner that can build the
+    extension.
+    """
+    ratio = measure_backend_ratio()
+    assert ratio >= MIN_COMPILED_SPEEDUP, (
+        f"compiled event loop is only {ratio:.2f}x the pure-Python one "
+        f"(hard floor {MIN_COMPILED_SPEEDUP}x, interleaved best-of-"
+        f"{RATIO_ROUNDS}); the kernel hot path regressed"
+    )
+
+
 def test_event_loop_throughput_within_band():
     baseline = _load_baseline("event_loop_events_per_sec")
     _check(
@@ -136,20 +227,33 @@ def test_protocol_throughput_within_band():
 
 
 def _repin() -> None:
-    """Re-measure and rewrite the pinned baseline (run as a script)."""
+    """Re-measure and rewrite the pinned rates (run as a script).
+
+    Merge-preserving: only the perf keys owned by this gate are
+    replaced, so the ``memory_*`` keys pinned by the memory gate
+    survive a perf re-pin (and vice versa).
+    """
     import platform
 
-    payload = {
-        "event_loop_events_per_sec": measure_event_loop(),
-        "protocol_events_per_sec": measure_protocol(),
-        "band": BAND,
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
-    }
-    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"pinned: {json.dumps(payload, indent=2)}")
+    from repro import _kernel
+
+    existing = (
+        json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else {}
+    )
+    existing.update(
+        {
+            "event_loop_events_per_sec": measure_event_loop(),
+            "protocol_events_per_sec": measure_protocol(),
+            "band": BAND,
+            "backend": _kernel.backend_name(),
+            "host": {
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+            },
+        }
+    )
+    BASELINE_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"pinned: {json.dumps(existing, indent=2)}")
 
 
 if __name__ == "__main__":

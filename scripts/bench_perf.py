@@ -182,15 +182,36 @@ def measure_microbench(repeats: int = 5) -> dict:
     }
 
 
+def _cpu_model() -> str | None:
+    """The CPU model string, so cross-host drift in checked-in numbers
+    (e.g. the 723k -> 429k ev/s slide between PR 3 and PR 5) is
+    attributable to hardware rather than mistaken for a regression."""
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or None
+
+
 def _host() -> dict:
     from repro.bench.executor import default_jobs
 
     return {
         "platform": platform.platform(),
         "python": platform.python_version(),
+        "cpu_model": _cpu_model(),
         "cpu_count": os.cpu_count(),
         "usable_cores": default_jobs(),
     }
+
+
+def _backend_name() -> str:
+    from repro import _kernel
+
+    return _kernel.backend_name()
 
 
 def _merge_measurements(acc: dict | None, cur: dict) -> dict:
@@ -205,6 +226,29 @@ def _merge_measurements(acc: dict | None, cur: dict) -> dict:
     if cur["microbench"]["events_per_sec"] > acc["microbench"]["events_per_sec"]:
         acc["microbench"] = cur["microbench"]
     return acc
+
+
+def _measure_backend_leg(backend: str, repeats: int) -> dict:
+    """One pinned+microbench measurement round in a fresh subprocess
+    forced onto ``backend`` via ``REPRO_BACKEND`` — the backend is bound
+    at import, so a clean interpreter is the only honest way to measure
+    the other one."""
+    env = dict(os.environ, REPRO_BACKEND=backend)
+    proc = subprocess.run(
+        [
+            sys.executable,
+            os.path.abspath(__file__),
+            "--pinned",
+            "--emit-json",
+            "--repeats",
+            str(repeats),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout)
 
 
 def _measure_old_tree(src: str, repeats: int) -> dict:
@@ -361,6 +405,7 @@ def large_main(args) -> None:
     report = {
         "mode": "large-memory-tier",
         "host": _host(),
+        "backend": _backend_name(),
         "workloads": workloads,
         "pinned": measure_pinned(args.repeats),
         "microbench": measure_microbench(3),
@@ -382,11 +427,111 @@ def large_main(args) -> None:
     print(f"report written to {args.out}")
 
 
+def backends_main(args) -> None:
+    """``--compare-backends``: compiled vs pure-Python, interleaved rounds.
+
+    The compiled legs run in this process (which must therefore be on the
+    compiled backend); the python legs run the identical measurement in
+    ``REPRO_BACKEND=python`` subprocesses.  Rounds alternate so shared-host
+    load epochs cannot bias one side, exactly like ``--compare-src``.
+    Deterministic outcome fields (simulated time, engine events, message
+    count) must agree across backends or the run aborts.
+    """
+    from repro import _kernel
+
+    if _kernel.backend_name() != "compiled":
+        raise SystemExit(
+            "FATAL: --compare-backends needs this process on the compiled "
+            f"backend, but it is on {_kernel.backend_name()!r} "
+            f"({_kernel.backend_info()['reason']})"
+        )
+
+    rounds = max(1, args.rounds)
+    py = comp = None
+    for rnd in range(rounds):
+        print(f"round {rnd + 1}/{rounds}: python leg ...", flush=True)
+        py = _merge_measurements(
+            py, _measure_backend_leg("python", args.repeats)
+        )
+        print(f"round {rnd + 1}/{rounds}: compiled leg ...", flush=True)
+        comp = _merge_measurements(
+            comp,
+            {
+                "backend": "compiled",
+                "workloads": measure_pinned(args.repeats),
+                "microbench": measure_microbench(3),
+            },
+        )
+
+    if py.get("backend") != "python":
+        raise SystemExit(
+            "FATAL: python leg subprocess reported backend "
+            f"{py.get('backend')!r}"
+        )
+    for name in PINNED_WORKLOADS:
+        a, b = py["workloads"][name], comp["workloads"][name]
+        for field in ("sim_time_us", "engine_events", "messages"):
+            if a[field] != b[field]:
+                raise SystemExit(
+                    f"FATAL: backends disagree on {name}.{field}: "
+                    f"python={a[field]} compiled={b[field]}"
+                )
+
+    speedup = {
+        name: {
+            "python_wall_s": py["workloads"][name]["wall_s_best"],
+            "compiled_wall_s": comp["workloads"][name]["wall_s_best"],
+            "speedup": py["workloads"][name]["wall_s_best"]
+            / comp["workloads"][name]["wall_s_best"],
+        }
+        for name in PINNED_WORKLOADS
+    }
+    micro_py = py["microbench"]["events_per_sec"]
+    micro_comp = comp["microbench"]["events_per_sec"]
+    speedup["microbench"] = {
+        "python_events_per_sec": micro_py,
+        "compiled_events_per_sec": micro_comp,
+        "speedup": micro_comp / micro_py,
+    }
+
+    report = {
+        "mode": "compare-backends",
+        "host": _host(),
+        "backend": "compiled",
+        "kernel": _kernel.backend_info(),
+        "interleaved_rounds": rounds,
+        "repeats": args.repeats,
+        "python": py,
+        "compiled": comp,
+        "speedup": speedup,
+        "identical_results": True,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    for name, entry in speedup.items():
+        if name == "microbench":
+            continue
+        print(
+            f"{name}: {entry['python_wall_s']:.4f}s python -> "
+            f"{entry['compiled_wall_s']:.4f}s compiled "
+            f"({entry['speedup']:.2f}x)"
+        )
+    micro = speedup["microbench"]
+    print(
+        f"event loop: {micro['python_events_per_sec']:.0f} -> "
+        f"{micro['compiled_events_per_sec']:.0f} events/s "
+        f"({micro['speedup']:.2f}x)"
+    )
+    print(f"report written to {args.out}")
+
+
 def pinned_main(args) -> None:
     """``--pinned``: measure the gate workloads, optionally vs an old tree."""
     if args.emit_json:
         json.dump(
             {
+                "backend": _backend_name(),
                 "workloads": measure_pinned(args.repeats),
                 "microbench": measure_microbench(3),
             },
@@ -423,6 +568,7 @@ def pinned_main(args) -> None:
     report = {
         "mode": "pinned",
         "host": _host(),
+        "backend": _backend_name(),
         "workloads": measured["workloads"],
         "microbench": measured["microbench"],
     }
@@ -461,11 +607,23 @@ def pinned_main(args) -> None:
 
 def main() -> None:
     parser = argparse.ArgumentParser()
-    parser.add_argument("--out", default="BENCH_PR2.json")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="report path (default: BENCH_PR6.json for --compare-backends, "
+        "BENCH_PR2.json otherwise)",
+    )
     parser.add_argument(
         "--pinned",
         action="store_true",
         help="measure the pinned perf-gate workloads instead of the sweep",
+    )
+    parser.add_argument(
+        "--compare-backends",
+        action="store_true",
+        help="measure the pinned workloads + event-loop microbench under "
+        "the compiled backend (this process) vs pure-Python (subprocess), "
+        "interleaved rounds",
     )
     parser.add_argument(
         "--compare-src",
@@ -504,6 +662,13 @@ def main() -> None:
         help="disable barrier-epoch memory GC (memory-ablation leg)",
     )
     args = parser.parse_args()
+    if args.out is None:
+        args.out = (
+            "BENCH_PR6.json" if args.compare_backends else "BENCH_PR2.json"
+        )
+    if args.compare_backends:
+        backends_main(args)
+        return
     if args.tier == "large" or args.memory_leg:
         large_main(args)
         return
@@ -554,12 +719,8 @@ def main() -> None:
     obs_run_wall = sum(o.wall_clock_s for o in obs_outcomes)
     report = {
         "sweep": "figure2-quick (ASP/SOR x NM/AT x 2,4,8 nodes)",
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "usable_cores": jobs_auto,
-        },
+        "host": {**_host(), "usable_cores": jobs_auto},
+        "backend": _backend_name(),
         "runs": [
             {
                 "tag": list(o.tag),

@@ -137,7 +137,21 @@ def main() -> None:
         "--no-gc", action="store_true",
         help="disable barrier-epoch memory GC (contrast leg for --memory)",
     )
+    parser.add_argument(
+        "--backend", choices=("auto", "python", "compiled"), default="auto",
+        help="simulation backend (auto picks the compiled kernel when it "
+        "builds; python profiles the pure-Python hot path)",
+    )
     args = parser.parse_args()
+
+    from repro import _kernel
+
+    if args.backend != "auto":
+        try:
+            _kernel.select_backend(args.backend)
+        except RuntimeError as exc:
+            parser.error(str(exc))
+    print(f"backend: {_kernel.backend_name()}")
 
     app = make_app(args.app, args.size)
     if args.memory:

@@ -3,8 +3,29 @@
 The offline toolchain here (pip 23.2 + setuptools 65.5, no `wheel`)
 cannot build PEP 660 editable wheels, so `pip install -e .` needs the
 legacy setup.py code path; all real metadata lives in pyproject.toml.
+
+The compiled kernel extension is declared ``optional``: hosts without a
+C toolchain (or numpy at build time) still install fine and run on the
+pure-Python backend — ``repro._kernel`` also builds the extension at
+first use, so ``build_ext`` here is a convenience, not a requirement.
 """
 
 from setuptools import setup
 
-setup()
+try:
+    import numpy
+    from setuptools import Extension
+
+    ext_modules = [
+        Extension(
+            "repro._kernel._kernelc",
+            sources=["src/repro/_kernel/_kernelc.c"],
+            include_dirs=[numpy.get_include()],
+            extra_compile_args=["-O2", "-fno-strict-aliasing"],
+            optional=True,
+        )
+    ]
+except ImportError:
+    ext_modules = []
+
+setup(ext_modules=ext_modules)

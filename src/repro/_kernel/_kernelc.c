@@ -1,0 +1,917 @@
+/* Compiled hot kernels for the repro package.
+ *
+ * Four kernels, chosen from profile data (see PROTOCOL.md §11):
+ *
+ *   Engine            -- the event-heap core of repro.sim.engine (push +
+ *                        drain/dispatch).  repro.sim.engine.CompiledSimulator
+ *                        subclasses it from Python and layers the process /
+ *                        deadlock bookkeeping on top.
+ *   Dispatcher        -- the per-message dispatch point of the DSM protocol
+ *                        layer (category -> bound handler dict lookup).
+ *   diff_arrays       -- the element-wise scan behind
+ *                        repro.memory.diff.compute_diff.
+ *   adaptive_threshold -- Equation 2 of the paper (repro.core.threshold).
+ *
+ * Determinism contract: every kernel reproduces the pure-Python semantics
+ * bit for bit.  The event heap orders by (time, seq) with seq unique, so
+ * any conforming priority queue pops the identical sequence heapq does.
+ * Float comparisons in diff_arrays use the C `!=` operator, which matches
+ * numpy's element-wise `!=` (NaN != NaN is true, -0.0 != 0.0 is false).
+ * The threshold update applies the same IEEE-754 operations in the same
+ * order as the Python expression.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#define NPY_NO_DEPRECATED_API NPY_1_7_API_VERSION
+#include <numpy/arrayobject.h>
+
+#include <string.h>
+
+/* Set by _install(); the simulator raises this instead of RuntimeError. */
+static PyObject *SimError = NULL;
+
+static PyObject *str_category = NULL;
+static PyObject *str_payload = NULL;
+
+static PyObject *
+sim_error_class(void)
+{
+    return SimError != NULL ? SimError : PyExc_RuntimeError;
+}
+
+/* ====================================================================== */
+/* Engine: the event-heap simulator core                                   */
+/* ====================================================================== */
+
+typedef struct {
+    double time;
+    long long seq;
+    PyObject *cb;   /* callback, owned */
+    PyObject *args; /* argument tuple, owned; NULL for the no-arg fast path */
+} Ev;
+
+typedef struct {
+    PyObject_HEAD
+    Ev *ev;
+    Py_ssize_t n;
+    Py_ssize_t cap;
+    double now;
+    long long seq;
+    long long processed;
+} EngineObject;
+
+/* Strict weak order matching the (time, seq, ...) tuples of the Python
+ * heap: seq is unique, so callbacks are never compared. */
+static inline int
+ev_lt(const Ev *a, const Ev *b)
+{
+    if (a->time != b->time) {
+        return a->time < b->time;
+    }
+    return a->seq < b->seq;
+}
+
+static int
+heap_ensure(EngineObject *self, Py_ssize_t need)
+{
+    Py_ssize_t newcap;
+    Ev *grown;
+
+    if (need <= self->cap) {
+        return 0;
+    }
+    newcap = self->cap > 0 ? self->cap * 2 : 64;
+    while (newcap < need) {
+        newcap *= 2;
+    }
+    grown = PyMem_Realloc(self->ev, (size_t)newcap * sizeof(Ev));
+    if (grown == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    self->ev = grown;
+    self->cap = newcap;
+    return 0;
+}
+
+static void
+heap_push(EngineObject *self, Ev ev)
+{
+    Ev *h = self->ev;
+    Py_ssize_t i = self->n++;
+
+    while (i > 0) {
+        Py_ssize_t parent = (i - 1) >> 1;
+        if (!ev_lt(&ev, &h[parent])) {
+            break;
+        }
+        h[i] = h[parent];
+        i = parent;
+    }
+    h[i] = ev;
+}
+
+static Ev
+heap_pop(EngineObject *self)
+{
+    Ev *h = self->ev;
+    Ev top = h[0];
+    Py_ssize_t n = --self->n;
+
+    if (n > 0) {
+        Ev last = h[n];
+        Py_ssize_t i = 0;
+        for (;;) {
+            Py_ssize_t child = 2 * i + 1;
+            if (child >= n) {
+                break;
+            }
+            if (child + 1 < n && ev_lt(&h[child + 1], &h[child])) {
+                child++;
+            }
+            if (!ev_lt(&h[child], &last)) {
+                break;
+            }
+            h[i] = h[child];
+            i = child;
+        }
+        h[i] = last;
+    }
+    return top;
+}
+
+/* argv[0] is the callback, argv[1:] its arguments. */
+static PyObject *
+engine_push_common(EngineObject *self, double time, PyObject *const *argv,
+                   Py_ssize_t argc)
+{
+    PyObject *args = NULL;
+    Ev ev;
+
+    if (argc > 1) {
+        args = PyTuple_New(argc - 1);
+        if (args == NULL) {
+            return NULL;
+        }
+        for (Py_ssize_t i = 1; i < argc; i++) {
+            PyObject *item = argv[i];
+            Py_INCREF(item);
+            PyTuple_SET_ITEM(args, i - 1, item);
+        }
+    }
+    if (heap_ensure(self, self->n + 1) < 0) {
+        Py_XDECREF(args);
+        return NULL;
+    }
+    ev.time = time;
+    ev.seq = self->seq++;
+    Py_INCREF(argv[0]);
+    ev.cb = argv[0];
+    ev.args = args;
+    heap_push(self, ev);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Engine_schedule(EngineObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    double delay;
+
+    if (nargs < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule() requires (delay, callback, *args)");
+        return NULL;
+    }
+    delay = PyFloat_AsDouble(args[0]);
+    if (delay == -1.0 && PyErr_Occurred()) {
+        return NULL;
+    }
+    if (delay < 0.0) {
+        PyErr_Format(sim_error_class(), "negative delay %R", args[0]);
+        return NULL;
+    }
+    return engine_push_common(self, self->now + delay, args + 1, nargs - 1);
+}
+
+static PyObject *
+Engine_at(EngineObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    double time;
+
+    if (nargs < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "at() requires (time, callback, *args)");
+        return NULL;
+    }
+    time = PyFloat_AsDouble(args[0]);
+    if (time == -1.0 && PyErr_Occurred()) {
+        return NULL;
+    }
+    if (time < self->now) {
+        PyObject *now_obj = PyFloat_FromDouble(self->now);
+        if (now_obj == NULL) {
+            return NULL;
+        }
+        PyErr_Format(sim_error_class(),
+                     "cannot schedule at %S before current time %S",
+                     args[0], now_obj);
+        Py_DECREF(now_obj);
+        return NULL;
+    }
+    return engine_push_common(self, time, args + 1, nargs - 1);
+}
+
+static PyObject *
+Engine_call_soon(EngineObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs < 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "call_soon() requires (callback, *args)");
+        return NULL;
+    }
+    return engine_push_common(self, self->now, args, nargs);
+}
+
+/* _drain(until_or_None, heartbeat_every, heartbeat_cb_or_None)
+ *
+ * Returns True when stopped early at `until` (clock set to `until`,
+ * remaining events left queued), False when the heap drained completely.
+ * `processed` is incremented before each callback so the count stays
+ * exact when a callback raises, mirroring the Python try/finally. */
+static PyObject *
+Engine_drain(EngineObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    int has_until = 0;
+    double until = 0.0;
+    long long every, countdown;
+    PyObject *beat;
+
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "_drain() requires (until, every, beat)");
+        return NULL;
+    }
+    if (args[0] != Py_None) {
+        until = PyFloat_AsDouble(args[0]);
+        if (until == -1.0 && PyErr_Occurred()) {
+            return NULL;
+        }
+        has_until = 1;
+    }
+    every = PyLong_AsLongLong(args[1]);
+    if (every == -1 && PyErr_Occurred()) {
+        return NULL;
+    }
+    beat = args[2];
+    countdown = every;
+
+    while (self->n > 0) {
+        double time = self->ev[0].time;
+        PyObject *res;
+        Ev ev;
+
+        if (has_until && time > until) {
+            self->now = until;
+            Py_RETURN_TRUE;
+        }
+        ev = heap_pop(self);
+        self->now = ev.time;
+        self->processed++;
+        if (ev.args != NULL) {
+            res = PyObject_Call(ev.cb, ev.args, NULL);
+        }
+        else {
+            res = PyObject_CallNoArgs(ev.cb);
+        }
+        Py_DECREF(ev.cb);
+        Py_XDECREF(ev.args);
+        if (res == NULL) {
+            return NULL;
+        }
+        Py_DECREF(res);
+        if (every > 0 && --countdown == 0) {
+            countdown = every;
+            res = PyObject_CallOneArg(beat, (PyObject *)self);
+            if (res == NULL) {
+                return NULL;
+            }
+            Py_DECREF(res);
+        }
+    }
+    Py_RETURN_FALSE;
+}
+
+static PyObject *
+Engine_get_now(EngineObject *self, void *closure)
+{
+    return PyFloat_FromDouble(self->now);
+}
+
+static int
+Engine_set_now(EngineObject *self, PyObject *value, void *closure)
+{
+    double now;
+
+    if (value == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "cannot delete _now");
+        return -1;
+    }
+    now = PyFloat_AsDouble(value);
+    if (now == -1.0 && PyErr_Occurred()) {
+        return -1;
+    }
+    self->now = now;
+    return 0;
+}
+
+static PyObject *
+Engine_get_processed(EngineObject *self, void *closure)
+{
+    return PyLong_FromLongLong(self->processed);
+}
+
+static int
+Engine_set_processed(EngineObject *self, PyObject *value, void *closure)
+{
+    long long processed;
+
+    if (value == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "cannot delete events_processed");
+        return -1;
+    }
+    processed = PyLong_AsLongLong(value);
+    if (processed == -1 && PyErr_Occurred()) {
+        return -1;
+    }
+    self->processed = processed;
+    return 0;
+}
+
+static PyObject *
+Engine_get_seq(EngineObject *self, void *closure)
+{
+    return PyLong_FromLongLong(self->seq);
+}
+
+static PyObject *
+Engine_get_pending(EngineObject *self, void *closure)
+{
+    return PyLong_FromSsize_t(self->n);
+}
+
+static int
+Engine_traverse(EngineObject *self, visitproc visit, void *arg)
+{
+    for (Py_ssize_t i = 0; i < self->n; i++) {
+        Py_VISIT(self->ev[i].cb);
+        Py_VISIT(self->ev[i].args);
+    }
+    return 0;
+}
+
+static int
+Engine_clear(EngineObject *self)
+{
+    Py_ssize_t n = self->n;
+
+    self->n = 0;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        Py_CLEAR(self->ev[i].cb);
+        Py_CLEAR(self->ev[i].args);
+    }
+    return 0;
+}
+
+static void
+Engine_dealloc(EngineObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Engine_clear(self);
+    PyMem_Free(self->ev);
+    self->ev = NULL;
+    self->cap = 0;
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+Engine_init(EngineObject *self, PyObject *args, PyObject *kwds)
+{
+    if ((args != NULL && PyTuple_GET_SIZE(args) > 0) ||
+        (kwds != NULL && PyDict_GET_SIZE(kwds) > 0)) {
+        PyErr_SetString(PyExc_TypeError, "Engine() takes no arguments");
+        return -1;
+    }
+    Engine_clear(self);
+    self->now = 0.0;
+    self->seq = 0;
+    self->processed = 0;
+    return 0;
+}
+
+static PyMethodDef Engine_methods[] = {
+    {"schedule", (PyCFunction)(void (*)(void))Engine_schedule,
+     METH_FASTCALL,
+     "schedule(delay, callback, *args)\n--\n\n"
+     "Run callback(*args) delay microseconds from now."},
+    {"at", (PyCFunction)(void (*)(void))Engine_at, METH_FASTCALL,
+     "at(time, callback, *args)\n--\n\n"
+     "Run callback(*args) at absolute simulated time."},
+    {"call_soon", (PyCFunction)(void (*)(void))Engine_call_soon,
+     METH_FASTCALL,
+     "call_soon(callback, *args)\n--\n\n"
+     "Schedule callback(*args) at the current instant (after pending ties)."},
+    {"_drain", (PyCFunction)(void (*)(void))Engine_drain, METH_FASTCALL,
+     "_drain(until, every, beat)\n--\n\n"
+     "Drain the heap; True when stopped early at `until`, False when empty."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef Engine_getset[] = {
+    {"_now", (getter)Engine_get_now, (setter)Engine_set_now,
+     "Current simulated time in microseconds.", NULL},
+    {"now", (getter)Engine_get_now, NULL,
+     "Current simulated time in microseconds.", NULL},
+    {"events_processed", (getter)Engine_get_processed,
+     (setter)Engine_set_processed,
+     "Total events dispatched by this simulator.", NULL},
+    {"_seq", (getter)Engine_get_seq, NULL,
+     "Monotone tie-breaking sequence counter.", NULL},
+    {"_pending", (getter)Engine_get_pending, NULL,
+     "Number of events currently queued.", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject EngineType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernel._kernelc.Engine",
+    .tp_doc = "Compiled event-heap simulator core (time, seq)-ordered, "
+              "subclassed by repro.sim.engine.CompiledSimulator.",
+    .tp_basicsize = sizeof(EngineObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC | Py_TPFLAGS_BASETYPE,
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Engine_init,
+    .tp_dealloc = (destructor)Engine_dealloc,
+    .tp_traverse = (traverseproc)Engine_traverse,
+    .tp_clear = (inquiry)Engine_clear,
+    .tp_methods = Engine_methods,
+    .tp_getset = Engine_getset,
+};
+
+/* ====================================================================== */
+/* Dispatcher: protocol message dispatch                                   */
+/* ====================================================================== */
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *dispatch; /* category -> bound handler dict (shared, owned ref) */
+} DispatcherObject;
+
+static int
+Dispatcher_init(DispatcherObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *dispatch;
+
+    if (kwds != NULL && PyDict_GET_SIZE(kwds) > 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "Dispatcher() takes no keyword arguments");
+        return -1;
+    }
+    if (!PyArg_ParseTuple(args, "O!:Dispatcher", &PyDict_Type, &dispatch)) {
+        return -1;
+    }
+    Py_INCREF(dispatch);
+    Py_XSETREF(self->dispatch, dispatch);
+    return 0;
+}
+
+static PyObject *
+Dispatcher_call(DispatcherObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *msg, *category, *handler, *payload, *res;
+
+    if (kwds != NULL && PyDict_GET_SIZE(kwds) > 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "Dispatcher takes no keyword arguments");
+        return NULL;
+    }
+    if (PyTuple_GET_SIZE(args) != 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "Dispatcher expects exactly one message");
+        return NULL;
+    }
+    msg = PyTuple_GET_ITEM(args, 0);
+    category = PyObject_GetAttr(msg, str_category);
+    if (category == NULL) {
+        return NULL;
+    }
+    handler = PyDict_GetItemWithError(self->dispatch, category);
+    Py_DECREF(category);
+    if (handler == NULL) {
+        if (PyErr_Occurred()) {
+            return NULL;
+        }
+        PyErr_Format(PyExc_RuntimeError, "unhandled message %R", msg);
+        return NULL;
+    }
+    Py_INCREF(handler);
+    payload = PyObject_GetAttr(msg, str_payload);
+    if (payload == NULL) {
+        Py_DECREF(handler);
+        return NULL;
+    }
+    res = PyObject_CallOneArg(handler, payload);
+    Py_DECREF(handler);
+    Py_DECREF(payload);
+    if (res == NULL) {
+        return NULL;
+    }
+    Py_DECREF(res);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Dispatcher_get_dispatch(DispatcherObject *self, void *closure)
+{
+    if (self->dispatch == NULL) {
+        Py_RETURN_NONE;
+    }
+    Py_INCREF(self->dispatch);
+    return self->dispatch;
+}
+
+static int
+Dispatcher_traverse(DispatcherObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->dispatch);
+    return 0;
+}
+
+static int
+Dispatcher_clear_gc(DispatcherObject *self)
+{
+    Py_CLEAR(self->dispatch);
+    return 0;
+}
+
+static void
+Dispatcher_dealloc(DispatcherObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Py_CLEAR(self->dispatch);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyGetSetDef Dispatcher_getset[] = {
+    {"dispatch", (getter)Dispatcher_get_dispatch, NULL,
+     "The category -> handler dict this dispatcher reads (shared with the "
+     "engine, so mutations are visible immediately).", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject DispatcherType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernel._kernelc.Dispatcher",
+    .tp_doc = "Compiled per-message dispatch point: looks the message "
+              "category up in a shared handler dict and invokes the bound "
+              "handler with the payload.",
+    .tp_basicsize = sizeof(DispatcherObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Dispatcher_init,
+    .tp_call = (ternaryfunc)Dispatcher_call,
+    .tp_dealloc = (destructor)Dispatcher_dealloc,
+    .tp_traverse = (traverseproc)Dispatcher_traverse,
+    .tp_clear = (inquiry)Dispatcher_clear_gc,
+    .tp_getset = Dispatcher_getset,
+};
+
+/* ====================================================================== */
+/* diff_arrays: the compute_diff scan                                      */
+/* ====================================================================== */
+
+/* Count pass + fill pass per element width.  Integer (and bool) dtypes
+ * compare bitwise; float dtypes use the C != operator so NaN/-0.0
+ * semantics match numpy's element-wise comparison exactly. */
+#define DIFF_COUNT(CTYPE)                                                  \
+    do {                                                                   \
+        const CTYPE *ca = (const CTYPE *)a;                                \
+        const CTYPE *cb = (const CTYPE *)b;                                \
+        for (npy_intp i = 0; i < n; i++) {                                 \
+            if (ca[i] != cb[i]) {                                          \
+                nchanged++;                                                \
+            }                                                              \
+        }                                                                  \
+    } while (0)
+
+#define DIFF_FILL(CTYPE)                                                   \
+    do {                                                                   \
+        const CTYPE *ca = (const CTYPE *)a;                                \
+        const CTYPE *cb = (const CTYPE *)b;                                \
+        CTYPE *cv = (CTYPE *)values_data;                                  \
+        npy_intp k = 0;                                                    \
+        for (npy_intp i = 0; i < n; i++) {                                 \
+            if (ca[i] != cb[i]) {                                          \
+                if (k == 0 || indices_data[k - 1] + 1 != i) {              \
+                    nruns++;                                               \
+                }                                                          \
+                indices_data[k] = i;                                       \
+                cv[k] = ca[i];                                             \
+                k++;                                                       \
+            }                                                              \
+        }                                                                  \
+    } while (0)
+
+enum diff_mode {
+    DIFF_UNSUPPORTED = 0,
+    DIFF_I8,
+    DIFF_I16,
+    DIFF_I32,
+    DIFF_I64,
+    DIFF_F32,
+    DIFF_F64,
+};
+
+static enum diff_mode
+diff_mode_for(int typenum, int itemsize)
+{
+    if (PyTypeNum_ISBOOL(typenum) || PyTypeNum_ISINTEGER(typenum)) {
+        switch (itemsize) {
+        case 1:
+            return DIFF_I8;
+        case 2:
+            return DIFF_I16;
+        case 4:
+            return DIFF_I32;
+        case 8:
+            return DIFF_I64;
+        default:
+            return DIFF_UNSUPPORTED;
+        }
+    }
+    if (typenum == NPY_FLOAT32) {
+        return DIFF_F32;
+    }
+    if (typenum == NPY_FLOAT64) {
+        return DIFF_F64;
+    }
+    return DIFF_UNSUPPORTED;
+}
+
+static PyObject *
+diff_arrays(PyObject *mod, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyArrayObject *cur, *twin;
+    const char *a, *b;
+    npy_intp n, nchanged = 0, nruns = 0;
+    npy_intp *indices_data;
+    char *values_data;
+    int typenum, itemsize;
+    enum diff_mode mode;
+    PyObject *indices = NULL, *values = NULL, *result;
+
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "diff_arrays() requires (current, twin)");
+        return NULL;
+    }
+    if (!PyArray_Check(args[0]) || !PyArray_Check(args[1])) {
+        Py_RETURN_NOTIMPLEMENTED;
+    }
+    cur = (PyArrayObject *)args[0];
+    twin = (PyArrayObject *)args[1];
+    if (PyArray_NDIM(cur) != 1 || PyArray_NDIM(twin) != 1) {
+        Py_RETURN_NOTIMPLEMENTED;
+    }
+    typenum = PyArray_TYPE(cur);
+    if (PyArray_TYPE(twin) != typenum) {
+        Py_RETURN_NOTIMPLEMENTED;
+    }
+    n = PyArray_DIM(cur, 0);
+    if (PyArray_DIM(twin, 0) != n) {
+        Py_RETURN_NOTIMPLEMENTED;
+    }
+    if (!PyArray_ISCARRAY_RO(cur) || !PyArray_ISCARRAY_RO(twin) ||
+        !PyArray_ISNOTSWAPPED(cur) || !PyArray_ISNOTSWAPPED(twin)) {
+        Py_RETURN_NOTIMPLEMENTED;
+    }
+    itemsize = (int)PyArray_ITEMSIZE(cur);
+    mode = diff_mode_for(typenum, itemsize);
+    if (mode == DIFF_UNSUPPORTED) {
+        Py_RETURN_NOTIMPLEMENTED;
+    }
+    a = PyArray_BYTES(cur);
+    b = PyArray_BYTES(twin);
+
+    switch (mode) {
+    case DIFF_I8:
+        DIFF_COUNT(npy_uint8);
+        break;
+    case DIFF_I16:
+        DIFF_COUNT(npy_uint16);
+        break;
+    case DIFF_I32:
+        DIFF_COUNT(npy_uint32);
+        break;
+    case DIFF_I64:
+        DIFF_COUNT(npy_uint64);
+        break;
+    case DIFF_F32:
+        DIFF_COUNT(npy_float);
+        break;
+    case DIFF_F64:
+        DIFF_COUNT(npy_double);
+        break;
+    default:
+        Py_RETURN_NOTIMPLEMENTED;
+    }
+
+    if (nchanged == 0) {
+        Py_RETURN_NONE;
+    }
+
+    indices = PyArray_SimpleNew(1, &nchanged, NPY_INTP);
+    if (indices == NULL) {
+        return NULL;
+    }
+    values = PyArray_SimpleNew(1, &nchanged, typenum);
+    if (values == NULL) {
+        Py_DECREF(indices);
+        return NULL;
+    }
+    indices_data = (npy_intp *)PyArray_BYTES((PyArrayObject *)indices);
+    values_data = PyArray_BYTES((PyArrayObject *)values);
+
+    switch (mode) {
+    case DIFF_I8:
+        DIFF_FILL(npy_uint8);
+        break;
+    case DIFF_I16:
+        DIFF_FILL(npy_uint16);
+        break;
+    case DIFF_I32:
+        DIFF_FILL(npy_uint32);
+        break;
+    case DIFF_I64:
+        DIFF_FILL(npy_uint64);
+        break;
+    case DIFF_F32:
+        DIFF_FILL(npy_float);
+        break;
+    case DIFF_F64:
+        DIFF_FILL(npy_double);
+        break;
+    default:
+        break;
+    }
+
+    result = Py_BuildValue("(NNn)", indices, values, (Py_ssize_t)nruns);
+    return result;
+}
+
+/* ====================================================================== */
+/* adaptive_threshold: Equation 2                                          */
+/* ====================================================================== */
+
+static PyObject *
+kernel_adaptive_threshold(PyObject *mod, PyObject *const *args,
+                          Py_ssize_t nargs)
+{
+    double base, redirections, exclusive, alpha, lam, t_init, result;
+
+    if (nargs != 6) {
+        PyErr_SetString(
+            PyExc_TypeError,
+            "adaptive_threshold() requires (base, redirections, "
+            "exclusive_home_writes, alpha, lam, t_init)");
+        return NULL;
+    }
+    base = PyFloat_AsDouble(args[0]);
+    if (base == -1.0 && PyErr_Occurred()) {
+        return NULL;
+    }
+    redirections = PyFloat_AsDouble(args[1]);
+    if (redirections == -1.0 && PyErr_Occurred()) {
+        return NULL;
+    }
+    exclusive = PyFloat_AsDouble(args[2]);
+    if (exclusive == -1.0 && PyErr_Occurred()) {
+        return NULL;
+    }
+    alpha = PyFloat_AsDouble(args[3]);
+    if (alpha == -1.0 && PyErr_Occurred()) {
+        return NULL;
+    }
+    lam = PyFloat_AsDouble(args[4]);
+    if (lam == -1.0 && PyErr_Occurred()) {
+        return NULL;
+    }
+    t_init = PyFloat_AsDouble(args[5]);
+    if (t_init == -1.0 && PyErr_Occurred()) {
+        return NULL;
+    }
+
+    if (base < t_init) {
+        PyErr_Format(PyExc_ValueError, "threshold base %S below floor %S",
+                     args[0], args[5]);
+        return NULL;
+    }
+    if (redirections < 0.0 || exclusive < 0.0) {
+        PyErr_Format(PyExc_ValueError,
+                     "feedback counters must be non-negative, got R=%S, E=%S",
+                     args[1], args[2]);
+        return NULL;
+    }
+    if (alpha <= 0.0) {
+        PyErr_Format(PyExc_ValueError, "alpha must be positive, got %S",
+                     args[3]);
+        return NULL;
+    }
+    if (lam < 0.0) {
+        PyErr_Format(PyExc_ValueError, "lambda must be non-negative, got %S",
+                     args[4]);
+        return NULL;
+    }
+
+    /* Same IEEE-754 operation order as the Python expression:
+     * base + lam * (R - alpha * E), floored at t_init. */
+    result = base + lam * (redirections - alpha * exclusive);
+    if (result < t_init) {
+        result = t_init;
+    }
+    return PyFloat_FromDouble(result);
+}
+
+/* ====================================================================== */
+/* module                                                                  */
+/* ====================================================================== */
+
+static PyObject *
+kernel_install(PyObject *mod, PyObject *exc)
+{
+    Py_INCREF(exc);
+    Py_XSETREF(SimError, exc);
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef kernel_methods[] = {
+    {"_install", kernel_install, METH_O,
+     "_install(exc_type)\n--\n\n"
+     "Register the SimulationError class the Engine raises."},
+    {"diff_arrays", (PyCFunction)(void (*)(void))diff_arrays, METH_FASTCALL,
+     "diff_arrays(current, twin)\n--\n\n"
+     "Single-scan diff of two matching 1-D arrays.  Returns None when "
+     "equal, (indices, values, nruns) when changed, or NotImplemented "
+     "for layouts/dtypes the kernel does not handle."},
+    {"adaptive_threshold",
+     (PyCFunction)(void (*)(void))kernel_adaptive_threshold, METH_FASTCALL,
+     "adaptive_threshold(base, redirections, exclusive_home_writes, alpha, "
+     "lam, t_init)\n--\n\n"
+     "Equation 2: max(base + lam * (R - alpha * E), t_init), with the "
+     "pure-Python function's validation."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef kernel_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro._kernel._kernelc",
+    .m_doc = "Compiled hot kernels: event-heap engine, message dispatcher, "
+             "diff scan, threshold update.",
+    .m_size = -1,
+    .m_methods = kernel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__kernelc(void)
+{
+    PyObject *mod;
+
+    import_array();
+
+    str_category = PyUnicode_InternFromString("category");
+    if (str_category == NULL) {
+        return NULL;
+    }
+    str_payload = PyUnicode_InternFromString("payload");
+    if (str_payload == NULL) {
+        return NULL;
+    }
+
+    if (PyType_Ready(&EngineType) < 0 || PyType_Ready(&DispatcherType) < 0) {
+        return NULL;
+    }
+
+    mod = PyModule_Create(&kernel_module);
+    if (mod == NULL) {
+        return NULL;
+    }
+    if (PyModule_AddObjectRef(mod, "Engine", (PyObject *)&EngineType) < 0 ||
+        PyModule_AddObjectRef(mod, "Dispatcher",
+                              (PyObject *)&DispatcherType) < 0 ||
+        PyModule_AddIntConstant(mod, "KERNEL_API", 1) < 0) {
+        Py_DECREF(mod);
+        return NULL;
+    }
+    return mod;
+}

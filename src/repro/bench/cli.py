@@ -279,7 +279,23 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="(check target) skip the mutation self-test leg",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "python", "compiled"),
+        default="auto",
+        help="simulation backend: auto (default) uses the compiled kernel "
+        "when it builds, python forces the pure-Python fallback, compiled "
+        "fails fast when the extension is unavailable",
+    )
     args = parser.parse_args(argv)
+
+    if args.backend != "auto":
+        from repro import _kernel
+
+        try:
+            _kernel.select_backend(args.backend)
+        except RuntimeError as exc:
+            parser.error(str(exc))
 
     if args.target == "check":
         return _run_check_target(args, parser)

@@ -189,6 +189,10 @@ class RunOutcome:
     msg_count: dict[str, int]
     msg_bytes: dict[str, int]
     telemetry: dict | None = None
+    #: Which simulation backend produced this outcome ("python" or
+    #: "compiled") — diagnostic provenance, stripped from the
+    #: deterministic view because both backends are bit-identical.
+    backend: str = "python"
 
     @property
     def time_s(self) -> float:
@@ -196,12 +200,13 @@ class RunOutcome:
         return self.time_us / 1e6
 
     def deterministic(self) -> dict:
-        """All fields except the wall-clock and telemetry — the
+        """All fields except the wall-clock, telemetry and backend — the
         bit-stable view two executions of the same spec must agree on
-        exactly."""
+        exactly (whichever backend ran them)."""
         payload = self.__dict__.copy()
         payload.pop("wall_clock_s")
         payload.pop("telemetry")
+        payload.pop("backend")
         return payload
 
 
@@ -276,6 +281,7 @@ def run_spec(spec: RunSpec) -> RunOutcome:
     resulting :attr:`RunOutcome.telemetry` carries phase timings, the
     metrics snapshot and the trace-file summary.
     """
+    from repro import _kernel
     from repro.bench.runner import make_comm_model, make_mechanism
     from repro.gos.jvm import DistributedJVM
 
@@ -284,6 +290,12 @@ def run_spec(spec: RunSpec) -> RunOutcome:
         metrics = writer = logger = timer = None
     else:
         metrics, writer, logger, timer = _build_obs(obs)
+    if metrics is not None:
+        # Backend provenance in the metrics snapshot: 1.0 when the
+        # compiled kernel ran this spec, 0.0 for pure Python.
+        metrics.gauge("run_backend_compiled").set(
+            1.0 if _kernel.backend_name() == "compiled" else 0.0
+        )
 
     start = time.perf_counter()
     telemetry: dict | None = None
@@ -321,6 +333,7 @@ def run_spec(spec: RunSpec) -> RunOutcome:
             writer.close()
     if obs is not None:
         telemetry = {
+            "backend": _kernel.backend_name(),
             "phases": timer.report(),
             "metrics": metrics.snapshot() if metrics is not None else None,
             "trace": (
@@ -350,6 +363,7 @@ def run_spec(spec: RunSpec) -> RunOutcome:
         msg_count={cat.value: n for cat, n in stats.msg_count.items()},
         msg_bytes={cat.value: n for cat, n in stats.msg_bytes.items()},
         telemetry=telemetry,
+        backend=_kernel.backend_name(),
     )
 
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.bench.report import format_table
-from repro.obs.export import load_trace
+from repro.obs.export import load_trace, read_trace_meta
 from repro.trace.recorder import TraceRecorder
 
 #: Threshold-series sample rows rendered before eliding the middle.
@@ -57,6 +57,7 @@ def _sample(rows: list, limit: int) -> list:
 def render_trace_report(path: str, oid: int | None = None) -> str:
     """Render the migration/threshold report for one saved trace file."""
     recorder = load_trace(path)
+    backend = read_trace_meta(path).get("backend", "unrecorded")
     blocks = []
 
     kind_counts = Counter(e.kind for e in recorder.events)
@@ -64,7 +65,10 @@ def render_trace_report(path: str, oid: int | None = None) -> str:
         format_table(
             ["kind", "events"],
             [[kind, n] for kind, n in sorted(kind_counts.items())],
-            title=f"Trace {path} — {len(recorder.events)} events",
+            title=(
+                f"Trace {path} — {len(recorder.events)} events "
+                f"(backend: {backend})"
+            ),
         )
     )
 

@@ -38,6 +38,7 @@ from typing import Any, Generator, TYPE_CHECKING
 
 import numpy as np
 
+from repro import _kernel
 from repro.cluster.message import Message, MsgCategory, NOTICE_ENTRY_BYTES
 from repro.cluster.network import Network
 from repro.cluster.stats import ClusterStats
@@ -381,7 +382,16 @@ class DsmEngine:
         self._req_counter = 0
 
         self._msg_dispatch = self._build_dispatch()
-        network.nodes[node_id].install_handler(self.on_message)
+        # Compiled backend: the per-message dispatch (category lookup +
+        # handler call) runs in C.  The Dispatcher reads the *same* dict
+        # object, so handler-table semantics are identical; on_message
+        # stays available either way.
+        kernel_module = _kernel.kernel()
+        if kernel_module is not None:
+            handler = kernel_module.Dispatcher(self._msg_dispatch)
+        else:
+            handler = self.on_message
+        network.nodes[node_id].install_handler(handler)
 
     # -- helpers ------------------------------------------------------------
 

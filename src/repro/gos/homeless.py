@@ -20,7 +20,7 @@ from repro.dsm.locks import LockHandle
 from repro.memory.arena import Arena
 from repro.memory.heap import ObjectHeap
 from repro.memory.objects import SharedObject
-from repro.sim.engine import Simulator
+from repro.sim.engine import make_simulator
 
 
 class HomelessObjectSpace:
@@ -33,7 +33,7 @@ class HomelessObjectSpace:
         service_us: float | None = None,
         gc_threshold_bytes: int | None = None,
     ):
-        self.sim = Simulator()
+        self.sim = make_simulator()
         self.stats = ClusterStats()
         self.network = Network(
             self.sim, comm_model, nnodes, self.stats, service_us=service_us

@@ -16,7 +16,7 @@ from repro.dsm.redirection import (
 from repro.memory.arena import Arena
 from repro.memory.heap import ObjectHeap
 from repro.memory.objects import SharedObject
-from repro.sim.engine import Simulator
+from repro.sim.engine import make_simulator
 
 import numpy as np
 
@@ -44,7 +44,7 @@ class GlobalObjectSpace:
         logger=None,
         gc_enabled: bool = True,
     ):
-        self.sim = Simulator()
+        self.sim = make_simulator()
         self.stats = ClusterStats()
         self.policy = policy if policy is not None else NoMigration()
         self.mechanism = (

@@ -83,10 +83,16 @@ class JsonlTraceWriter:
         parent = os.path.dirname(path)
         if parent:
             os.makedirs(parent, exist_ok=True)
+        from repro import _kernel
+
         self._handle = open(path, "w", encoding="utf-8")
         self._handle.write(
             json.dumps(
-                {"schema": TRACE_SCHEMA, "kinds": sorted(self.kinds)}
+                {
+                    "schema": TRACE_SCHEMA,
+                    "kinds": sorted(self.kinds),
+                    "backend": _kernel.backend_name(),
+                }
             )
             + "\n"
         )
@@ -152,6 +158,21 @@ def _parse_meta(line: str, path: str) -> frozenset[str]:
             f"{path!r} is not a {TRACE_SCHEMA} trace (bad meta line)"
         )
     return frozenset(meta.get("kinds", KINDS))
+
+
+def read_trace_meta(path: str) -> dict:
+    """The parsed meta line of a trace file (schema, kinds, backend, ...).
+
+    The ``backend`` key records which simulation backend produced the
+    trace (``"python"`` or ``"compiled"``); traces written before it was
+    recorded simply lack the key.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        first = handle.readline()
+    if not first:
+        raise ValueError(f"{path!r} is empty (no meta line)")
+    _parse_meta(first, path)  # schema validation
+    return json.loads(first)
 
 
 def iter_trace(path: str) -> Iterator[TraceEvent]:

@@ -11,7 +11,7 @@ the effect completes.  All state transitions happen at deterministic
 simulated times, so identical inputs always produce identical traces.
 """
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import PySimulator, Simulator, make_simulator
 from repro.sim.errors import DeadlockError, SimulationError
 from repro.sim.future import Future
 from repro.sim.process import Delay, Process
@@ -21,6 +21,8 @@ __all__ = [
     "Delay",
     "Future",
     "Process",
+    "PySimulator",
     "SimulationError",
     "Simulator",
+    "make_simulator",
 ]

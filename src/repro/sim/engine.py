@@ -1,15 +1,34 @@
-"""The discrete-event simulator core: a deterministic time-ordered heap."""
+"""The discrete-event simulator core: a deterministic time-ordered heap.
+
+Two interchangeable backends implement the same contract:
+
+* :class:`PySimulator` — the pure-Python reference implementation;
+* :class:`CompiledSimulator` — a thin wrapper over the C event-heap in
+  :mod:`repro._kernel` (created only when the compiled backend is
+  active).
+
+``Simulator`` is bound to the active backend's class at import time
+(``REPRO_BACKEND`` selects it; see :mod:`repro._kernel`), and
+:func:`make_simulator` constructs an instance of whichever backend is
+active *now* — use it instead of ``Simulator()`` in library code so a
+runtime :func:`repro._kernel.select_backend` call takes effect.
+
+Both backends pop events in the identical (time, seq) order, so runs are
+bit-for-bit reproducible whichever is active.
+"""
 
 from __future__ import annotations
 
+import sys
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator
 
+from repro import _kernel
 from repro.sim.errors import DeadlockError, SimulationError
 
 
-class Simulator:
-    """Deterministic discrete-event simulator.
+class PySimulator:
+    """Deterministic discrete-event simulator (pure-Python backend).
 
     Events are ``(time, seq, callback, args)`` tuples kept in a binary
     heap; the monotonically increasing ``seq`` breaks ties so that events
@@ -33,10 +52,10 @@ class Simulator:
         self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._processes: list[Any] = []  # Process instances, for deadlock report
         self.events_processed: int = 0
-        self._heartbeat: tuple[int, Callable[["Simulator"], None]] | None = None
+        self._heartbeat: tuple[int, Callable[["PySimulator"], None]] | None = None
 
     def set_heartbeat(
-        self, every_events: int, callback: Callable[["Simulator"], None]
+        self, every_events: int, callback: Callable[["PySimulator"], None]
     ) -> None:
         """Invoke ``callback(self)`` every ``every_events`` processed events.
 
@@ -173,3 +192,124 @@ class Simulator:
             f"<Simulator now={self._now:.3f}us pending={len(self._heap)} "
             f"processed={self.events_processed}>"
         )
+
+
+def _build_compiled_class(kernel_module: Any) -> type:
+    """Create the CompiledSimulator class over the loaded C kernel.
+
+    The class subclasses the extension's ``Engine`` type, so the hot
+    entry points (``schedule``/``at``/``call_soon``, the ``_now`` and
+    ``events_processed`` attributes) resolve straight to C descriptors
+    with no Python frame in between; only the cold orchestration
+    (process bookkeeping, the deadlock report) stays in Python.
+    """
+
+    class CompiledSimulator(kernel_module.Engine):
+        """Deterministic discrete-event simulator (compiled backend).
+
+        Same contract as :class:`PySimulator` — identical event order
+        (``(time, seq)`` heap), identical ``run(until)``/heartbeat/
+        deadlock semantics, identical error messages — with the event
+        heap, pop loop and callback dispatch implemented in C by
+        :mod:`repro._kernel`.
+        """
+
+        def __init__(self) -> None:
+            super().__init__()
+            self._processes: list[Any] = []
+            self._heartbeat: tuple[int, Callable[..., None]] | None = None
+
+        def set_heartbeat(
+            self, every_events: int, callback: Callable[..., None]
+        ) -> None:
+            """Invoke ``callback(self)`` every ``every_events`` events
+            (see :meth:`PySimulator.set_heartbeat`)."""
+            if every_events < 1:
+                raise SimulationError(
+                    f"heartbeat interval must be >= 1 event, got {every_events}"
+                )
+            self._heartbeat = (every_events, callback)
+
+        def spawn(
+            self, generator: Generator[Any, Any, Any], name: str = "proc"
+        ) -> "Process":
+            """Wrap ``generator`` in a :class:`Process` and start it
+            immediately."""
+            from repro.sim.process import Process
+
+            process = Process(self, generator, name)
+            self._processes.append(process)
+            process.start()
+            return process
+
+        def run(self, until: float | None = None) -> float:
+            """Drain the event heap; return the final simulated time
+            (see :meth:`PySimulator.run`)."""
+            if self._heartbeat is not None:
+                every, beat = self._heartbeat
+                stopped = self._drain(until, every, beat)
+            else:
+                stopped = self._drain(until, 0, None)
+            if stopped:
+                # Early stop at `until`: later events stay queued and a
+                # still-blocked process is not a deadlock — it may be
+                # waiting for events beyond the horizon.
+                return self._now
+            blocked = [p.name for p in self._processes if not p.done]
+            if blocked:
+                raise DeadlockError(blocked)
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+
+        def __repr__(self) -> str:  # pragma: no cover - debug aid
+            return (
+                f"<Simulator now={self._now:.3f}us pending={self._pending} "
+                f"processed={self.events_processed}>"
+            )
+
+    CompiledSimulator.__module__ = __name__
+    CompiledSimulator.__qualname__ = "CompiledSimulator"
+    return CompiledSimulator
+
+
+#: The compiled backend's simulator class; ``None`` until (and unless)
+#: the compiled kernel is active.
+CompiledSimulator: type | None = None
+
+
+def _active_class() -> type:
+    """The simulator class of the currently active backend."""
+    kernel_module = _kernel.kernel()
+    if kernel_module is None:
+        return PySimulator
+    global CompiledSimulator
+    if CompiledSimulator is None:
+        CompiledSimulator = _build_compiled_class(kernel_module)
+    return CompiledSimulator
+
+
+def make_simulator() -> "PySimulator":
+    """Construct a simulator on the active backend.
+
+    Library code should prefer this over ``Simulator()``: the module-level
+    ``Simulator`` name is bound once at import, while this factory honours
+    a later :func:`repro._kernel.select_backend` call.
+    """
+    return _active_class()()
+
+
+def _rebind_simulator() -> None:
+    """Re-point ``Simulator`` here and in :mod:`repro.sim` at the active
+    backend (called by :func:`repro._kernel.select_backend`)."""
+    global Simulator
+    Simulator = _active_class()
+    sim_pkg = sys.modules.get("repro.sim")
+    if sim_pkg is not None:
+        sim_pkg.Simulator = Simulator
+
+
+#: The active backend's simulator class, selected at import from
+#: ``REPRO_BACKEND`` (``auto`` builds/loads the compiled kernel and falls
+#: back to :class:`PySimulator` with a one-line warning).
+Simulator: type = _active_class()

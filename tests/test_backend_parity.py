@@ -1,0 +1,137 @@
+"""Cross-backend bit-identity: compiled and pure-Python must agree.
+
+The compiled kernel's contract is not "fast and close" but "fast and
+byte-identical": every deterministic artifact of the reproduction — the
+pinned determinism digest, a figure-2 sweep cell, and batches of fuzzer
+episodes — must hash the same whichever backend is active.
+
+The backend is bound per-process (``REPRO_BACKEND`` is read at first
+kernel use and the simulator class is rebound at import), so each leg
+runs in a fresh subprocess with the environment forced.  When the
+extension cannot be built (no C toolchain, or the backend was pinned to
+python), the whole module skips with the reason.
+"""
+
+import functools
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+BACKENDS = ("python", "compiled")
+
+
+@functools.lru_cache(maxsize=1)
+def _compiled_unavailable() -> str | None:
+    """Why the compiled backend cannot run here, or ``None`` if it can.
+
+    Probed in a subprocess so an inherited ``REPRO_BACKEND=python`` in
+    this process does not mask a perfectly buildable extension.
+    """
+    proc = _spawn(
+        "compiled",
+        "from repro import _kernel\n"
+        "print(_kernel.select_backend('compiled'))\n",
+    )
+    if proc.returncode != 0:
+        tail = proc.stderr.strip().splitlines()[-1:] or ["no output"]
+        return tail[0]
+    return None
+
+
+def _spawn(backend: str, code: str) -> subprocess.CompletedProcess:
+    env = dict(
+        os.environ,
+        REPRO_BACKEND=backend,
+        PYTHONPATH=os.pathsep.join([str(SRC), str(ROOT)]),
+    )
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        env=env,
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+    )
+
+
+def _run_both(code: str) -> dict[str, str]:
+    """Last stdout line of ``code`` under each backend (asserting success)."""
+    reason = _compiled_unavailable()
+    if reason is not None:
+        pytest.skip(f"compiled backend unavailable: {reason}")
+    out = {}
+    for backend in BACKENDS:
+        proc = _spawn(backend, code)
+        assert proc.returncode == 0, (
+            f"{backend} leg failed:\n{proc.stderr}"
+        )
+        out[backend] = proc.stdout.strip().splitlines()[-1]
+    return out
+
+
+DIGEST_CODE = """\
+import importlib.util, pathlib
+path = pathlib.Path({root!r}) / "tests" / "test_determinism_digest.py"
+spec = importlib.util.spec_from_file_location("tdd", path)
+mod = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(mod)
+from repro import _kernel
+assert _kernel.backend_name() == {backend_expr}, _kernel.backend_info()
+print(mod._digest(mod._run_payload()))
+""".format(root=str(ROOT), backend_expr="__import__('os').environ['REPRO_BACKEND']")
+
+
+def test_determinism_digest_identical_across_backends():
+    """The pinned ASP/AT/4 digest is the same hash under both backends."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "tdd", ROOT / "tests" / "test_determinism_digest.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+
+    digests = _run_both(DIGEST_CODE)
+    assert digests["python"] == digests["compiled"]
+    assert digests["python"] == mod.EXPECTED_DIGEST
+
+
+SWEEP_CELL_CODE = """\
+import hashlib, json
+from repro.bench.executor import RunSpec, run_spec
+spec = RunSpec(
+    app="sor", app_kwargs={"size": 32, "iterations": 10},
+    policy="AT", nodes=8, tag="parity-cell",
+)
+outcome = run_spec(spec).deterministic()
+blob = json.dumps(outcome, sort_keys=True, default=repr)
+print(hashlib.sha256(blob.encode()).hexdigest())
+"""
+
+
+def test_figure2_cell_identical_across_backends():
+    """One figure-2 sweep cell (SOR/AT/8) produces identical outcomes."""
+    digests = _run_both(SWEEP_CELL_CODE)
+    assert digests["python"] == digests["compiled"]
+
+
+FUZZER_CODE = """\
+import hashlib
+from repro.check.runner import run_check
+reports = [
+    run_check(episodes=25, base_seed=seed, self_test=False).to_json()
+    for seed in (0, 7, 1234)
+]
+print(hashlib.sha256("\\n".join(reports).encode()).hexdigest())
+"""
+
+
+def test_fuzzer_episodes_identical_across_backends():
+    """25 conformance episodes at 3 fixed seeds are bit-identical."""
+    digests = _run_both(FUZZER_CODE)
+    assert digests["python"] == digests["compiled"]

@@ -1,0 +1,351 @@
+"""Unit tests for the compiled kernel primitives (``repro._kernel``).
+
+Each primitive is checked directly against its pure-Python ground truth
+in the same process — ordering, results, and error *messages* (the
+fallback contract promises byte-identical behaviour, which includes what
+an exception says).  The build/fallback machinery is exercised in
+subprocesses with a deliberately broken compiler.
+
+Skips (with the reason) when the extension is unavailable, e.g. under
+``REPRO_BACKEND=python`` CI legs or a host with no C toolchain.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import _kernel
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+
+@pytest.fixture(scope="module")
+def km():
+    module = _kernel.kernel()
+    if module is None:
+        pytest.skip(
+            f"compiled backend unavailable: {_kernel.backend_info()['reason']}"
+        )
+    return module
+
+
+@pytest.fixture(scope="module")
+def sim_classes(km):
+    from repro.sim import engine
+
+    compiled = engine.CompiledSimulator or engine._build_compiled_class(km)
+    return engine.PySimulator, compiled
+
+
+# --------------------------------------------------------------------------
+# Engine: event ordering, time semantics, error messages
+# --------------------------------------------------------------------------
+
+
+def _drive(sim_cls, until=None):
+    """Schedule a fixed mix of ties/out-of-order events; return the trace."""
+    sim = sim_cls()
+    order = []
+    for label, delay in [
+        ("a", 5.0), ("b", 1.0), ("c", 5.0), ("d", 0.0), ("e", 3.0),
+    ]:
+        sim.schedule(delay, lambda lb=label: order.append((lb, sim.now)))
+    sim.call_soon(lambda: order.append(("soon", sim.now)))
+    sim.schedule(2.0, lambda: sim.schedule(0.5, lambda: order.append(("nested", sim.now))))
+    end = sim.run(until)
+    return order, end, sim.events_processed
+
+
+def test_engine_order_matches_python(sim_classes):
+    py_cls, compiled_cls = sim_classes
+    assert _drive(py_cls) == _drive(compiled_cls)
+    assert _drive(py_cls, until=2.4) == _drive(compiled_cls, until=2.4)
+    assert _drive(py_cls, until=100.0) == _drive(compiled_cls, until=100.0)
+
+
+def test_engine_error_messages_match(sim_classes):
+    from repro.sim.errors import SimulationError
+
+    py_cls, compiled_cls = sim_classes
+    messages = {}
+    for name, cls in (("python", py_cls), ("compiled", compiled_cls)):
+        sim = cls()
+        with pytest.raises(SimulationError) as neg:
+            sim.schedule(-1.5, lambda: None)
+        sim.schedule(4.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError) as past:
+            sim.at(1.0, lambda: None)
+        messages[name] = (str(neg.value), str(past.value))
+    assert messages["python"] == messages["compiled"]
+
+
+def test_engine_counter_exact_on_raise(sim_classes):
+    py_cls, compiled_cls = sim_classes
+
+    def boom():
+        raise RuntimeError("boom")
+
+    counts = {}
+    for name, cls in (("python", py_cls), ("compiled", compiled_cls)):
+        sim = cls()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, boom)
+        sim.schedule(3.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        counts[name] = sim.events_processed
+    assert counts["python"] == counts["compiled"] == 2
+
+
+# --------------------------------------------------------------------------
+# Dispatcher
+# --------------------------------------------------------------------------
+
+
+class _Msg:
+    def __init__(self, category, payload):
+        self.category = category
+        self.payload = payload
+
+
+def test_dispatcher_routes_by_category(km):
+    seen = []
+    dispatcher = km.Dispatcher({"ping": seen.append, "pong": seen.append})
+    dispatcher(_Msg("ping", 1))
+    dispatcher(_Msg("pong", 2))
+    assert seen == [1, 2]
+
+
+def test_dispatcher_unhandled_message_matches_python(km):
+    dispatcher = km.Dispatcher({})
+    msg = _Msg("mystery", None)
+    with pytest.raises(RuntimeError) as compiled_err:
+        dispatcher(msg)
+    # the pure-Python DsmEngine.on_message wording
+    assert str(compiled_err.value) == f"unhandled message {msg!r}"
+
+
+def test_dispatcher_sees_dict_mutations(km):
+    """The Dispatcher wraps the live dict — handler swaps take effect."""
+    table = {}
+    dispatcher = km.Dispatcher(table)
+    seen = []
+    table["late"] = seen.append
+    dispatcher(_Msg("late", "x"))
+    assert seen == ["x"]
+
+
+# --------------------------------------------------------------------------
+# diff_arrays
+# --------------------------------------------------------------------------
+
+
+def _reference_scan(current, twin):
+    """The pure-numpy scan ``compute_diff`` performs."""
+    indices = np.flatnonzero(current != twin)
+    if indices.size == 0:
+        return None
+    nruns = 1 + int(np.count_nonzero(np.diff(indices) != 1))
+    return indices, current[indices], nruns
+
+
+@pytest.mark.parametrize(
+    "dtype", ["float64", "float32", "int64", "int32", "int16", "int8", "bool"]
+)
+def test_diff_arrays_matches_numpy(km, dtype):
+    rng = np.random.default_rng(42)
+    for _ in range(25):
+        size = int(rng.integers(1, 200))
+        twin = (rng.integers(0, 4, size) * 10).astype(dtype)
+        current = twin.copy()
+        flips = rng.random(size) < 0.2
+        current[flips] = (rng.integers(1, 4, size) * 7).astype(dtype)[flips]
+        got = km.diff_arrays(current, twin)
+        want = _reference_scan(current, twin)
+        if want is None:
+            assert got is None
+            continue
+        indices, values, nruns = got
+        np.testing.assert_array_equal(indices, want[0])
+        np.testing.assert_array_equal(values, want[1])
+        assert values.dtype == current.dtype
+        assert nruns == want[2]
+
+
+def test_diff_arrays_float_edge_semantics(km):
+    """NaN and signed zero follow numpy ``!=``: NaN always differs,
+    -0.0 vs 0.0 never does."""
+    twin = np.array([0.0, np.nan, 1.0, np.nan], dtype=np.float64)
+    current = np.array([-0.0, np.nan, 1.0, 2.0], dtype=np.float64)
+    indices, values, nruns = km.diff_arrays(current, twin)
+    np.testing.assert_array_equal(indices, [1, 3])
+    assert np.isnan(values[0]) and values[1] == 2.0
+    assert nruns == 2
+
+
+def test_diff_arrays_unsupported_layouts_return_notimplemented(km):
+    base = np.zeros(16, dtype=np.float64)
+    assert km.diff_arrays(base[::2], base[1::2]) is NotImplemented
+    two_d = np.zeros((4, 4))
+    assert km.diff_arrays(two_d, two_d) is NotImplemented
+    cplx = np.zeros(4, dtype=np.complex128)
+    assert km.diff_arrays(cplx, cplx) is NotImplemented
+
+
+def test_compute_diff_skips_ndarray_subclasses(km):
+    """``compute_diff`` must keep the numpy path for subclasses (tests
+    count ``__ne__`` calls on them)."""
+
+    class Tagged(np.ndarray):
+        pass
+
+    from repro.memory.diff import compute_diff
+
+    twin = np.arange(8, dtype=np.float64).view(Tagged)
+    current = twin.copy()
+    current[3] += 1.0
+    diff = compute_diff(1, current, twin)
+    np.testing.assert_array_equal(diff.indices, [3])
+
+
+# --------------------------------------------------------------------------
+# adaptive_threshold
+# --------------------------------------------------------------------------
+
+
+def test_adaptive_threshold_matches_expression(km):
+    rng = np.random.default_rng(7)
+    for _ in range(200):
+        red, excl = rng.uniform(0, 50, 2)
+        alpha, lam = rng.uniform(0.01, 3.0, 2)
+        t_init = rng.uniform(0, 10)
+        base = t_init + rng.uniform(0, 50)
+        got = km.adaptive_threshold(base, red, excl, alpha, lam, t_init)
+        want = base + lam * (red - alpha * excl)
+        if want < t_init:
+            want = t_init
+        assert got == want  # bit-identical, not approx
+
+
+def test_adaptive_threshold_error_messages_match(km):
+    from repro.core import threshold
+
+    cases = [
+        {"base": -1.0},
+        {"redirections": -1.0},
+        {"exclusive_home_writes": -2.0},
+        {"alpha": -0.5},
+        {"alpha": 0.0},
+        {"lam": -2.0},
+    ]
+    for overrides in cases:
+        kwargs = dict(
+            base=5.0, redirections=2.0, exclusive_home_writes=1.0,
+            alpha=0.5, lam=1.0, t_init=1.0,
+        )
+        kwargs.update(overrides)
+        with pytest.raises(ValueError) as compiled_err:
+            km.adaptive_threshold(
+                kwargs["base"], kwargs["redirections"],
+                kwargs["exclusive_home_writes"], kwargs["alpha"],
+                kwargs["lam"], kwargs["t_init"],
+            )
+        with pytest.raises(ValueError) as python_err:
+            threshold._py_adaptive_threshold(**kwargs)
+        assert str(compiled_err.value) == str(python_err.value)
+
+
+# --------------------------------------------------------------------------
+# Build / fallback machinery
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cacheless_src(tmp_path_factory):
+    """A copy of ``src/`` with no build cache — a host that never built.
+
+    Needed because ``import repro`` resolves the backend eagerly (the
+    engine binds ``Simulator`` at import), so a cached ``.so`` next to
+    the real source would satisfy even a broken compiler.
+    """
+    import shutil
+
+    dest = tmp_path_factory.mktemp("cacheless") / "src"
+    shutil.copytree(
+        SRC, dest, ignore=shutil.ignore_patterns("_build", "__pycache__")
+    )
+    return dest
+
+
+def _subprocess_check(src_dir: Path, backend: str, code: str) -> None:
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(src_dir),
+        REPRO_BACKEND=backend,
+        REPRO_KERNEL_CC="/nonexistent-compiler",
+        XDG_CACHE_HOME="/nonexistent-cache",
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip().endswith("OK"), proc.stdout
+
+
+def test_auto_falls_back_when_compiler_is_broken(cacheless_src):
+    """No toolchain + no cache => ``import repro`` still succeeds, on the
+    pure-Python backend, with one RuntimeWarning."""
+    _subprocess_check(
+        cacheless_src,
+        "auto",
+        """\
+import warnings
+with warnings.catch_warnings(record=True) as caught:
+    warnings.simplefilter("always")
+    import repro
+    from repro import _kernel
+    name = _kernel.backend_name()
+assert name == "python", name
+assert any(
+    "falling back to the pure-Python backend" in str(w.message)
+    for w in caught
+), [str(w.message) for w in caught]
+from repro.sim.engine import Simulator, PySimulator
+assert Simulator is PySimulator
+print("OK")
+""",
+    )
+
+
+def test_compiled_request_raises_when_compiler_is_broken(cacheless_src):
+    _subprocess_check(
+        cacheless_src,
+        "compiled",
+        """\
+try:
+    # raises during import: the engine binds Simulator eagerly
+    import repro
+    repro.sim  # pragma: no cover - unreachable
+except RuntimeError as exc:
+    assert "compiled backend requested but unavailable" in str(exc), exc
+    print("OK")
+else:
+    raise SystemExit("expected RuntimeError")
+""",
+    )
+
+
+def test_backend_info_reports_extension(km):
+    info = _kernel.backend_info()
+    assert info["backend"] == "compiled"
+    assert info["reason"] == "extension loaded"
+    assert info.get("extension")

@@ -27,7 +27,15 @@ def test_writer_meta_line_and_events(tmp_path):
         sink.record("decision", 2.0, oid=1, node=0)  # filtered: no-op
         assert sink.events_written == 1
     lines = [json.loads(l) for l in open(path, encoding="utf-8")]
-    assert lines[0] == {"schema": TRACE_SCHEMA, "kinds": ["migration"]}
+    from repro import _kernel
+    from repro.obs.export import read_trace_meta
+
+    assert lines[0] == {
+        "schema": TRACE_SCHEMA,
+        "kinds": ["migration"],
+        "backend": _kernel.backend_name(),
+    }
+    assert read_trace_meta(path)["backend"] == _kernel.backend_name()
     assert lines[1] == {
         "t": 1.5, "kind": "migration", "oid": 1, "node": 0,
         "detail": {"new_home": 2},
