@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Record one span-enabled JSONL trace for the analyze pipeline.
+
+CI uses this to produce the analyze-smoke input under each backend:
+
+    PYTHONPATH=src python scripts/record_trace.py \
+        --app asp --size 24 --policy AT --nodes 8 --out trace.jsonl
+
+The run is deterministic, so two invocations with the same arguments
+produce byte-identical event lines regardless of backend; only the meta
+line (backend name, kernel build hash) differs.
+"""
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", default="asp", help="app registry name")
+    parser.add_argument(
+        "--size", type=int, default=None,
+        help="problem size (app 'size' kwarg); omit for the app default",
+    )
+    parser.add_argument("--policy", default="AT")
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", required=True, help="trace output path")
+    args = parser.parse_args(argv)
+
+    from repro.bench.record import record_trace
+
+    app_kwargs = {} if args.size is None else {"size": args.size}
+    outcome = record_trace(
+        args.out,
+        app=args.app,
+        app_kwargs=app_kwargs,
+        policy=args.policy,
+        nodes=args.nodes,
+        seed=args.seed,
+    )
+    trace = (outcome.telemetry or {}).get("trace") or {}
+    print(
+        f"recorded {trace.get('events', '?')} events to {args.out} "
+        f"(app={args.app}, policy={args.policy}, nodes={args.nodes}, "
+        f"backend={outcome.backend})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,7 @@ from typing import Any
 __all__ = [
     "backend_info",
     "backend_name",
+    "build_hash",
     "build_log_path",
     "kernel",
     "select_backend",
@@ -244,6 +245,21 @@ def backend_name() -> str:
     lazily, like :func:`kernel`)."""
     kernel()
     return _state["name"]
+
+
+def build_hash() -> str | None:
+    """Build provenance of the active backend.
+
+    The 16-hex-digit cache key the compiled extension was built under
+    (C source bytes + interpreter + numpy versions), or ``None`` when
+    the pure-Python backend is active.  Recorded in trace metadata and
+    printed in the ``repro-bench report`` header so a trace can always
+    be tied back to the exact kernel build that produced it.
+    """
+    kernel()
+    if _state["name"] != "compiled":
+        return None
+    return _build_tag()
 
 
 def backend_info() -> dict:

@@ -2,7 +2,8 @@
 (also installed as the ``repro-bench`` console script).
 
 Targets: ``figure2``, ``figure3``, ``figure5``, ``ablation``, ``all``,
-``report``, ``check``.  ``--full`` uses the paper's problem sizes (slow); the
+``report``, ``check``, ``analyze``.  ``--full`` uses the paper's problem
+sizes (slow); the
 default quick sizes preserve every qualitative shape.  ``--jobs N``
 fans each sweep's independent runs out over N worker processes
 (default: all usable cores; results are bit-identical for any value).
@@ -23,6 +24,15 @@ invariant checker, runs the mutation self-test, and exits non-zero on
 any violation.  ``--corpus-out DIR`` saves every episode's program and
 verdict as a replayable JSON corpus; ``--no-self-test`` skips the
 mutation leg.
+
+The ``analyze`` target runs the causal SLO analytics engine
+(:mod:`repro.bench.analyze`) over a span-enabled trace:
+``repro-bench analyze trace.jsonl [--json slo.json]`` prints the
+markdown report (per-kind latency percentiles, read-miss critical
+paths, redirection chain lengths, migration-decision timelines,
+per-barrier-epoch throughput); ``--json`` additionally writes the raw
+report dict.  Record a suitable trace with
+``scripts/record_trace.py`` or any ``--trace-out`` sweep.
 """
 
 from __future__ import annotations
@@ -49,7 +59,10 @@ from repro.bench.figure5 import render_figure5, run_figure5
 from repro.obs.logging import LEVELS
 from repro.obs.metrics import MetricsRegistry
 
-TARGETS = ("figure2", "figure3", "figure5", "ablation", "all", "report", "check")
+TARGETS = (
+    "figure2", "figure3", "figure5", "ablation", "all", "report", "check",
+    "analyze",
+)
 
 
 def _derive_obs(obs: ObsSpec | None, label: str) -> ObsSpec | None:
@@ -204,6 +217,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("target", choices=TARGETS)
     parser.add_argument(
+        "path",
+        nargs="?",
+        help="(analyze target) span-enabled JSONL trace to analyze "
+        "(equivalent to --trace PATH)",
+    )
+    parser.add_argument(
         "--full",
         action="store_true",
         help="use the paper's problem sizes (slow) instead of quick ones",
@@ -306,6 +325,26 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.obs_report import render_trace_report
 
         print(render_trace_report(args.trace, oid=args.oid))
+        return 0
+
+    if args.target == "analyze":
+        trace_path = args.path or args.trace
+        if not trace_path:
+            parser.error(
+                "the analyze target requires a trace path "
+                "(positional or --trace PATH)"
+            )
+        from repro.bench.analyze import (
+            analyze_trace,
+            render_analysis,
+            write_json_report,
+        )
+
+        slo = analyze_trace(trace_path)
+        print(render_analysis(slo), end="")
+        if args.json:
+            write_json_report(slo, args.json)
+            print(f"raw SLO report written to {args.json}", file=sys.stderr)
         return 0
 
     mode = "full" if args.full else "quick"

@@ -57,7 +57,14 @@ def _sample(rows: list, limit: int) -> list:
 def render_trace_report(path: str, oid: int | None = None) -> str:
     """Render the migration/threshold report for one saved trace file."""
     recorder = load_trace(path)
-    backend = read_trace_meta(path).get("backend", "unrecorded")
+    meta = read_trace_meta(path)
+    backend = meta.get("backend", "unrecorded")
+    # Build provenance: which compiled kernel produced this trace (None
+    # under the pure-Python backend, absent in pre-PR7 traces).
+    build_hash = meta.get("kernel_build_hash")
+    provenance = f"backend: {backend}"
+    if build_hash:
+        provenance += f", kernel build {build_hash}"
     blocks = []
 
     kind_counts = Counter(e.kind for e in recorder.events)
@@ -67,7 +74,7 @@ def render_trace_report(path: str, oid: int | None = None) -> str:
             [[kind, n] for kind, n in sorted(kind_counts.items())],
             title=(
                 f"Trace {path} — {len(recorder.events)} events "
-                f"(backend: {backend})"
+                f"({provenance})"
             ),
         )
     )

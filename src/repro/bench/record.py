@@ -1,0 +1,49 @@
+"""Record a span-enabled trace of one run — the analyze pipeline's input.
+
+Thin convenience over the bench executor: build a :class:`RunSpec` whose
+:class:`ObsSpec` streams every trace kind (spans included) to a JSONL
+file, run it in-process, and hand back the outcome.  Used by the CI
+analyze-smoke job (via ``scripts/record_trace.py``) and by tests that
+need a real trace file without spelling out the executor plumbing.
+"""
+
+from __future__ import annotations
+
+from repro.bench.executor import ObsSpec, RunOutcome, RunSpec, run_spec
+
+__all__ = ["record_trace"]
+
+
+def record_trace(
+    out: str,
+    app: str = "asp",
+    app_kwargs: dict | None = None,
+    policy: str = "AT",
+    policy_kwargs: dict | None = None,
+    nodes: int = 8,
+    seed: int = 0,
+    mechanism: str = "forwarding-pointer",
+    comm_model: str = "fast-ethernet",
+    verify: bool = True,
+) -> RunOutcome:
+    """Run one workload with full tracing on, writing the trace to ``out``.
+
+    All trace kinds are captured (``trace_kinds=None``), so the file
+    contains the span layer plus the decision/migration events the
+    analyzer correlates against.  The run itself is deterministic; only
+    the trace meta line (backend name, kernel build hash) varies with
+    the execution environment.
+    """
+    spec = RunSpec(
+        app=app,
+        app_kwargs=app_kwargs or {},
+        policy=policy,
+        policy_kwargs=policy_kwargs or {},
+        nodes=nodes,
+        mechanism=mechanism,
+        comm_model=comm_model,
+        seed=seed,
+        verify=verify,
+        obs=ObsSpec(trace_path=out, trace_kinds=None),
+    )
+    return run_spec(spec)

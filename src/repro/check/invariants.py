@@ -29,6 +29,10 @@ Checked invariants (``docs/PROTOCOL.md`` §13):
   are created/freed alternately, and none leak past the end of the run.
 * **Diff conservation** — at end of run every sent diff was applied
   exactly once (acks guarantee it; forwarded diffs still apply once).
+* **Span lifecycle** — every causal span (``span_open``/``span_close``,
+  ``docs/PROTOCOL.md`` §14) closes exactly once with a matching
+  ``op_kind``, op ids are run-unique, children never reference an
+  unseen parent (no orphans), and no span is left open at end of run.
 
 The checker is observation-only: it must never mutate protocol state.
 """
@@ -77,6 +81,9 @@ class InvariantChecker:
         self._migrations: dict[int, int] = {}
         self._diff_sends: dict[tuple[int, int], int] = {}
         self._diff_applies: dict[tuple[int, int], int] = {}
+        #: op -> op_kind of spans currently open; ids ever seen opened.
+        self._span_open: dict[int, str] = {}
+        self._span_seen: set[int] = set()
         self._handlers = {
             "home_install": self._on_home_install,
             "migration": self._on_migration,
@@ -87,6 +94,8 @@ class InvariantChecker:
             "diff_apply": self._on_diff_apply,
             "twin_create": self._on_twin_create,
             "twin_free": self._on_twin_free,
+            "span_open": self._on_span_open,
+            "span_close": self._on_span_close,
         }
 
     # -- reporting ---------------------------------------------------------
@@ -317,6 +326,44 @@ class InvariantChecker:
             )
         self._twins.discard(key)
 
+    def _on_span_open(self, event) -> None:
+        d = event.detail
+        op, parent = d["op"], d.get("parent")
+        if op in self._span_seen:
+            self._flag(
+                f"invariant[span]: op {op} ({d.get('op_kind')}) opened "
+                f"twice — span ids must be run-unique"
+            )
+        self._span_seen.add(op)
+        self._span_open[op] = d.get("op_kind")
+        if parent is not None and parent not in self._span_seen:
+            self._flag(
+                f"invariant[span]: op {op} ({d.get('op_kind')}) claims "
+                f"parent {parent} which was never opened (orphan child)"
+            )
+
+    def _on_span_close(self, event) -> None:
+        d = event.detail
+        op = d["op"]
+        open_kind = self._span_open.pop(op, None)
+        if open_kind is None:
+            if op in self._span_seen:
+                self._flag(
+                    f"invariant[span]: op {op} ({d.get('op_kind')}) "
+                    f"closed twice"
+                )
+            else:
+                self._flag(
+                    f"invariant[span]: op {op} ({d.get('op_kind')}) "
+                    f"closed without a matching open"
+                )
+            return
+        if open_kind != d.get("op_kind"):
+            self._flag(
+                f"invariant[span]: op {op} opened as {open_kind!r} but "
+                f"closed as {d.get('op_kind')!r}"
+            )
+
     # -- end-of-run checks ---------------------------------------------------
 
     def finish(self) -> list[str]:
@@ -338,6 +385,11 @@ class InvariantChecker:
             self._flag(
                 f"invariant[twin]: node {node} leaked a live twin for "
                 f"oid {oid} past end of run"
+            )
+        for op in sorted(self._span_open):
+            self._flag(
+                f"invariant[span]: op {op} ({self._span_open[op]}) "
+                f"never closed (every span closes exactly once)"
             )
         keys = sorted(set(self._diff_sends) | set(self._diff_applies))
         for key in keys:

@@ -89,6 +89,10 @@ class ObjRequest:
     min_version: int
     hops: int
     for_write: bool
+    #: Causal span id of the fault that sent this request (``None`` when
+    #: span tracing is off); travels through pending queues unchanged so
+    #: a deferred serve still links to its cause.  See repro.obs.spans.
+    op_id: int | None = None
 
 
 @dataclass(slots=True)
@@ -100,6 +104,8 @@ class ObjReply:
     home: int
     migrated: bool = False
     monitor: ObjectAccessState | None = None
+    #: Span id of the migration this reply executes (OBJ_REPLY_MIG only).
+    op_id: int | None = None
 
 
 @dataclass(slots=True)
@@ -137,6 +143,8 @@ class DiffMsg:
     request_id: tuple[int, int]
     diff: Diff
     hops: int = 0
+    #: Causal span id of the diff_flush that shipped this diff.
+    op_id: int | None = None
 
 
 @dataclass(slots=True)
@@ -202,6 +210,8 @@ class HomeTransferMsg:
     version: int
     data: np.ndarray
     monitor: ObjectAccessState
+    #: Span id of the barrier-ordered migration this transfer executes.
+    op_id: int | None = None
 
 
 @dataclass(slots=True)
@@ -216,6 +226,8 @@ class ShipRequest:
     compute_us: float
     args_bytes: int
     hops: int = 0
+    #: Causal span id of the ship operation that sent this request.
+    op_id: int | None = None
 
 
 @dataclass(slots=True)
@@ -230,6 +242,8 @@ class ShipReply:
     migrated: bool = False
     data: np.ndarray | None = None
     monitor: ObjectAccessState | None = None
+    #: Span id of the migration this reply executes (migrated=True only).
+    op_id: int | None = None
 
 
 @dataclass(slots=True)
@@ -270,6 +284,7 @@ class DsmEngine:
         logger=None,
         arenas: "list[Arena] | None" = None,
         gc_enabled: bool = True,
+        spans=None,
     ):
         if lock_discipline not in ("fifo", "retry"):
             raise ValueError(
@@ -352,6 +367,16 @@ class DsmEngine:
             tracer is not None and tracer.wants("home_install")
         )
         self._tr_ship = tracer is not None and tracer.wants("ship")
+
+        # -- causal span layer (repro.obs.spans): one SpanTracer is shared
+        # by every engine of the run; the cached handle is None unless the
+        # tracer captures both span kinds, so disabled runs pay a single
+        # `is not None` per operation.  Span sites never touch stats,
+        # message sizes or simulated time — the determinism digest is
+        # bit-identical with spans on or off.
+        self._sp = (
+            spans if (spans is not None and spans.enabled) else None
+        )
 
         self.cache: dict[int, CacheEntry] = {}
         self.homes: dict[int, HomeEntry] = {}
@@ -657,12 +682,19 @@ class DsmEngine:
 
                 yield Delay(compute_us)
             return fn(entry.payload)
+        sp = self._sp
+        op = None
+        if sp is not None:
+            op = sp.open("ship", self.sim.now, oid, self.node_id)
         hops = 0
         for _attempt in range(MAX_REDIRECTIONS):
             target = self.best_home_hint(oid)
             if target == self.node_id:
                 if oid in self.homes:
+                    # recursion takes the local-home branch: no new span
                     result = yield from self.ship(oid, fn, compute_us, args_bytes)
+                    if sp is not None:
+                        sp.close(op, "ship", self.sim.now, oid, self.node_id)
                     return result
                 if oid in self.forwards:
                     self.home_hint[oid] = self.forwards[oid]
@@ -674,6 +706,7 @@ class DsmEngine:
             request_id = self._next_request_id()
             fut = Future(label=f"ship-{oid}-{request_id}")
             self._reply_waiters[request_id] = fut
+            sent_at = self.sim.now
             self._send(
                 target,
                 MsgCategory.SHIP_REQUEST,
@@ -686,11 +719,22 @@ class DsmEngine:
                     compute_us=compute_us,
                     args_bytes=args_bytes,
                     hops=hops,
+                    op_id=op,
                 ),
             )
             reply = yield fut
             if isinstance(reply, RedirectReply):
                 hops += 1
+                if sp is not None:
+                    sp.completed(
+                        "redirect_hop",
+                        sent_at,
+                        self.sim.now,
+                        oid,
+                        self.node_id,
+                        parent=op,
+                        target=target,
+                    )
                 directive = reply.directive
                 if directive["kind"] == "redirect":
                     self.home_hint[oid] = directive["target"]
@@ -720,11 +764,22 @@ class DsmEngine:
                         origin="reply-mig",
                         version=reply.version,
                     )
+                if sp is not None and reply.op_id is not None:
+                    sp.close(
+                        reply.op_id,
+                        "migration",
+                        self.sim.now,
+                        oid,
+                        self.node_id,
+                        version=reply.version,
+                    )
                 self._serve_pending_foreign(oid)
                 self._serve_pending_diffs(oid)
                 for waiter in self._local_home_waits.pop(oid, []):
                     waiter.resolve(None)
                 result = yield from self.ship(oid, fn, compute_us, args_bytes)
+                if sp is not None:
+                    sp.close(op, "ship", self.sim.now, oid, self.node_id)
                 return result
             self.home_hint[oid] = reply.home
             if self.carry_notices.get(oid, 0) < reply.version:
@@ -732,6 +787,8 @@ class DsmEngine:
             cached = self.cache.get(oid)
             if cached is not None and cached.mode is AccessMode.READ:
                 cached.invalidate()
+            if sp is not None:
+                sp.close(op, "ship", self.sim.now, oid, self.node_id)
             return reply.result
         raise RuntimeError(
             f"shipping to oid {oid} exceeded {MAX_REDIRECTIONS} redirections"
@@ -779,6 +836,16 @@ class DsmEngine:
         if migrate:
             self.policy.on_migrated(state, alpha)
             self._trace_migration(request.oid, request.requester, state)
+            mig_op = None
+            if self._sp is not None:
+                mig_op = self._sp.open(
+                    "migration",
+                    self.sim.now,
+                    request.oid,
+                    self.node_id,
+                    parent=request.op_id,
+                    target=request.requester,
+                )
             self.stats.incr("mig")
             self.stats.incr("migration")
             self._close_dirty_home_interval(request.oid, entry)
@@ -796,6 +863,7 @@ class DsmEngine:
                         entry.payload
                     ),
                     monitor=state,
+                    op_id=mig_op,
                 ),
             )
             self._demote_home(request.oid, entry, request.requester)
@@ -861,22 +929,32 @@ class DsmEngine:
                 return cached.payload
         marker = Future(label=f"inflight-{oid}")
         self._inflight[oid] = marker
+        sp = self._sp
+        if sp is not None:
+            op_kind = "write_miss" if for_write else "read_miss"
+            op = sp.open(op_kind, self.sim.now, oid, self.node_id)
+        else:
+            op_kind = None
+            op = None
         try:
             if self._m_fault_us is not None:
                 started = self.sim.now
-                payload = yield from self._fault_in_primary(oid, for_write)
+                payload = yield from self._fault_in_primary(oid, for_write, op)
                 self._m_fault_us.observe(self.sim.now - started)
             else:
-                payload = yield from self._fault_in_primary(oid, for_write)
+                payload = yield from self._fault_in_primary(oid, for_write, op)
+            if sp is not None:
+                sp.close(op, op_kind, self.sim.now, oid, self.node_id)
             return payload
         finally:
             del self._inflight[oid]
             marker.resolve(None)
 
     def _fault_in_primary(
-        self, oid: int, for_write: bool
+        self, oid: int, for_write: bool, op: int | None = None
     ) -> Generator[Any, Any, np.ndarray]:
         min_version = self.required_version.get(oid, 0)
+        sp = self._sp
         hops = 0
         for _attempt in range(MAX_REDIRECTIONS):
             target = self.best_home_hint(oid)
@@ -896,6 +974,7 @@ class DsmEngine:
             request_id = self._next_request_id()
             fut = Future(label=f"objreq-{oid}-{request_id}")
             self._reply_waiters[request_id] = fut
+            sent_at = self.sim.now
             self._send(
                 target,
                 MsgCategory.OBJ_REQUEST,
@@ -907,6 +986,7 @@ class DsmEngine:
                     min_version=min_version,
                     hops=hops,
                     for_write=for_write,
+                    op_id=op,
                 ),
             )
             reply = yield fut
@@ -914,6 +994,18 @@ class DsmEngine:
                 return self._install_reply(oid, reply)
             # redirected: one more accumulated redirection
             hops += 1
+            if sp is not None:
+                # the hop's extent is only known now; the open carries the
+                # earlier send timestamp (consumers sort by time)
+                sp.completed(
+                    "redirect_hop",
+                    sent_at,
+                    self.sim.now,
+                    oid,
+                    self.node_id,
+                    parent=op,
+                    target=target,
+                )
             directive = reply.directive
             if directive["kind"] == "redirect":
                 self.home_hint[oid] = directive["target"]
@@ -964,6 +1056,15 @@ class DsmEngine:
                     origin="reply-mig",
                     version=reply.version,
                 )
+            if self._sp is not None and reply.op_id is not None:
+                self._sp.close(
+                    reply.op_id,
+                    "migration",
+                    self.sim.now,
+                    oid,
+                    self.node_id,
+                    version=reply.version,
+                )
             self._serve_pending_foreign(oid)
             self._serve_pending_diffs(oid)
             return self.homes[oid].payload
@@ -1001,16 +1102,23 @@ class DsmEngine:
 
     # -- diff flushing --------------------------------------------------
 
-    def flush_diffs(self) -> Generator[Any, Any, dict[int, int]]:
+    def flush_diffs(
+        self, parent_op: int | None = None
+    ) -> Generator[Any, Any, dict[int, int]]:
         """Ship diffs of all dirty objects to their homes; wait for acks.
 
         Returns the write notices of this interval (oid -> new version),
         covering cached-copy diffs, home-copy writes, and any carried
         notices from migrations that closed a dirty home interval.
+
+        ``parent_op`` is the causal span of the synchronization operation
+        this flush belongs to (lock acquire/release or barrier wait); each
+        shipped diff opens a ``diff_flush`` child span closed at its ack.
         """
         notices: dict[int, int] = {}
-        waits: list[tuple[int, CacheEntry, Future]] = []
+        waits: list[tuple[int, CacheEntry, Future, int | None]] = []
         arena = self.arena
+        sp = self._sp
         for oid in sorted(self.dirty):
             cached = self.cache.get(oid)
             if cached is None or cached.twin is None:
@@ -1036,6 +1144,18 @@ class DsmEngine:
             fut = Future(label=f"diffack-{oid}-{request_id}")
             self._reply_waiters[request_id] = fut
             target = self.best_home_hint(oid)
+            if sp is not None:
+                d_op = sp.open(
+                    "diff_flush",
+                    self.sim.now,
+                    oid,
+                    self.node_id,
+                    parent=parent_op,
+                    target=target,
+                    size_bytes=diff.size_bytes,
+                )
+            else:
+                d_op = None
             if self._tr_diff_send:
                 self.tracer.record(
                     "diff_send",
@@ -1051,7 +1171,11 @@ class DsmEngine:
                 MsgCategory.DIFF,
                 diff.size_bytes + REQUEST_BYTES,
                 DiffMsg(
-                    oid=oid, writer=self.node_id, request_id=request_id, diff=diff
+                    oid=oid,
+                    writer=self.node_id,
+                    request_id=request_id,
+                    diff=diff,
+                    op_id=d_op,
                 ),
             )
             # The write interval ends at the *send*: the diff captured its
@@ -1072,9 +1196,9 @@ class DsmEngine:
             arena.free(cached.twin)
             cached.twin = None
             cached.mode = AccessMode.READ
-            waits.append((oid, cached, fut))
+            waits.append((oid, cached, fut, d_op))
         self.dirty.clear()
-        for oid, cached, fut in waits:
+        for oid, cached, fut, d_op in waits:
             ack: DiffAck = yield fut
             self.home_hint[oid] = ack.home
             if cached.twin is not None:
@@ -1084,6 +1208,15 @@ class DsmEngine:
             else:
                 cached.downgrade_after_flush(ack.version, arena)
             notices[oid] = ack.version
+            if d_op is not None:
+                sp.close(
+                    d_op,
+                    "diff_flush",
+                    self.sim.now,
+                    oid,
+                    self.node_id,
+                    version=ack.version,
+                )
         for oid in sorted(self.home_dirty):
             entry = self.homes.get(oid)
             if entry is None:
@@ -1210,7 +1343,17 @@ class DsmEngine:
         interval's notices ride on the acquire message.
         """
         self.stats.incr("lock_acquire")
-        own_notices = yield from self.flush_diffs()
+        sp = self._sp
+        op = None
+        if sp is not None:
+            op = sp.open(
+                "lock_acquire",
+                self.sim.now,
+                handle.lock_id,
+                self.node_id,
+                home=handle.home,
+            )
+        own_notices = yield from self.flush_diffs(op)
         if self.lock_discipline == "retry":
             notices = yield from self._acquire_retry(handle, own_notices)
         else:
@@ -1218,6 +1361,10 @@ class DsmEngine:
         self.apply_notices(notices)
         self.invalidate_all_cached()
         self.interval += 1
+        if sp is not None:
+            sp.close(
+                op, "lock_acquire", self.sim.now, handle.lock_id, self.node_id
+            )
         if self._m_lock_epoch_us is not None:
             self._lock_epochs.begin(handle.lock_id, self.sim.now)
 
@@ -1304,7 +1451,17 @@ class DsmEngine:
             span = self._lock_epochs.end(handle.lock_id, self.sim.now)
             if span is not None:
                 self._m_lock_epoch_us.observe(span)
-        notices = yield from self.flush_diffs()
+        sp = self._sp
+        op = None
+        if sp is not None:
+            op = sp.open(
+                "lock_release",
+                self.sim.now,
+                handle.lock_id,
+                self.node_id,
+                home=handle.home,
+            )
+        notices = yield from self.flush_diffs(op)
         if handle.home == self.node_id:
             self._manager_release(handle.lock_id, self.node_id, notices)
         else:
@@ -1317,6 +1474,10 @@ class DsmEngine:
                     releaser=self.node_id,
                     notices=notices,
                 ),
+            )
+        if sp is not None:
+            sp.close(
+                op, "lock_release", self.sim.now, handle.lock_id, self.node_id
             )
 
     def _manager_release(
@@ -1362,7 +1523,17 @@ class DsmEngine:
         self, handle: BarrierHandle, round_no: int
     ) -> Generator[Any, Any, None]:
         """One barrier round: flush diffs, arrive, wait for the release."""
-        notices = yield from self.flush_diffs()
+        sp = self._sp
+        op = None
+        if sp is not None:
+            op = sp.open(
+                "barrier_wait",
+                self.sim.now,
+                handle.barrier_id,
+                self.node_id,
+                round=round_no,
+            )
+        notices = yield from self.flush_diffs(op)
         fut = Future(label=f"barrier-{handle.barrier_id}-{round_no}")
         self._barrier_waiters.setdefault(
             (handle.barrier_id, round_no), []
@@ -1389,6 +1560,15 @@ class DsmEngine:
         self.interval += 1
         if self.gc_enabled:
             self.collect_garbage(release.notices)
+        if sp is not None:
+            sp.close(
+                op,
+                "barrier_wait",
+                self.sim.now,
+                handle.barrier_id,
+                self.node_id,
+                round=round_no,
+            )
 
     def _manager_barrier_arrive(self, msg: BarrierArriveMsg) -> None:
         state = self.barriers[msg.barrier_id]
@@ -1595,6 +1775,18 @@ class DsmEngine:
         # -- migration fires ------------------------------------------------
         self.policy.on_migrated(state, alpha)
         self._trace_migration(oid, request.requester, state)
+        mig_op = None
+        if self._sp is not None:
+            # child of the fault that triggered the decision; closed by the
+            # requester when it installs the home (_install_reply)
+            mig_op = self._sp.open(
+                "migration",
+                self.sim.now,
+                oid,
+                self.node_id,
+                parent=request.op_id,
+                target=request.requester,
+            )
         self.stats.incr("mig")
         self.stats.incr("migration")
         self._close_dirty_home_interval(oid, entry)
@@ -1612,6 +1804,7 @@ class DsmEngine:
                 home=request.requester,
                 migrated=True,
                 monitor=state,
+                op_id=mig_op,
             ),
         )
         self._demote_home(oid, entry, request.requester)
@@ -1849,6 +2042,17 @@ class DsmEngine:
         state = entry.state
         self.policy.on_migrated(state, self.alpha(order.oid, state))
         self._trace_migration(order.oid, order.new_home, state)
+        mig_op = None
+        if self._sp is not None:
+            # barrier-ordered: no requester fault to parent under
+            mig_op = self._sp.open(
+                "migration",
+                self.sim.now,
+                order.oid,
+                self.node_id,
+                parent=None,
+                target=order.new_home,
+            )
         self.stats.incr("mig")
         self.stats.incr("migration")
         self._close_dirty_home_interval(order.oid, entry)
@@ -1862,6 +2066,7 @@ class DsmEngine:
                 version=entry.version,
                 data=self._dst_arena(order.new_home).take_copy(entry.payload),
                 monitor=state,
+                op_id=mig_op,
             ),
         )
         self._demote_home(order.oid, entry, order.new_home)
@@ -1923,6 +2128,15 @@ class DsmEngine:
                 oid,
                 self.node_id,
                 origin="transfer",
+                version=msg.version,
+            )
+        if self._sp is not None and msg.op_id is not None:
+            self._sp.close(
+                msg.op_id,
+                "migration",
+                self.sim.now,
+                oid,
+                self.node_id,
                 version=msg.version,
             )
         self._serve_pending_foreign(oid)

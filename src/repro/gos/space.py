@@ -16,6 +16,7 @@ from repro.dsm.redirection import (
 from repro.memory.arena import Arena
 from repro.memory.heap import ObjectHeap
 from repro.memory.objects import SharedObject
+from repro.obs.spans import SpanTracer
 from repro.sim.engine import make_simulator
 
 import numpy as np
@@ -51,6 +52,12 @@ class GlobalObjectSpace:
             mechanism if mechanism is not None else ForwardingPointerMechanism()
         )
         self.tracer = tracer
+        #: Causal span layer: one shared :class:`~repro.obs.spans.SpanTracer`
+        #: makes op ids run-unique across all engines.  It disables itself
+        #: unless the tracer captures both span kinds, so a
+        #: ``kinds=("migration",)`` recorder (e.g. the determinism digest)
+        #: pays one cached ``None`` check per operation.
+        self.spans = SpanTracer(tracer) if tracer is not None else None
         #: Optional :class:`~repro.obs.metrics.MetricsRegistry` shared by the
         #: network and every engine; ``None`` keeps the hot path bare.
         self.metrics = metrics
@@ -88,6 +95,7 @@ class GlobalObjectSpace:
                 logger=engine_logger,
                 arenas=self.arenas,
                 gc_enabled=gc_enabled,
+                spans=self.spans,
             )
             for i in range(nnodes)
         ]

@@ -14,7 +14,13 @@ observable *while it runs* instead of only post-hoc:
 * :mod:`repro.obs.timers` — :class:`PhaseTimer` / :class:`EpochTimer` /
   :class:`SpanTracker` over simulated and wall clock;
 * :mod:`repro.obs.logging` — a structured, level-gated
-  :class:`RunLogger`.
+  :class:`RunLogger`;
+* :mod:`repro.obs.spans` — :class:`SpanTracer`: causal operation spans
+  with run-unique op ids threaded through protocol messages
+  (``span_open``/``span_close`` trace events, virtual-time extents);
+* :mod:`repro.obs.hist` — :class:`LatencyHistogram`: deterministic
+  mergeable HDR-style log-bucket histograms with exact-rank
+  p50/p95/p99/p999, plus :class:`EpochSeries` throughput counters.
 
 Everything is opt-in: the simulator, network and protocol engines carry
 ``None`` handles by default and every instrumentation site sits behind a
@@ -29,6 +35,7 @@ from repro.obs.export import (
     iter_trace,
     load_trace,
 )
+from repro.obs.hist import EpochSeries, LatencyHistogram
 from repro.obs.logging import LEVELS, NULL_LOGGER, RunLogger
 from repro.obs.metrics import (
     Counter,
@@ -37,20 +44,25 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.spans import SPAN_KINDS, SpanTracer
 from repro.obs.timers import EpochTimer, PhaseTimer, SpanTracker
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "EpochSeries",
     "EpochTimer",
     "Gauge",
     "Histogram",
     "JsonlTraceWriter",
     "LEVELS",
+    "LatencyHistogram",
     "MetricsRegistry",
     "NULL_LOGGER",
     "PhaseTimer",
     "RunLogger",
+    "SPAN_KINDS",
+    "SpanTracer",
     "SpanTracker",
     "TRACE_SCHEMA",
     "dump_trace",

@@ -92,6 +92,7 @@ class JsonlTraceWriter:
                     "schema": TRACE_SCHEMA,
                     "kinds": sorted(self.kinds),
                     "backend": _kernel.backend_name(),
+                    "kernel_build_hash": _kernel.build_hash(),
                 }
             )
             + "\n"
@@ -164,8 +165,9 @@ def read_trace_meta(path: str) -> dict:
     """The parsed meta line of a trace file (schema, kinds, backend, ...).
 
     The ``backend`` key records which simulation backend produced the
-    trace (``"python"`` or ``"compiled"``); traces written before it was
-    recorded simply lack the key.
+    trace (``"python"`` or ``"compiled"``); ``kernel_build_hash`` is the
+    compiled extension's build provenance (``None`` under the pure-Python
+    backend).  Traces written before a key existed simply lack it.
     """
     with open(path, "r", encoding="utf-8") as handle:
         first = handle.readline()

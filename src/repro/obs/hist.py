@@ -1,0 +1,218 @@
+"""Deterministic log-scale latency histograms and epoch throughput series.
+
+``LatencyHistogram`` is an HDR-style fixed-bucket histogram over
+non-negative latencies (virtual microseconds in this repo).  Buckets are
+derived from the IEEE-754 exponent/mantissa of the recorded value via
+:func:`math.frexp`, so bucket assignment is exact, platform-independent
+and needs no configuration: every power-of-two binade is split into
+``SUBBUCKETS`` equal sub-buckets, giving a worst-case relative error of
+``1/SUBBUCKETS`` (~1.6%) on quantile read-out while ``min``/``max`` stay
+exact.
+
+Two properties matter for the analytics engine built on top:
+
+* **Mergeable.** Per-node/per-shard histograms merge by integer bucket
+  addition; the running sum is kept as an integer tick count
+  (``round(value * TICKS_PER_UNIT)``), so merging is associative,
+  commutative and bit-identical to single-shot recording regardless of
+  merge order (no float accumulation order effects).
+* **Deterministic.** No wall clock, no randomness; ``to_dict`` /
+  ``from_dict`` round-trip through plain JSON types with sorted keys.
+
+Quantiles are *exact rank selection* over the fixed buckets: ``p(q)``
+returns the upper bound of the bucket holding the ``ceil(q * count)``-th
+smallest sample, clamped to the exact observed ``[min, max]`` range.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+__all__ = ["SUBBUCKETS", "TICKS_PER_UNIT", "LatencyHistogram", "EpochSeries"]
+
+#: Sub-buckets per power-of-two binade (relative quantile error ~1/64).
+SUBBUCKETS = 64
+
+#: Integer ticks per recorded unit for the exact running sum.
+TICKS_PER_UNIT = 1024
+
+# frexp exponents for float64 span roughly [-1073, 1024]; shifting by
+# _EXP_BIAS keeps bucket indices non-negative (they are dict keys, so
+# only the ones actually hit are stored).
+_EXP_BIAS = 1100
+
+# Standard quantiles reported by summary().
+_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99), ("p999", 0.999))
+
+
+def bucket_index(value: float) -> int:
+    """Map a non-negative value to its bucket index (0 = the zero bucket)."""
+    if value <= 0.0:
+        return 0
+    m, e = math.frexp(value)  # value == m * 2**e, m in [0.5, 1)
+    sub = int((m - 0.5) * (2 * SUBBUCKETS))  # 0 .. SUBBUCKETS-1, exact
+    return 1 + (e + _EXP_BIAS) * SUBBUCKETS + sub
+
+
+def bucket_upper(index: int) -> float:
+    """Inclusive upper bound of a bucket (0.0 for the zero bucket)."""
+    if index <= 0:
+        return 0.0
+    k = index - 1
+    e = k // SUBBUCKETS - _EXP_BIAS
+    sub = k % SUBBUCKETS
+    return math.ldexp(0.5 + (sub + 1) / (2 * SUBBUCKETS), e)
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-scale histogram with exact-rank quantiles."""
+
+    __slots__ = ("buckets", "count", "sum_ticks", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.sum_ticks = 0  # integer ticks => order-independent merges
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def record(self, value: float, n: int = 1) -> None:
+        if value < 0:
+            raise ValueError(f"latency must be non-negative, got {value!r}")
+        if n <= 0:
+            return
+        value = float(value)
+        idx = bucket_index(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + n
+        self.count += n
+        self.sum_ticks += n * int(round(value * TICKS_PER_UNIT))
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into ``self`` (integer addition; returns self)."""
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+        self.count += other.count
+        self.sum_ticks += other.sum_ticks
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    @classmethod
+    def merged(cls, parts: Iterable["LatencyHistogram"]) -> "LatencyHistogram":
+        out = cls()
+        for part in parts:
+            out.merge(part)
+        return out
+
+    @property
+    def mean(self) -> float | None:
+        if self.count == 0:
+            return None
+        return self.sum_ticks / TICKS_PER_UNIT / self.count
+
+    def quantile(self, q: float) -> float | None:
+        """Upper bound of the bucket holding the ceil(q*count)-th sample.
+
+        Clamped to the observed [min, max] so p0/p100 are exact and no
+        quantile can exceed the true maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0 or self.min is None or self.max is None:
+            return None
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for idx in sorted(self.buckets):
+            seen += self.buckets[idx]
+            if seen >= rank:
+                return min(max(bucket_upper(idx), self.min), self.max)
+        return self.max  # unreachable unless counts drift; stay safe
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-friendly summary with count/min/mean/max and standard quantiles."""
+        out: dict[str, Any] = {
+            "count": self.count,
+            "min": self.min,
+            "mean": self.mean,
+            "max": self.max,
+        }
+        for name, q in _QUANTILES:
+            out[name] = self.quantile(q)
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "buckets": {str(idx): self.buckets[idx] for idx in sorted(self.buckets)},
+            "count": self.count,
+            "sum_ticks": self.sum_ticks,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LatencyHistogram":
+        out = cls()
+        out.buckets = {int(k): int(v) for k, v in data.get("buckets", {}).items()}
+        out.count = int(data.get("count", 0))
+        out.sum_ticks = int(data.get("sum_ticks", 0))
+        out.min = data.get("min")
+        out.max = data.get("max")
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return (
+            self.buckets == other.buckets
+            and self.count == other.count
+            and self.sum_ticks == other.sum_ticks
+            and self.min == other.min
+            and self.max == other.max
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LatencyHistogram(count={self.count}, min={self.min}, "
+            f"max={self.max}, buckets={len(self.buckets)})"
+        )
+
+
+class EpochSeries:
+    """Mergeable per-epoch counter (e.g. operations per barrier epoch)."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+
+    def note(self, epoch: int, n: int = 1) -> None:
+        self.counts[epoch] = self.counts.get(epoch, 0) + n
+
+    def merge(self, other: "EpochSeries") -> "EpochSeries":
+        for epoch, n in other.counts.items():
+            self.counts[epoch] = self.counts.get(epoch, 0) + n
+        return self
+
+    def series(self) -> list[tuple[int, int]]:
+        return [(epoch, self.counts[epoch]) for epoch in sorted(self.counts)]
+
+    def to_dict(self) -> dict[str, int]:
+        return {str(epoch): self.counts[epoch] for epoch in sorted(self.counts)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EpochSeries":
+        out = cls()
+        out.counts = {int(k): int(v) for k, v in data.items()}
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EpochSeries):
+            return NotImplemented
+        return self.counts == other.counts

@@ -1,0 +1,158 @@
+"""Causal operation spans over the trace stream.
+
+A *span* brackets one logical DSM operation — a read/write miss, a diff
+flush, a home migration, a redirection hop, a lock acquire/release, a
+barrier wait, a shipped computation — in **virtual time**.  Each span
+gets a run-unique integer ``op`` id from a single monotonically
+increasing counter shared by every engine in the run; the id is threaded
+through protocol messages and pending queues so events caused by the
+operation on *other* nodes link back via ``parent`` → a reconstructable
+causal tree per operation.
+
+Spans are recorded as two ordinary trace events so they flow through the
+existing :class:`~repro.trace.recorder.TraceRecorder` /
+:class:`~repro.obs.export.JsonlTraceWriter` machinery unchanged:
+
+``span_open``
+    ``detail = {"op": id, "op_kind": kind, "parent": id-or-None, ...}``
+``span_close``
+    ``detail = {"op": id, "op_kind": kind, ...}``
+
+Determinism: ids come from deterministic allocation order (the simulator
+dispatches events in a bit-identical order under both backends), and
+this module never consults the wall clock — virtual timestamps are
+passed in by the caller.  An optional ``wall_clock`` callable may be
+injected by an embedder that wants wall-time annotations; it is ``None``
+by default and never required (``tests/test_seed_discipline.py`` audits
+this file for wall-clock imports).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["SPAN_KINDS", "SPAN_OPEN", "SPAN_CLOSE", "SpanTracer"]
+
+#: Logical operation kinds a span may carry (``op_kind`` detail field).
+SPAN_KINDS = frozenset(
+    {
+        "read_miss",
+        "write_miss",
+        "diff_flush",
+        "migration",
+        "redirect_hop",
+        "lock_acquire",
+        "lock_release",
+        "barrier_wait",
+        "ship",
+    }
+)
+
+#: Trace-event kinds emitted by this module (registered in repro.trace.events).
+SPAN_OPEN = "span_open"
+SPAN_CLOSE = "span_close"
+
+
+class SpanTracer:
+    """Allocates run-unique op ids and records span open/close events.
+
+    One ``SpanTracer`` is shared by all engines of a run (constructed in
+    :class:`~repro.gos.space.GlobalObjectSpace`), which is what makes the
+    ids run-unique.  ``enabled`` is resolved once at construction so hot
+    paths can guard on a cached ``None``-or-tracer reference.
+    """
+
+    __slots__ = ("tracer", "wall_clock", "enabled", "_next_id")
+
+    def __init__(
+        self,
+        tracer: Any,
+        wall_clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.tracer = tracer
+        self.wall_clock = wall_clock
+        self.enabled = (
+            tracer is not None
+            and tracer.wants(SPAN_OPEN)
+            and tracer.wants(SPAN_CLOSE)
+        )
+        self._next_id = 0
+
+    @property
+    def issued(self) -> int:
+        """Number of span ids handed out so far."""
+        return self._next_id
+
+    def open(
+        self,
+        op_kind: str,
+        time_us: int,
+        oid: int,
+        node: int,
+        parent: int | None = None,
+        **detail: Any,
+    ) -> int:
+        """Open a span and return its run-unique op id."""
+        if op_kind not in SPAN_KINDS:
+            raise ValueError(f"unknown span kind {op_kind!r}")
+        op = self._next_id
+        self._next_id = op + 1
+        if self.wall_clock is not None:
+            detail["wall_s"] = self.wall_clock()
+        self.tracer.record(
+            SPAN_OPEN,
+            time_us,
+            oid,
+            node,
+            op=op,
+            op_kind=op_kind,
+            parent=parent,
+            **detail,
+        )
+        return op
+
+    def close(
+        self,
+        op: int,
+        op_kind: str,
+        time_us: int,
+        oid: int,
+        node: int,
+        **detail: Any,
+    ) -> None:
+        """Close a previously opened span."""
+        if op_kind not in SPAN_KINDS:
+            raise ValueError(f"unknown span kind {op_kind!r}")
+        if self.wall_clock is not None:
+            detail["wall_s"] = self.wall_clock()
+        self.tracer.record(
+            SPAN_CLOSE,
+            time_us,
+            oid,
+            node,
+            op=op,
+            op_kind=op_kind,
+            **detail,
+        )
+
+    def completed(
+        self,
+        op_kind: str,
+        open_us: int,
+        close_us: int,
+        oid: int,
+        node: int,
+        parent: int | None = None,
+        **detail: Any,
+    ) -> int:
+        """Record a span whose extent is only known after the fact.
+
+        Used for redirection hops: the hop's duration is measured when
+        the redirect reply arrives, so both events are recorded then —
+        the ``span_open`` carries the earlier send timestamp.  Trace
+        consumers must therefore sort by time rather than assume the
+        stream is monotonic across kinds.
+        """
+        op = self.open(op_kind, open_us, oid, node, parent=parent, **detail)
+        self.close(op, op_kind, close_us, oid, node)
+        return op

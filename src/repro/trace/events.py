@@ -17,6 +17,8 @@ KINDS = frozenset(
         "diff_apply",
         "twin_create",
         "twin_free",
+        "span_open",
+        "span_close",
     }
 )
 
@@ -39,11 +41,17 @@ class TraceEvent:
     * ``diff_apply`` — ``writer``, ``size_bytes``, ``version_before``,
       ``version_after``
     * ``twin_create`` / ``twin_free`` — ``interval``
+    * ``span_open``  — ``op`` (run-unique id), ``op_kind``, ``parent``
+      (``op`` of the causing span or ``None``), plus kind-specific
+      fields (``docs/PROTOCOL.md`` §14)
+    * ``span_close`` — ``op``, ``op_kind``, plus kind-specific fields
 
     The first four kinds are the analysis timeline the bench reports
-    consume; the last five are the conformance stream
+    consume; the next five are the conformance stream
     :class:`~repro.check.invariants.InvariantChecker` replays protocol
-    invariants from (``docs/PROTOCOL.md`` §13).
+    invariants from (``docs/PROTOCOL.md`` §13); the span pair is the
+    causal layer emitted by :class:`~repro.obs.spans.SpanTracer` that
+    ``repro-bench analyze`` reconstructs operation trees from.
     """
 
     time_us: float

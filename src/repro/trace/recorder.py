@@ -41,6 +41,11 @@ class TraceRecorder:
             raise ValueError(f"max_events must be >= 1, got {max_events}")
         self.max_events = max_events
         self.dropped = 0
+        #: Subset of :attr:`dropped` that were span events
+        #: (``span_open``/``span_close``): losing one breaks the causal
+        #: tree for its operation, so the JVM emits a WARN at run end
+        #: when this is nonzero.
+        self.dropped_spans = 0
         self.events: MutableSequence[TraceEvent] = (
             [] if max_events is None else deque(maxlen=max_events)
         )
@@ -71,6 +76,8 @@ class TraceRecorder:
                 and len(self.events) == self.max_events
             ):
                 self.dropped += 1  # deque(maxlen) evicts the oldest
+                if self.events[0].kind in ("span_open", "span_close"):
+                    self.dropped_spans += 1
             event = TraceEvent(
                 time_us=time_us, kind=kind, oid=oid, node=node,
                 detail=detail,

@@ -135,3 +135,55 @@ def test_fuzzer_episodes_identical_across_backends():
     """25 conformance episodes at 3 fixed seeds are bit-identical."""
     digests = _run_both(FUZZER_CODE)
     assert digests["python"] == digests["compiled"]
+
+
+SPAN_TRACE_CODE = """\
+import hashlib, tempfile, os
+from repro.bench.record import record_trace
+fd, path = tempfile.mkstemp(suffix=".jsonl")
+os.close(fd)
+try:
+    record_trace(path, app="asp", app_kwargs={"size": 20}, policy="AT",
+                 nodes=4)
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+finally:
+    os.unlink(path)
+# the meta line legitimately differs (backend name, kernel build hash);
+# every event line — span ids, parents, timestamps — must not
+blob = "\\n".join(lines[1:])
+print(hashlib.sha256(blob.encode()).hexdigest())
+"""
+
+
+def test_span_trace_identical_across_backends():
+    """Span-enabled traces (op ids, parents, times) are bit-identical.
+
+    Every span id is allocated in dispatch order, so equality of the
+    full event stream proves the compiled backend schedules the
+    instrumented operations in exactly the reference order.
+    """
+    digests = _run_both(SPAN_TRACE_CODE)
+    assert digests["python"] == digests["compiled"]
+
+
+ANALYZE_CODE = """\
+import hashlib, tempfile, os
+from repro.bench.record import record_trace
+from repro.bench.analyze import analyze_trace, render_analysis
+fd, path = tempfile.mkstemp(suffix=".jsonl")
+os.close(fd)
+try:
+    record_trace(path, app="asp", app_kwargs={"size": 20}, policy="AT",
+                 nodes=4)
+    report = render_analysis(analyze_trace(path))
+finally:
+    os.unlink(path)
+print(hashlib.sha256(report.encode()).hexdigest())
+"""
+
+
+def test_slo_report_identical_across_backends():
+    """The rendered SLO analysis is byte-identical under both backends."""
+    digests = _run_both(ANALYZE_CODE)
+    assert digests["python"] == digests["compiled"]

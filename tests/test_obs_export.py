@@ -34,8 +34,17 @@ def test_writer_meta_line_and_events(tmp_path):
         "schema": TRACE_SCHEMA,
         "kinds": ["migration"],
         "backend": _kernel.backend_name(),
+        "kernel_build_hash": _kernel.build_hash(),
     }
-    assert read_trace_meta(path)["backend"] == _kernel.backend_name()
+    meta = read_trace_meta(path)
+    assert meta["backend"] == _kernel.backend_name()
+    # build provenance: the compiled kernel's build tag, None under
+    # pure Python
+    assert meta["kernel_build_hash"] == _kernel.build_hash()
+    if _kernel.backend_name() == "compiled":
+        assert isinstance(meta["kernel_build_hash"], str)
+    else:
+        assert meta["kernel_build_hash"] is None
     assert lines[1] == {
         "t": 1.5, "kind": "migration", "oid": 1, "node": 0,
         "detail": {"new_home": 2},

@@ -63,6 +63,63 @@ def test_no_global_rng_use():
     )
 
 
+#: Wall-clock spellings forbidden in the span layer: span ids and
+#: timestamps feed the determinism digest and the backend-parity trace
+#: diff, so ``spans.py`` must never read host time on its own — wall
+#: time enters only via the explicit ``wall_clock`` injection hook.
+WALL_CLOCK = re.compile(
+    r"""
+    (?<![\w.])time\.(time|perf_counter|monotonic|process_time|
+                     time_ns|perf_counter_ns|monotonic_ns)\s*\(
+    | (?<![\w.])datetime\.(now|utcnow|today)\s*\(
+    | \bimport\s+time\b
+    """,
+    re.VERBOSE,
+)
+
+#: Files that must be wall-clock-free (virtual-time only).
+WALL_CLOCK_FREE = ("src/repro/obs/spans.py",)
+
+
+def test_span_layer_has_no_wall_clock():
+    """spans.py must not read host time — only injected clocks."""
+    hits = []
+    for rel in WALL_CLOCK_FREE:
+        path = REPO / rel
+        assert path.is_file(), f"audited file moved: {rel}"
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            stripped = line.split("#", 1)[0]
+            if WALL_CLOCK.search(stripped):
+                hits.append(f"{rel}:{lineno}: {line.strip()}")
+    assert not hits, (
+        "wall-clock use in the span layer — span timestamps are virtual "
+        "time; wall time may only arrive via the wall_clock parameter:\n"
+        + "\n".join(hits)
+    )
+
+
+def test_wall_clock_pattern_catches_known_spellings():
+    """Guard the regex: canonical wall-clock forms must match."""
+    bad = [
+        "import time",
+        "t = time.time()",
+        "t = time.perf_counter()",
+        "t = time.monotonic_ns()",
+        "stamp = datetime.now()",
+    ]
+    good = [
+        "wall_s = self.wall_clock()",
+        "open_us = self.sim.now",
+        "lifetime = runtime_us / 1e6",
+    ]
+    for line in bad:
+        assert WALL_CLOCK.search(line), f"should match: {line}"
+    for line in good:
+        assert not WALL_CLOCK.search(line), f"should not match: {line}"
+
+
 def test_audit_actually_scans_the_tree():
     """Guard the guard: the walker must see a substantial file set."""
     files = {relpath for relpath, _lineno, _line in _iter_source_lines()}

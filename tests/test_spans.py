@@ -1,0 +1,369 @@
+"""Causal span layer: unit behaviour, live-run trees, digest safety.
+
+Three layers of coverage:
+
+* ``SpanTracer`` in isolation — id allocation, enable gating, event
+  shape, kind validation, retro-dated ``completed`` spans, the optional
+  wall-clock hook;
+* live runs — every span a real ASP (barriers) and synthetic-benchmark
+  (locks) run emits opens exactly once, closes exactly once, and links
+  children to already-open parents, i.e. the causal tree reconstructs;
+* the hard determinism gate — the pinned ASP/AT/4 digest is unchanged
+  with span recording fully enabled (instrumentation must be
+  observation-only);
+* the invariant checker's span lifecycle checks flag each corruption
+  class (orphan child, double open, double close, close-without-open,
+  kind mismatch, never closed).
+"""
+
+import importlib.util
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.apps import Asp
+from repro.apps.synthetic import SingleWriterBenchmark
+from repro.bench.runner import make_mechanism, make_policy
+from repro.check.invariants import InvariantChecker
+from repro.cluster.hockney import FAST_ETHERNET
+from repro.gos.jvm import DistributedJVM
+from repro.obs.spans import SPAN_KINDS, SpanTracer
+from repro.trace.events import TraceEvent
+from repro.trace.recorder import TraceRecorder
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+# -- SpanTracer unit behaviour ------------------------------------------------
+
+
+def test_span_tracer_disabled_without_span_kinds():
+    """A kind-filtered recorder (e.g. the digest's) disables the tracer."""
+    recorder = TraceRecorder(kinds=("migration",))
+    spans = SpanTracer(recorder)
+    assert spans.enabled is False
+
+
+def test_span_tracer_allocates_sequential_unique_ids():
+    recorder = TraceRecorder()
+    spans = SpanTracer(recorder)
+    assert spans.enabled is True
+    a = spans.open("read_miss", 10.0, oid=1, node=0)
+    b = spans.open("write_miss", 11.0, oid=2, node=1, parent=a)
+    assert (a, b) == (0, 1)
+    assert spans.issued == 2
+    opens = recorder.of_kind("span_open")
+    assert [e.detail["op"] for e in opens] == [0, 1]
+    assert opens[0].detail["parent"] is None
+    assert opens[1].detail["parent"] == a
+    assert opens[1].detail["op_kind"] == "write_miss"
+
+
+def test_span_tracer_close_records_matching_event():
+    recorder = TraceRecorder()
+    spans = SpanTracer(recorder)
+    op = spans.open("lock_acquire", 5.0, oid=7, node=3, home=2)
+    spans.close(op, "lock_acquire", 9.5, oid=7, node=3)
+    closes = recorder.of_kind("span_close")
+    assert len(closes) == 1
+    assert closes[0].detail == {"op": op, "op_kind": "lock_acquire"}
+    assert closes[0].time_us == 9.5
+    # the open carried the extra detail
+    assert recorder.of_kind("span_open")[0].detail["home"] == 2
+
+
+def test_span_tracer_rejects_unknown_kind():
+    spans = SpanTracer(TraceRecorder())
+    with pytest.raises(ValueError, match="unknown span kind"):
+        spans.open("disk_seek", 0.0, oid=0, node=0)
+    op = spans.open("read_miss", 0.0, oid=0, node=0)
+    with pytest.raises(ValueError, match="unknown span kind"):
+        spans.close(op, "disk_seek", 1.0, oid=0, node=0)
+
+
+def test_span_tracer_completed_is_retro_dated():
+    """completed() opens at the earlier send time, closes at arrival."""
+    recorder = TraceRecorder()
+    spans = SpanTracer(recorder)
+    op = spans.completed(
+        "redirect_hop", 100.0, 140.0, oid=4, node=2, parent=None, target=5
+    )
+    opens = recorder.of_kind("span_open")
+    closes = recorder.of_kind("span_close")
+    assert opens[0].time_us == 100.0 and closes[0].time_us == 140.0
+    assert opens[0].detail["op"] == closes[0].detail["op"] == op
+    assert opens[0].detail["target"] == 5
+
+
+def test_span_tracer_wall_clock_hook_annotates_events():
+    """The injected clock stamps wall_s; absent by default."""
+    recorder = TraceRecorder()
+    ticks = iter([1.5, 2.5])
+    spans = SpanTracer(recorder, wall_clock=lambda: next(ticks))
+    op = spans.open("barrier_wait", 0.0, oid=0, node=0)
+    spans.close(op, "barrier_wait", 1.0, oid=0, node=0)
+    assert recorder.of_kind("span_open")[0].detail["wall_s"] == 1.5
+    assert recorder.of_kind("span_close")[0].detail["wall_s"] == 2.5
+    bare = SpanTracer(TraceRecorder())
+    bare.open("barrier_wait", 0.0, oid=0, node=0)
+    assert "wall_s" not in bare.tracer.of_kind("span_open")[0].detail
+
+
+# -- live-run causal trees ----------------------------------------------------
+
+
+def _run_with_spans(app, nodes=4, policy="AT"):
+    tracer = TraceRecorder()
+    jvm = DistributedJVM(
+        nodes=nodes,
+        comm_model=FAST_ETHERNET,
+        policy=make_policy(policy),
+        mechanism=make_mechanism("forwarding-pointer"),
+        tracer=tracer,
+    )
+    jvm.run(app)
+    return tracer
+
+
+def _assert_well_formed(tracer):
+    """Every span opens once, closes once, and parents are already open."""
+    seen: dict[int, str] = {}
+    closed: set[int] = set()
+    for event in tracer.events:
+        if event.kind == "span_open":
+            op = event.detail["op"]
+            assert op not in seen, f"op {op} opened twice"
+            parent = event.detail["parent"]
+            assert parent is None or parent in seen, (
+                f"op {op} links to unknown parent {parent}"
+            )
+            assert event.detail["op_kind"] in SPAN_KINDS
+            seen[op] = event.detail["op_kind"]
+        elif event.kind == "span_close":
+            op = event.detail["op"]
+            assert op in seen, f"close of unopened op {op}"
+            assert op not in closed, f"op {op} closed twice"
+            assert event.detail["op_kind"] == seen[op]
+            closed.add(op)
+    assert set(seen) == closed, (
+        f"unclosed spans: {sorted(set(seen) - closed)[:10]}"
+    )
+    return seen
+
+
+def test_asp_run_produces_balanced_span_tree():
+    tracer = _run_with_spans(Asp(size=24))
+    kinds = _assert_well_formed(tracer)
+    by_kind = {}
+    for kind in kinds.values():
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    # ASP is barrier-synchronised: misses, flushes, migrations, barriers
+    for expected in ("read_miss", "write_miss", "migration",
+                     "barrier_wait", "diff_flush"):
+        assert by_kind.get(expected, 0) > 0, (expected, by_kind)
+
+
+def test_synthetic_run_produces_lock_spans():
+    tracer = _run_with_spans(
+        SingleWriterBenchmark(total_updates=64, repetition=4), nodes=4
+    )
+    kinds = _assert_well_formed(tracer)
+    by_kind = set(kinds.values())
+    assert "lock_acquire" in by_kind and "lock_release" in by_kind
+
+
+def test_migration_spans_link_to_triggering_fault():
+    """Migration spans opened while serving a fault carry its parent id."""
+    tracer = _run_with_spans(Asp(size=24))
+    opens = {
+        e.detail["op"]: e for e in tracer.events if e.kind == "span_open"
+    }
+    parented = [
+        e for e in opens.values()
+        if e.detail["op_kind"] == "migration"
+        and e.detail["parent"] is not None
+    ]
+    assert parented, "no fault-triggered migration in the pinned workload"
+    for event in parented:
+        parent = opens[event.detail["parent"]]
+        assert parent.detail["op_kind"] in (
+            "read_miss", "write_miss", "ship"
+        )
+
+
+def test_redirect_hops_nest_under_their_fault():
+    tracer = _run_with_spans(Asp(size=24))
+    opens = {
+        e.detail["op"]: e for e in tracer.events if e.kind == "span_open"
+    }
+    hops = [
+        e for e in opens.values()
+        if e.detail["op_kind"] == "redirect_hop"
+    ]
+    assert hops, "expected redirection hops under the AT policy"
+    for event in hops:
+        assert event.detail["parent"] is not None
+        parent = opens[event.detail["parent"]]
+        assert parent.detail["op_kind"] in (
+            "read_miss", "write_miss", "ship"
+        )
+
+
+# -- determinism: spans are observation-only ---------------------------------
+
+
+def _digest_module():
+    spec = importlib.util.spec_from_file_location(
+        "tdd", ROOT / "tests" / "test_determinism_digest.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_digest_unchanged_with_spans_enabled():
+    """The pinned digest must not move when span recording is on.
+
+    The digest's own harness records migrations only (spans disabled);
+    re-running the identical workload with an unfiltered recorder proves
+    the instrumentation never perturbs stats, scheduling or timing.
+    """
+    mod = _digest_module()
+    tracer = TraceRecorder()
+    jvm = DistributedJVM(
+        nodes=4,
+        comm_model=FAST_ETHERNET,
+        policy=make_policy("AT"),
+        mechanism=make_mechanism("forwarding-pointer"),
+        tracer=tracer,
+    )
+    result = jvm.run(Asp(size=64))
+    payload = {
+        "stats": result.stats.snapshot(),
+        "time_us": result.execution_time_us,
+        "migrations": [
+            [
+                event.time_us,
+                event.oid,
+                event.node,
+                event.detail.get("old_home"),
+                event.detail.get("new_home"),
+            ]
+            for event in tracer.migrations()
+        ],
+    }
+    assert mod._digest(payload) == mod.EXPECTED_DIGEST
+    _assert_well_formed(tracer)
+
+
+# -- bounded recorders: dropped spans are never silent ------------------------
+
+
+def test_dropped_spans_counted_and_warned():
+    tracer = TraceRecorder(max_events=50)
+    jvm = DistributedJVM(
+        nodes=4,
+        comm_model=FAST_ETHERNET,
+        policy=make_policy("AT"),
+        mechanism=make_mechanism("forwarding-pointer"),
+        tracer=tracer,
+    )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        jvm.run(Asp(size=24))
+    assert tracer.dropped_spans > 0
+    assert tracer.dropped >= tracer.dropped_spans
+    dropped_warnings = [
+        w for w in caught
+        if issubclass(w.category, RuntimeWarning)
+        and "dropped" in str(w.message)
+    ]
+    assert len(dropped_warnings) == 1
+    assert str(tracer.dropped_spans) in str(dropped_warnings[0].message)
+
+
+def test_unbounded_recorder_drops_nothing():
+    tracer = _run_with_spans(Asp(size=24))
+    assert tracer.dropped == 0 and tracer.dropped_spans == 0
+
+
+# -- invariant checker: span lifecycle ---------------------------------------
+
+
+def _feed(checker, events):
+    for kind, time_us, detail in events:
+        checker.on_event(
+            TraceEvent(time_us=time_us, kind=kind, oid=0, node=0,
+                       detail=detail)
+        )
+
+
+def test_checker_accepts_clean_span_stream():
+    checker = InvariantChecker(nnodes=4)
+    _feed(checker, [
+        ("span_open", 0.0, {"op": 0, "op_kind": "read_miss",
+                            "parent": None}),
+        ("span_open", 1.0, {"op": 1, "op_kind": "migration", "parent": 0}),
+        ("span_close", 2.0, {"op": 1, "op_kind": "migration"}),
+        ("span_close", 3.0, {"op": 0, "op_kind": "read_miss"}),
+    ])
+    assert checker.finish() == []
+
+
+def test_checker_flags_orphan_child():
+    checker = InvariantChecker(nnodes=4)
+    _feed(checker, [
+        ("span_open", 0.0, {"op": 5, "op_kind": "migration",
+                            "parent": 99}),
+        ("span_close", 1.0, {"op": 5, "op_kind": "migration"}),
+    ])
+    assert any("parent" in v for v in checker.finish())
+
+
+def test_checker_flags_duplicate_open():
+    checker = InvariantChecker(nnodes=4)
+    _feed(checker, [
+        ("span_open", 0.0, {"op": 3, "op_kind": "read_miss",
+                            "parent": None}),
+        ("span_open", 1.0, {"op": 3, "op_kind": "read_miss",
+                            "parent": None}),
+    ])
+    assert any("opened twice" in v for v in checker.violations)
+
+
+def test_checker_flags_double_close_and_unmatched_close():
+    checker = InvariantChecker(nnodes=4)
+    _feed(checker, [
+        ("span_open", 0.0, {"op": 1, "op_kind": "read_miss",
+                            "parent": None}),
+        ("span_close", 1.0, {"op": 1, "op_kind": "read_miss"}),
+        ("span_close", 2.0, {"op": 1, "op_kind": "read_miss"}),
+        ("span_close", 3.0, {"op": 42, "op_kind": "read_miss"}),
+    ])
+    violations = checker.violations
+    assert any("closed" in v and "1" in v for v in violations)
+    assert any("42" in v for v in violations)
+
+
+def test_checker_flags_kind_mismatch():
+    checker = InvariantChecker(nnodes=4)
+    _feed(checker, [
+        ("span_open", 0.0, {"op": 2, "op_kind": "read_miss",
+                            "parent": None}),
+        ("span_close", 1.0, {"op": 2, "op_kind": "write_miss"}),
+    ])
+    assert any(
+        "opened as 'read_miss'" in v and "closed as 'write_miss'" in v
+        for v in checker.violations
+    )
+
+
+def test_checker_flags_never_closed_span():
+    checker = InvariantChecker(nnodes=4)
+    _feed(checker, [
+        ("span_open", 0.0, {"op": 9, "op_kind": "barrier_wait",
+                            "parent": None}),
+    ])
+    assert checker.violations == []
+    assert any("never" in v or "close" in v for v in checker.finish())
