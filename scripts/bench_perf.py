@@ -632,13 +632,25 @@ def main() -> None:
         help="also measure an older source tree (its src/ dir) for comparison",
     )
     parser.add_argument(
-        "--repeats", type=int, default=5, help="timed repeats per workload"
+        "--quick",
+        action="store_true",
+        help="CI-friendly sizing: fewest repeats/rounds that still produce "
+        "a best-of measurement (shared runners are too noisy for the "
+        "extra repeats to buy signal; same-host runs should use the "
+        "defaults)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timed repeats per workload (default 5, or 2 with --quick)",
     )
     parser.add_argument(
         "--rounds",
         type=int,
-        default=3,
-        help="interleaved old/new measurement rounds for --compare-src",
+        default=None,
+        help="interleaved old/new measurement rounds for --compare-src "
+        "(default 3, or 1 with --quick)",
     )
     parser.add_argument(
         "--emit-json",
@@ -662,6 +674,10 @@ def main() -> None:
         help="disable barrier-epoch memory GC (memory-ablation leg)",
     )
     args = parser.parse_args()
+    if args.repeats is None:
+        args.repeats = 2 if args.quick else 5
+    if args.rounds is None:
+        args.rounds = 1 if args.quick else 3
     if args.out is None:
         args.out = (
             "BENCH_PR6.json" if args.compare_backends else "BENCH_PR2.json"

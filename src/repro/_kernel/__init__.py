@@ -58,6 +58,10 @@ _SOURCE = Path(__file__).with_name("_kernelc.c")
 _state: dict[str, Any] = {"resolved": False, "module": None,
                           "name": "python", "reason": "unresolved"}
 
+#: Latch for the auto-mode fallback warning (once per process, even
+#: across ``select_backend()`` re-resolutions).
+_fallback_warned = False
+
 
 def _build_dir() -> Path:
     """Directory for first-use builds; falls back to the user cache when
@@ -160,17 +164,30 @@ def _load_from_path(path: Path) -> Any:
     return module
 
 
+# Oldest extension ABI this selection layer can drive.  Bumped when the
+# Python side starts depending on new C symbols (PR 8 added the protocol
+# fast-path layer: LocalAccess, NetFabric, the C pending queues, the
+# Future/Arena hot-path twins, and the fused ThreadContext Accessor); an
+# installed in-place build predating them must lose to a fresh first-use
+# build rather than load and fail at attribute lookup.
+_MIN_KERNEL_API = 4
+
+
 def _load_or_build() -> Any:
     """Return the extension module, building it on first use."""
     existing = sys.modules.get("repro._kernel._kernelc")
     if existing is not None:
         return existing
     # An installed in-place build (setup.py build_ext) wins over the
-    # first-use cache.
+    # first-use cache — but only at a compatible ABI level.
     try:
-        return importlib.import_module("repro._kernel._kernelc")
+        module = importlib.import_module("repro._kernel._kernelc")
     except ImportError:
         pass
+    else:
+        if getattr(module, "KERNEL_API", 0) >= _MIN_KERNEL_API:
+            return module
+        del sys.modules["repro._kernel._kernelc"]
     suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
     target = _build_dir() / f"_kernelc-{_build_tag()}{suffix}"
     if not target.exists():
@@ -211,12 +228,19 @@ def _resolve(requested: str) -> None:
             raise RuntimeError(
                 f"compiled backend requested but unavailable: {exc}"
             ) from exc
-        warnings.warn(
-            f"repro: compiled kernel unavailable ({exc}); "
-            f"falling back to the pure-Python backend",
-            RuntimeWarning,
-            stacklevel=3,
-        )
+        global _fallback_warned
+        if not _fallback_warned:
+            # Once per *process*, not per resolution: select_backend()
+            # clears _state["resolved"], so without this latch every
+            # auto re-resolution on a compiler-less host re-fires the
+            # same warning.
+            _fallback_warned = True
+            warnings.warn(
+                f"repro: compiled kernel unavailable ({exc}); "
+                f"falling back to the pure-Python backend",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         _state.update(
             resolved=True, module=None, name="python",
             reason=f"fallback: {exc}",

@@ -27,13 +27,56 @@
 #define NPY_NO_DEPRECATED_API NPY_1_7_API_VERSION
 #include <numpy/arrayobject.h>
 
+#include <stddef.h>
 #include <string.h>
+#include <structmember.h>
 
 /* Set by _install(); the simulator raises this instead of RuntimeError. */
 static PyObject *SimError = NULL;
 
 static PyObject *str_category = NULL;
 static PyObject *str_payload = NULL;
+static PyObject *str_value = NULL;
+static PyObject *str_mode = NULL;
+static PyObject *str_interval = NULL;
+static PyObject *str_read_interval = NULL;
+static PyObject *str_write_interval = NULL;
+static PyObject *str_homes = NULL;
+static PyObject *str_cache = NULL;
+static PyObject *str_index = NULL;
+static PyObject *str_slots = NULL;
+static PyObject *str_dirty = NULL;
+static PyObject *str_home_dirty = NULL;
+static PyObject *str_try_read_local = NULL;
+static PyObject *str_try_write_local = NULL;
+static PyObject *str_state = NULL;
+static PyObject *str_home_reads = NULL;
+static PyObject *str_home_writes = NULL;
+static PyObject *str_exclusive_home_writes = NULL;
+static PyObject *str_last_writer = NULL;
+static PyObject *str_consecutive_writes = NULL;
+static PyObject *str_consecutive_writer = NULL;
+static PyObject *str_remote_reads = NULL;
+static PyObject *str_sharers = NULL;
+static PyObject *str_redirections = NULL;
+static PyObject *str_upgrade_to_write = NULL;
+static PyObject *str_twin = NULL;
+static PyObject *str_request_id = NULL;
+static PyObject *str_resolve = NULL;
+static PyObject *str_arena = NULL;
+static PyObject *str_stats = NULL;
+static PyObject *str_events = NULL;
+static PyObject *str_live = NULL;
+static PyObject *str_oid = NULL;
+
+/* ClusterStats.events keys (identical to the Python literals). */
+static PyObject *ev_home_write = NULL;
+static PyObject *ev_exclusive_home_write = NULL;
+static PyObject *ev_remote_read = NULL;
+
+static PyObject *zero_long = NULL;
+static PyObject *one_long = NULL;
+static PyObject *minus_one_long = NULL;
 
 static PyObject *
 sim_error_class(void)
@@ -844,8 +887,3059 @@ kernel_adaptive_threshold(PyObject *mod, PyObject *const *args,
 }
 
 /* ====================================================================== */
+/* Protocol fast paths (PR 8)                                              */
+/*                                                                         */
+/* C twins of the highest-frequency handler bodies from the PR-6 profile:  */
+/* the pending-queue containers of repro.dsm.pending, write-notice         */
+/* merging, the try_read_local / try_write_local hit paths (LocalAccess,   */
+/* reading the flat CacheIndex slots directly), and the network send +     */
+/* batched delivery boundary (NetFabric / DeliveryPort / FabricSender).    */
+/* Each reproduces the pure-Python semantics bit for bit; cold paths       */
+/* fall back to the bound Python methods.                                  */
+/* ====================================================================== */
+
+/* obj.name += 1 through the attribute protocol (plain-int counters on
+ * dataclass monitors). */
+static int
+attr_incr(PyObject *obj, PyObject *name)
+{
+    PyObject *cur = PyObject_GetAttr(obj, name);
+    PyObject *next;
+    int rc;
+
+    if (cur == NULL) {
+        return -1;
+    }
+    next = PyNumber_Add(cur, one_long);
+    Py_DECREF(cur);
+    if (next == NULL) {
+        return -1;
+    }
+    rc = PyObject_SetAttr(obj, name, next);
+    Py_DECREF(next);
+    return rc;
+}
+
+/* counter[key] += delta with collections.Counter semantics: a missing key
+ * reads as 0 (__missing__ does not insert), and the sum is computed with
+ * PyNumber_Add so numpy integer operands keep their dtype exactly as in
+ * the Python `+=`. */
+static int
+counter_add(PyObject *counter, PyObject *key, PyObject *delta)
+{
+    PyObject *cur = PyDict_GetItemWithError(counter, key);
+    PyObject *sum;
+    int rc;
+
+    if (cur == NULL) {
+        if (PyErr_Occurred()) {
+            return -1;
+        }
+        sum = PyNumber_Add(zero_long, delta);
+    }
+    else {
+        Py_INCREF(cur);
+        sum = PyNumber_Add(cur, delta);
+        Py_DECREF(cur);
+    }
+    if (sum == NULL) {
+        return -1;
+    }
+    rc = PyDict_SetItem(counter, key, sum);
+    Py_DECREF(sum);
+    return rc;
+}
+
+/* ---------------------------------------------------------------------- */
+/* VersionIndexedQueue: min-heap keyed on (min_version, arrival_seq)       */
+/* ---------------------------------------------------------------------- */
+
+typedef struct {
+    long long minv;
+    long long seq;
+    PyObject *item; /* owned */
+} VqEnt;
+
+typedef struct {
+    PyObject_HEAD
+    VqEnt *ent;
+    Py_ssize_t n;
+    Py_ssize_t cap;
+    long long seq;
+} VqObject;
+
+/* (min_version, seq) is a total order (seq unique), so extraction order
+ * is identical to the Python heapq twin. */
+static inline int
+vq_lt(const VqEnt *a, const VqEnt *b)
+{
+    if (a->minv != b->minv) {
+        return a->minv < b->minv;
+    }
+    return a->seq < b->seq;
+}
+
+static int
+vq_ensure(VqObject *self, Py_ssize_t need)
+{
+    Py_ssize_t newcap;
+    VqEnt *grown;
+
+    if (need <= self->cap) {
+        return 0;
+    }
+    newcap = self->cap > 0 ? self->cap * 2 : 8;
+    while (newcap < need) {
+        newcap *= 2;
+    }
+    grown = PyMem_Realloc(self->ent, (size_t)newcap * sizeof(VqEnt));
+    if (grown == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    self->ent = grown;
+    self->cap = newcap;
+    return 0;
+}
+
+static void
+vq_heap_push(VqObject *self, VqEnt ent)
+{
+    VqEnt *h = self->ent;
+    Py_ssize_t i = self->n++;
+
+    while (i > 0) {
+        Py_ssize_t parent = (i - 1) >> 1;
+        if (!vq_lt(&ent, &h[parent])) {
+            break;
+        }
+        h[i] = h[parent];
+        i = parent;
+    }
+    h[i] = ent;
+}
+
+static VqEnt
+vq_heap_pop(VqObject *self)
+{
+    VqEnt *h = self->ent;
+    VqEnt top = h[0];
+    Py_ssize_t n = --self->n;
+
+    if (n > 0) {
+        VqEnt last = h[n];
+        Py_ssize_t i = 0;
+        for (;;) {
+            Py_ssize_t child = 2 * i + 1;
+            if (child >= n) {
+                break;
+            }
+            if (child + 1 < n && vq_lt(&h[child + 1], &h[child])) {
+                child++;
+            }
+            if (!vq_lt(&h[child], &last)) {
+                break;
+            }
+            h[i] = h[child];
+            i = child;
+        }
+        h[i] = last;
+    }
+    return top;
+}
+
+static int
+vq_seq_cmp(const void *pa, const void *pb)
+{
+    const VqEnt *a = (const VqEnt *)pa;
+    const VqEnt *b = (const VqEnt *)pb;
+
+    return (a->seq > b->seq) - (a->seq < b->seq);
+}
+
+/* Move `count` entries (item refs transferred) into a new list sorted by
+ * arrival seq. */
+static PyObject *
+vq_entries_to_list(VqEnt *ent, Py_ssize_t count)
+{
+    PyObject *out = PyList_New(count);
+
+    if (out == NULL) {
+        for (Py_ssize_t i = 0; i < count; i++) {
+            Py_DECREF(ent[i].item);
+        }
+        return NULL;
+    }
+    qsort(ent, (size_t)count, sizeof(VqEnt), vq_seq_cmp);
+    for (Py_ssize_t i = 0; i < count; i++) {
+        PyList_SET_ITEM(out, i, ent[i].item);
+        ent[i].item = NULL;
+    }
+    return out;
+}
+
+static PyObject *
+Vq_push(VqObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    long long minv;
+    VqEnt ent;
+
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "push() requires (min_version, item)");
+        return NULL;
+    }
+    minv = PyLong_AsLongLong(args[0]);
+    if (minv == -1 && PyErr_Occurred()) {
+        return NULL;
+    }
+    if (vq_ensure(self, self->n + 1) < 0) {
+        return NULL;
+    }
+    ent.minv = minv;
+    ent.seq = self->seq++;
+    Py_INCREF(args[1]);
+    ent.item = args[1];
+    vq_heap_push(self, ent);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Vq_pop_ready(VqObject *self, PyObject *arg)
+{
+    long long version;
+    VqEnt *ready;
+    Py_ssize_t count = 0;
+    PyObject *out;
+
+    version = PyLong_AsLongLong(arg);
+    if (version == -1 && PyErr_Occurred()) {
+        return NULL;
+    }
+    if (self->n == 0 || self->ent[0].minv > version) {
+        return PyList_New(0);
+    }
+    ready = PyMem_Malloc((size_t)self->n * sizeof(VqEnt));
+    if (ready == NULL) {
+        return PyErr_NoMemory();
+    }
+    while (self->n > 0 && self->ent[0].minv <= version) {
+        ready[count++] = vq_heap_pop(self);
+    }
+    out = vq_entries_to_list(ready, count);
+    PyMem_Free(ready);
+    return out;
+}
+
+static PyObject *
+Vq_drain(VqObject *self, PyObject *ignored)
+{
+    PyObject *out;
+    Py_ssize_t count = self->n;
+
+    /* The heap array is reused as the scratch buffer: all entries leave,
+     * and vq_entries_to_list hands their item refs to the list. */
+    self->n = 0;
+    out = vq_entries_to_list(self->ent, count);
+    return out;
+}
+
+static Py_ssize_t
+Vq_len(VqObject *self)
+{
+    return self->n;
+}
+
+static PyObject *
+Vq_iter(VqObject *self)
+{
+    /* Arrival-order snapshot (inspection/tests only, like the Python
+     * twin's __iter__). */
+    PyObject *snap = PyList_New(self->n);
+    PyObject *it;
+    VqEnt *copy;
+
+    if (snap == NULL) {
+        return NULL;
+    }
+    copy = PyMem_Malloc((size_t)(self->n > 0 ? self->n : 1) * sizeof(VqEnt));
+    if (copy == NULL) {
+        Py_DECREF(snap);
+        return PyErr_NoMemory();
+    }
+    memcpy(copy, self->ent, (size_t)self->n * sizeof(VqEnt));
+    qsort(copy, (size_t)self->n, sizeof(VqEnt), vq_seq_cmp);
+    for (Py_ssize_t i = 0; i < self->n; i++) {
+        Py_INCREF(copy[i].item);
+        PyList_SET_ITEM(snap, i, copy[i].item);
+    }
+    PyMem_Free(copy);
+    it = PyObject_GetIter(snap);
+    Py_DECREF(snap);
+    return it;
+}
+
+static PyObject *
+Vq_repr(VqObject *self)
+{
+    return PyUnicode_FromFormat("<VersionIndexedQueue pending=%zd>", self->n);
+}
+
+static int
+Vq_traverse(VqObject *self, visitproc visit, void *arg)
+{
+    for (Py_ssize_t i = 0; i < self->n; i++) {
+        Py_VISIT(self->ent[i].item);
+    }
+    return 0;
+}
+
+static int
+Vq_clear_gc(VqObject *self)
+{
+    Py_ssize_t n = self->n;
+
+    self->n = 0;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        Py_CLEAR(self->ent[i].item);
+    }
+    return 0;
+}
+
+static void
+Vq_dealloc(VqObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Vq_clear_gc(self);
+    PyMem_Free(self->ent);
+    self->ent = NULL;
+    self->cap = 0;
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+Vq_init(VqObject *self, PyObject *args, PyObject *kwds)
+{
+    if ((args != NULL && PyTuple_GET_SIZE(args) > 0) ||
+        (kwds != NULL && PyDict_GET_SIZE(kwds) > 0)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "VersionIndexedQueue() takes no arguments");
+        return -1;
+    }
+    Vq_clear_gc(self);
+    self->seq = 0;
+    return 0;
+}
+
+static PyMethodDef Vq_methods[] = {
+    {"push", (PyCFunction)(void (*)(void))Vq_push, METH_FASTCALL,
+     "push(min_version, item)\n--\n\n"
+     "Defer item until the version reaches min_version."},
+    {"pop_ready", (PyCFunction)Vq_pop_ready, METH_O,
+     "pop_ready(version)\n--\n\n"
+     "Remove and return every item with min_version <= version, in "
+     "arrival order."},
+    {"drain", (PyCFunction)Vq_drain, METH_NOARGS,
+     "drain()\n--\n\nRemove and return everything, in arrival order."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PySequenceMethods Vq_as_sequence = {
+    .sq_length = (lenfunc)Vq_len,
+};
+
+static PyTypeObject VqType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernel._kernelc.VersionIndexedQueue",
+    .tp_doc = "Compiled twin of repro.dsm.pending.VersionIndexedQueue.",
+    .tp_basicsize = sizeof(VqObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Vq_init,
+    .tp_dealloc = (destructor)Vq_dealloc,
+    .tp_traverse = (traverseproc)Vq_traverse,
+    .tp_clear = (inquiry)Vq_clear_gc,
+    .tp_methods = Vq_methods,
+    .tp_as_sequence = &Vq_as_sequence,
+    .tp_iter = (getiterfunc)Vq_iter,
+    .tp_repr = (reprfunc)Vq_repr,
+};
+
+/* ---------------------------------------------------------------------- */
+/* KeyedFifo: per-key FIFO queues                                          */
+/* ---------------------------------------------------------------------- */
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *by_key; /* dict key -> list, owned */
+} KfObject;
+
+static PyObject *
+Kf_add(KfObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *queue;
+
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "add() requires (key, item)");
+        return NULL;
+    }
+    queue = PyDict_GetItemWithError(self->by_key, args[0]);
+    if (queue == NULL) {
+        if (PyErr_Occurred()) {
+            return NULL;
+        }
+        queue = PyList_New(0);
+        if (queue == NULL) {
+            return NULL;
+        }
+        if (PyDict_SetItem(self->by_key, args[0], queue) < 0) {
+            Py_DECREF(queue);
+            return NULL;
+        }
+        Py_DECREF(queue); /* dict holds it; borrowed ref stays valid */
+    }
+    if (PyList_Append(queue, args[1]) < 0) {
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Kf_pop_all(KfObject *self, PyObject *key)
+{
+    PyObject *queue, *out;
+
+    queue = PyDict_GetItemWithError(self->by_key, key);
+    if (queue == NULL) {
+        if (PyErr_Occurred()) {
+            return NULL;
+        }
+        return PyList_New(0);
+    }
+    /* Like the Python twin's `list(queue)`: hand back a copy, so stale
+     * references to the stored queue cannot alias the result. */
+    Py_INCREF(queue);
+    out = PySequence_List(queue);
+    if (out != NULL && PyDict_DelItem(self->by_key, key) < 0) {
+        Py_CLEAR(out);
+    }
+    Py_DECREF(queue);
+    return out;
+}
+
+static PyObject *
+Kf_prune_empty(KfObject *self, PyObject *ignored)
+{
+    PyObject *key, *queue, *empty;
+    Py_ssize_t pos = 0, count;
+
+    empty = PyList_New(0);
+    if (empty == NULL) {
+        return NULL;
+    }
+    while (PyDict_Next(self->by_key, &pos, &key, &queue)) {
+        int truth = PyObject_IsTrue(queue);
+        if (truth < 0) {
+            Py_DECREF(empty);
+            return NULL;
+        }
+        if (!truth && PyList_Append(empty, key) < 0) {
+            Py_DECREF(empty);
+            return NULL;
+        }
+    }
+    count = PyList_GET_SIZE(empty);
+    for (Py_ssize_t i = 0; i < count; i++) {
+        if (PyDict_DelItem(self->by_key, PyList_GET_ITEM(empty, i)) < 0) {
+            Py_DECREF(empty);
+            return NULL;
+        }
+    }
+    Py_DECREF(empty);
+    return PyLong_FromSsize_t(count);
+}
+
+static Py_ssize_t
+kf_total_items(KfObject *self)
+{
+    PyObject *key, *queue;
+    Py_ssize_t pos = 0, total = 0;
+
+    while (PyDict_Next(self->by_key, &pos, &key, &queue)) {
+        Py_ssize_t n = PyObject_Length(queue);
+        if (n < 0) {
+            return -1;
+        }
+        total += n;
+    }
+    return total;
+}
+
+static Py_ssize_t
+Kf_len(KfObject *self)
+{
+    return kf_total_items(self);
+}
+
+static int
+Kf_bool(KfObject *self)
+{
+    /* Truthiness tracks the key map, like the Python twin: a queue
+     * drained in place by a stale reference still counts until
+     * prune_empty() runs. */
+    return PyDict_GET_SIZE(self->by_key) > 0;
+}
+
+static int
+Kf_contains(KfObject *self, PyObject *key)
+{
+    return PyDict_Contains(self->by_key, key);
+}
+
+static PyObject *
+Kf_repr(KfObject *self)
+{
+    Py_ssize_t total = kf_total_items(self);
+
+    if (total < 0) {
+        return NULL;
+    }
+    return PyUnicode_FromFormat("<KeyedFifo keys=%zd items=%zd>",
+                                PyDict_GET_SIZE(self->by_key), total);
+}
+
+static PyObject *
+Kf_get_by_key(KfObject *self, void *closure)
+{
+    Py_INCREF(self->by_key);
+    return self->by_key;
+}
+
+static int
+Kf_traverse(KfObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->by_key);
+    return 0;
+}
+
+static int
+Kf_clear_gc(KfObject *self)
+{
+    Py_CLEAR(self->by_key);
+    return 0;
+}
+
+static void
+Kf_dealloc(KfObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Kf_clear_gc(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+Kf_init(KfObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *by_key;
+
+    if ((args != NULL && PyTuple_GET_SIZE(args) > 0) ||
+        (kwds != NULL && PyDict_GET_SIZE(kwds) > 0)) {
+        PyErr_SetString(PyExc_TypeError, "KeyedFifo() takes no arguments");
+        return -1;
+    }
+    by_key = PyDict_New();
+    if (by_key == NULL) {
+        return -1;
+    }
+    Py_XSETREF(self->by_key, by_key);
+    return 0;
+}
+
+static PyMethodDef Kf_methods[] = {
+    {"add", (PyCFunction)(void (*)(void))Kf_add, METH_FASTCALL,
+     "add(key, item)\n--\n\nPark item under key (FIFO within the key)."},
+    {"pop_all", (PyCFunction)Kf_pop_all, METH_O,
+     "pop_all(key)\n--\n\n"
+     "Remove and return everything parked under key, in order."},
+    {"prune_empty", (PyCFunction)Kf_prune_empty, METH_NOARGS,
+     "prune_empty()\n--\n\n"
+     "Drop keys whose queue is empty; return how many were dropped."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef Kf_getset[] = {
+    {"_by_key", (getter)Kf_get_by_key, NULL,
+     "The key -> queue dict (inspection/tests, like the Python twin's "
+     "slot).", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyNumberMethods Kf_as_number = {
+    .nb_bool = (inquiry)Kf_bool,
+};
+
+static PySequenceMethods Kf_as_sequence = {
+    .sq_length = (lenfunc)Kf_len,
+    .sq_contains = (objobjproc)Kf_contains,
+};
+
+static PyTypeObject KfType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernel._kernelc.KeyedFifo",
+    .tp_doc = "Compiled twin of repro.dsm.pending.KeyedFifo.",
+    .tp_basicsize = sizeof(KfObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Kf_init,
+    .tp_dealloc = (destructor)Kf_dealloc,
+    .tp_traverse = (traverseproc)Kf_traverse,
+    .tp_clear = (inquiry)Kf_clear_gc,
+    .tp_methods = Kf_methods,
+    .tp_getset = Kf_getset,
+    .tp_as_number = &Kf_as_number,
+    .tp_as_sequence = &Kf_as_sequence,
+    .tp_repr = (reprfunc)Kf_repr,
+};
+
+/* ---------------------------------------------------------------------- */
+/* merge_notices: oid -> max(version) fold                                 */
+/* ---------------------------------------------------------------------- */
+
+static PyObject *
+kernel_merge_notices(PyObject *mod, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *dst, *src, *key, *value, *cur;
+    Py_ssize_t pos = 0;
+
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "merge_notices() requires (accumulated, incoming)");
+        return NULL;
+    }
+    dst = args[0];
+    src = args[1];
+    if (!PyDict_Check(dst) || !PyDict_Check(src)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "merge_notices() requires two dicts");
+        return NULL;
+    }
+    if (dst == src) {
+        /* v > v is false for every entry; nothing to do. */
+        Py_RETURN_NONE;
+    }
+    while (PyDict_Next(src, &pos, &key, &value)) {
+        int gt;
+
+        cur = PyDict_GetItemWithError(dst, key);
+        if (cur == NULL && PyErr_Occurred()) {
+            return NULL;
+        }
+        gt = PyObject_RichCompareBool(value, cur != NULL ? cur : zero_long,
+                                      Py_GT);
+        if (gt < 0) {
+            return NULL;
+        }
+        if (gt && PyDict_SetItem(dst, key, value) < 0) {
+            return NULL;
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+/* ---------------------------------------------------------------------- */
+/* LocalAccess: try_read_local / try_write_local hit paths                 */
+/* ---------------------------------------------------------------------- */
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *engine;       /* protocol engine, owned */
+    PyObject *homes;        /* engine.homes dict */
+    PyObject *index;        /* engine.cache._index dict (never rebound) */
+    PyObject *slots;        /* engine.cache._slots list (never rebound) */
+    PyObject *dirty;        /* engine.dirty set */
+    PyObject *home_dirty;   /* engine.home_dirty set */
+    PyObject *events;       /* engine.stats.events Counter (dict subclass) */
+    PyObject *arena;        /* engine.arena (twin pool) */
+    PyObject *py_read;      /* bound pure-Python try_read_local */
+    PyObject *py_write;     /* bound pure-Python try_write_local */
+    PyObject *invalid_mode; /* AccessMode.INVALID (identity-compared) */
+    PyObject *write_mode;   /* AccessMode.WRITE */
+    int fast_cache_write;
+} LocalAccessObject;
+
+static int
+LocalAccess_init(LocalAccessObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *engine, *invalid_mode, *write_mode, *cache;
+    int fast_cache_write;
+
+    if (kwds != NULL && PyDict_GET_SIZE(kwds) > 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "LocalAccess() takes no keyword arguments");
+        return -1;
+    }
+    if (!PyArg_ParseTuple(args, "OOOp:LocalAccess", &engine, &invalid_mode,
+                          &write_mode, &fast_cache_write)) {
+        return -1;
+    }
+    Py_INCREF(engine);
+    Py_XSETREF(self->engine, engine);
+    Py_INCREF(invalid_mode);
+    Py_XSETREF(self->invalid_mode, invalid_mode);
+    Py_INCREF(write_mode);
+    Py_XSETREF(self->write_mode, write_mode);
+    self->fast_cache_write = fast_cache_write;
+
+    Py_XSETREF(self->homes, PyObject_GetAttr(engine, str_homes));
+    if (self->homes == NULL || !PyDict_Check(self->homes)) {
+        goto bad_engine;
+    }
+    cache = PyObject_GetAttr(engine, str_cache);
+    if (cache == NULL) {
+        return -1;
+    }
+    Py_XSETREF(self->index, PyObject_GetAttr(cache, str_index));
+    Py_XSETREF(self->slots, PyObject_GetAttr(cache, str_slots));
+    Py_DECREF(cache);
+    if (self->index == NULL || !PyDict_Check(self->index) ||
+        self->slots == NULL || !PyList_Check(self->slots)) {
+        goto bad_engine;
+    }
+    Py_XSETREF(self->dirty, PyObject_GetAttr(engine, str_dirty));
+    Py_XSETREF(self->home_dirty, PyObject_GetAttr(engine, str_home_dirty));
+    if (self->dirty == NULL || !PyAnySet_Check(self->dirty) ||
+        self->home_dirty == NULL || !PyAnySet_Check(self->home_dirty)) {
+        goto bad_engine;
+    }
+    {
+        PyObject *stats = PyObject_GetAttr(engine, str_stats);
+        if (stats == NULL) {
+            return -1;
+        }
+        Py_XSETREF(self->events, PyObject_GetAttr(stats, str_events));
+        Py_DECREF(stats);
+    }
+    if (self->events == NULL || !PyDict_Check(self->events)) {
+        goto bad_engine;
+    }
+    Py_XSETREF(self->arena, PyObject_GetAttr(engine, str_arena));
+    if (self->arena == NULL) {
+        return -1;
+    }
+    /* The bound class methods, captured before the engine shadows them
+     * with this object's fast entry points. */
+    Py_XSETREF(self->py_read, PyObject_GetAttr(engine, str_try_read_local));
+    Py_XSETREF(self->py_write, PyObject_GetAttr(engine, str_try_write_local));
+    if (self->py_read == NULL || self->py_write == NULL) {
+        return -1;
+    }
+    return 0;
+
+bad_engine:
+    if (!PyErr_Occurred()) {
+        PyErr_SetString(PyExc_TypeError,
+                        "LocalAccess() requires a protocol engine with dict "
+                        "homes, a CacheIndex cache, and set dirty tracking");
+    }
+    return -1;
+}
+
+static PyObject *
+local_cache_entry(LocalAccessObject *self, PyObject *oid)
+{
+    /* Borrowed live CacheEntry, Py_None for a dead/absent slot, NULL on
+     * error. */
+    PyObject *slot = PyDict_GetItemWithError(self->index, oid);
+    Py_ssize_t i;
+
+    if (slot == NULL) {
+        if (PyErr_Occurred()) {
+            return NULL;
+        }
+        return Py_None;
+    }
+    i = PyLong_AsSsize_t(slot);
+    if (i == -1 && PyErr_Occurred()) {
+        return NULL;
+    }
+    if (i < 0 || i >= PyList_GET_SIZE(self->slots)) {
+        PyErr_Format(PyExc_IndexError,
+                     "cache index slot %zd out of range", i);
+        return NULL;
+    }
+    return PyList_GET_ITEM(self->slots, i);
+}
+
+/* Home-copy read hit, including the once-per-interval read trap
+ * (trap_home_read + record_home_read inlined).  `home` is borrowed and
+ * kept alive by the caller; returns a new payload reference. */
+static PyObject *
+la_home_read(LocalAccessObject *self, PyObject *home)
+{
+    PyObject *iv, *ri, *state;
+    int hit;
+
+    iv = PyObject_GetAttr(self->engine, str_interval);
+    if (iv == NULL) {
+        return NULL;
+    }
+    ri = PyObject_GetAttr(home, str_read_interval);
+    if (ri == NULL) {
+        goto fail;
+    }
+    hit = PyObject_RichCompareBool(ri, iv, Py_EQ);
+    Py_DECREF(ri);
+    if (hit < 0) {
+        goto fail;
+    }
+    if (!hit) {
+        /* trap_home_read: mark this interval, bump the monitor count. */
+        if (PyObject_SetAttr(home, str_read_interval, iv) < 0) {
+            goto fail;
+        }
+        state = PyObject_GetAttr(home, str_state);
+        if (state == NULL) {
+            goto fail;
+        }
+        if (attr_incr(state, str_home_reads) < 0) {
+            Py_DECREF(state);
+            goto fail;
+        }
+        Py_DECREF(state);
+    }
+    Py_DECREF(iv);
+    return PyObject_GetAttr(home, str_payload);
+
+fail:
+    Py_DECREF(iv);
+    return NULL;
+}
+
+/* Home-copy write hit, including the once-per-interval write trap
+ * (trap_home_write + record_home_write + the home_write /
+ * exclusive_home_write stats, all inlined). */
+static PyObject *
+la_home_write(LocalAccessObject *self, PyObject *oid, PyObject *home)
+{
+    PyObject *iv, *wi, *state, *last;
+    int hit, exclusive;
+
+    iv = PyObject_GetAttr(self->engine, str_interval);
+    if (iv == NULL) {
+        return NULL;
+    }
+    wi = PyObject_GetAttr(home, str_write_interval);
+    if (wi == NULL) {
+        goto fail;
+    }
+    hit = PyObject_RichCompareBool(wi, iv, Py_EQ);
+    Py_DECREF(wi);
+    if (hit < 0) {
+        goto fail;
+    }
+    if (!hit) {
+        if (PyObject_SetAttr(home, str_write_interval, iv) < 0) {
+            goto fail;
+        }
+        state = PyObject_GetAttr(home, str_state);
+        if (state == NULL) {
+            goto fail;
+        }
+        /* record_home_write: E bumps only when no remote write broke the
+         * home-write chain (last_writer still HOME_WRITER == -1). */
+        if (attr_incr(state, str_home_writes) < 0) {
+            goto fail_state;
+        }
+        last = PyObject_GetAttr(state, str_last_writer);
+        if (last == NULL) {
+            goto fail_state;
+        }
+        exclusive = PyObject_RichCompareBool(last, minus_one_long, Py_EQ);
+        Py_DECREF(last);
+        if (exclusive < 0) {
+            goto fail_state;
+        }
+        if (exclusive &&
+            attr_incr(state, str_exclusive_home_writes) < 0) {
+            goto fail_state;
+        }
+        if (PyObject_SetAttr(state, str_last_writer, minus_one_long) < 0 ||
+            PyObject_SetAttr(state, str_consecutive_writes, zero_long) < 0 ||
+            PyObject_SetAttr(state, str_consecutive_writer, Py_None) < 0) {
+            goto fail_state;
+        }
+        Py_DECREF(state);
+        if (counter_add(self->events, ev_home_write, one_long) < 0) {
+            goto fail;
+        }
+        if (exclusive &&
+            counter_add(self->events, ev_exclusive_home_write,
+                        one_long) < 0) {
+            goto fail;
+        }
+    }
+    Py_DECREF(iv);
+    if (PySet_Add(self->home_dirty, oid) < 0) {
+        return NULL;
+    }
+    return PyObject_GetAttr(home, str_payload);
+
+fail_state:
+    Py_DECREF(state);
+fail:
+    Py_DECREF(iv);
+    return NULL;
+}
+
+static PyObject *
+LocalAccess_try_read(LocalAccessObject *self, PyObject *oid)
+{
+    PyObject *home, *entry, *mode, *payload;
+
+    home = PyDict_GetItemWithError(self->homes, oid);
+    if (home == NULL && PyErr_Occurred()) {
+        return NULL;
+    }
+    if (home != NULL) {
+        Py_INCREF(home);
+        payload = la_home_read(self, home);
+        Py_DECREF(home);
+        return payload;
+    }
+    entry = local_cache_entry(self, oid);
+    if (entry == NULL) {
+        return NULL;
+    }
+    if (entry == Py_None) {
+        Py_RETURN_NONE;
+    }
+    mode = PyObject_GetAttr(entry, str_mode);
+    if (mode == NULL) {
+        return NULL;
+    }
+    if (mode == self->invalid_mode) {
+        Py_DECREF(mode);
+        Py_RETURN_NONE;
+    }
+    Py_DECREF(mode);
+    payload = PyObject_GetAttr(entry, str_payload);
+    return payload;
+}
+
+static PyObject *
+LocalAccess_try_write(LocalAccessObject *self, PyObject *oid)
+{
+    PyObject *home, *entry, *mode, *payload;
+
+    home = PyDict_GetItemWithError(self->homes, oid);
+    if (home == NULL && PyErr_Occurred()) {
+        return NULL;
+    }
+    if (home != NULL) {
+        Py_INCREF(home);
+        payload = la_home_write(self, oid, home);
+        Py_DECREF(home);
+        return payload;
+    }
+    entry = local_cache_entry(self, oid);
+    if (entry == NULL) {
+        return NULL;
+    }
+    if (entry == Py_None) {
+        Py_RETURN_NONE;
+    }
+    Py_INCREF(entry);
+    mode = PyObject_GetAttr(entry, str_mode);
+    if (mode == NULL) {
+        Py_DECREF(entry);
+        return NULL;
+    }
+    if (mode == self->invalid_mode) {
+        Py_DECREF(mode);
+        Py_DECREF(entry);
+        Py_RETURN_NONE;
+    }
+    if (!self->fast_cache_write) {
+        /* Tracer armed: twin-create tracing needs the Python body. */
+        Py_DECREF(mode);
+        Py_DECREF(entry);
+        return PyObject_CallOneArg(self->py_write, oid);
+    }
+    if (mode != self->write_mode) {
+        /* READ copy: snapshot the twin and upgrade (arena-pooled), then
+         * continue on the common dirty-mark path below. */
+        PyObject *r = PyObject_CallMethodObjArgs(
+            entry, str_upgrade_to_write, self->arena, NULL);
+        if (r == NULL) {
+            Py_DECREF(mode);
+            Py_DECREF(entry);
+            return NULL;
+        }
+        Py_DECREF(r);
+    }
+    Py_DECREF(mode);
+    if (PySet_Add(self->dirty, oid) < 0) {
+        Py_DECREF(entry);
+        return NULL;
+    }
+    payload = PyObject_GetAttr(entry, str_payload);
+    Py_DECREF(entry);
+    return payload;
+}
+
+static int
+LocalAccess_traverse(LocalAccessObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->engine);
+    Py_VISIT(self->homes);
+    Py_VISIT(self->index);
+    Py_VISIT(self->slots);
+    Py_VISIT(self->dirty);
+    Py_VISIT(self->home_dirty);
+    Py_VISIT(self->events);
+    Py_VISIT(self->arena);
+    Py_VISIT(self->py_read);
+    Py_VISIT(self->py_write);
+    Py_VISIT(self->invalid_mode);
+    Py_VISIT(self->write_mode);
+    return 0;
+}
+
+static int
+LocalAccess_clear_gc(LocalAccessObject *self)
+{
+    Py_CLEAR(self->engine);
+    Py_CLEAR(self->homes);
+    Py_CLEAR(self->index);
+    Py_CLEAR(self->slots);
+    Py_CLEAR(self->dirty);
+    Py_CLEAR(self->home_dirty);
+    Py_CLEAR(self->events);
+    Py_CLEAR(self->arena);
+    Py_CLEAR(self->py_read);
+    Py_CLEAR(self->py_write);
+    Py_CLEAR(self->invalid_mode);
+    Py_CLEAR(self->write_mode);
+    return 0;
+}
+
+static void
+LocalAccess_dealloc(LocalAccessObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    LocalAccess_clear_gc(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyMethodDef LocalAccess_methods[] = {
+    {"try_read", (PyCFunction)LocalAccess_try_read, METH_O,
+     "try_read(oid)\n--\n\n"
+     "Serve a local read hit (home or valid cached copy); None on miss. "
+     "Cold paths (trap bookkeeping) fall back to the Python body."},
+    {"try_write", (PyCFunction)LocalAccess_try_write, METH_O,
+     "try_write(oid)\n--\n\n"
+     "Serve a local write hit; None on miss.  Twin creation and trap "
+     "bookkeeping fall back to the Python body."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject LocalAccessType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernel._kernelc.LocalAccess",
+    .tp_doc = "Compiled try_read_local/try_write_local hit paths over the "
+              "flat CacheIndex of one protocol engine.",
+    .tp_basicsize = sizeof(LocalAccessObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)LocalAccess_init,
+    .tp_dealloc = (destructor)LocalAccess_dealloc,
+    .tp_traverse = (traverseproc)LocalAccess_traverse,
+    .tp_clear = (inquiry)LocalAccess_clear_gc,
+    .tp_methods = LocalAccess_methods,
+};
+
+/* ---------------------------------------------------------------------- */
+/* Ready: an already-resolved ``yield from`` target                        */
+/* ---------------------------------------------------------------------- */
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *value; /* owned; NULL once consumed */
+} ReadyObject;
+
+static int
+Ready_init(ReadyObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *value;
+
+    if (kwds != NULL && PyDict_GET_SIZE(kwds) > 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "Ready() takes no keyword arguments");
+        return -1;
+    }
+    if (!PyArg_ParseTuple(args, "O:Ready", &value)) {
+        return -1;
+    }
+    Py_INCREF(value);
+    Py_XSETREF(self->value, value);
+    return 0;
+}
+
+static PyObject *
+Ready_iter(PyObject *self)
+{
+    Py_INCREF(self);
+    return self;
+}
+
+static PyObject *
+Ready_iternext(ReadyObject *self)
+{
+    PyObject *value = self->value;
+
+    if (value != NULL) {
+        self->value = NULL;
+        if (value != Py_None) {
+            /* Build the StopIteration instance explicitly: raw
+             * PyErr_SetObject would unpack tuple values into separate
+             * exception args. */
+            PyObject *exc = PyObject_CallOneArg(PyExc_StopIteration, value);
+            if (exc != NULL) {
+                PyErr_SetObject(PyExc_StopIteration, exc);
+                Py_DECREF(exc);
+            }
+        }
+        Py_DECREF(value);
+    }
+    return NULL;
+}
+
+static int
+Ready_traverse(ReadyObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->value);
+    return 0;
+}
+
+static int
+Ready_clear_gc(ReadyObject *self)
+{
+    Py_CLEAR(self->value);
+    return 0;
+}
+
+static void
+Ready_dealloc(ReadyObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Ready_clear_gc(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyTypeObject ReadyType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernel._kernelc.Ready",
+    .tp_doc = "Single-use iterator that immediately raises "
+              "StopIteration(value): the zero-event ``yield from`` target "
+              "for local access hits, sparing a generator per call.",
+    .tp_basicsize = sizeof(ReadyObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Ready_init,
+    .tp_dealloc = (destructor)Ready_dealloc,
+    .tp_traverse = (traverseproc)Ready_traverse,
+    .tp_clear = (inquiry)Ready_clear_gc,
+    .tp_iter = Ready_iter,
+    .tp_iternext = (iternextfunc)Ready_iternext,
+};
+
+/* ---------------------------------------------------------------------- */
+/* Accessor: fused ThreadContext.read / ThreadContext.write fast path      */
+/* ---------------------------------------------------------------------- */
+
+/* One C call replaces the whole Python access wrapper: fetch ``obj.oid``,
+ * probe the LocalAccess hit path, and either wrap the payload in a Ready
+ * (hit) or delegate to the engine's miss generator.  Side effects are the
+ * wrapper's exactly — same probe, same miss call, same iterator type. */
+typedef struct {
+    PyObject_HEAD
+    PyObject *la;         /* kernel LocalAccess, owned */
+    PyObject *miss_read;  /* bound engine.read (miss generator) */
+    PyObject *miss_write; /* bound engine.write (miss generator) */
+} AccessorObject;
+
+static PyTypeObject AccessorType; /* forward */
+
+static int
+Accessor_init(AccessorObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *la, *miss_read, *miss_write;
+
+    if (kwds != NULL && PyDict_GET_SIZE(kwds) > 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "Accessor() takes no keyword arguments");
+        return -1;
+    }
+    if (!PyArg_ParseTuple(args, "O!OO:Accessor", &LocalAccessType, &la,
+                          &miss_read, &miss_write)) {
+        return -1;
+    }
+    Py_INCREF(la);
+    Py_XSETREF(self->la, la);
+    Py_INCREF(miss_read);
+    Py_XSETREF(self->miss_read, miss_read);
+    Py_INCREF(miss_write);
+    Py_XSETREF(self->miss_write, miss_write);
+    return 0;
+}
+
+/* Steal ``payload`` into a fresh Ready iterator. */
+static PyObject *
+accessor_ready(PyObject *payload)
+{
+    ReadyObject *ready = PyObject_GC_New(ReadyObject, &ReadyType);
+
+    if (ready == NULL) {
+        Py_DECREF(payload);
+        return NULL;
+    }
+    ready->value = payload;
+    PyObject_GC_Track((PyObject *)ready);
+    return (PyObject *)ready;
+}
+
+static PyObject *
+Accessor_read(AccessorObject *self, PyObject *obj)
+{
+    PyObject *oid, *payload, *gen;
+
+    oid = PyObject_GetAttr(obj, str_oid);
+    if (oid == NULL) {
+        return NULL;
+    }
+    payload = LocalAccess_try_read((LocalAccessObject *)self->la, oid);
+    if (payload == NULL) {
+        Py_DECREF(oid);
+        return NULL;
+    }
+    if (payload == Py_None) {
+        Py_DECREF(payload);
+        gen = PyObject_CallOneArg(self->miss_read, oid);
+        Py_DECREF(oid);
+        return gen;
+    }
+    Py_DECREF(oid);
+    return accessor_ready(payload);
+}
+
+static PyObject *
+Accessor_write(AccessorObject *self, PyObject *obj)
+{
+    PyObject *oid, *payload, *gen;
+
+    oid = PyObject_GetAttr(obj, str_oid);
+    if (oid == NULL) {
+        return NULL;
+    }
+    payload = LocalAccess_try_write((LocalAccessObject *)self->la, oid);
+    if (payload == NULL) {
+        Py_DECREF(oid);
+        return NULL;
+    }
+    if (payload == Py_None) {
+        Py_DECREF(payload);
+        gen = PyObject_CallOneArg(self->miss_write, oid);
+        Py_DECREF(oid);
+        return gen;
+    }
+    Py_DECREF(oid);
+    return accessor_ready(payload);
+}
+
+static int
+Accessor_traverse(AccessorObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->la);
+    Py_VISIT(self->miss_read);
+    Py_VISIT(self->miss_write);
+    return 0;
+}
+
+static int
+Accessor_clear_gc(AccessorObject *self)
+{
+    Py_CLEAR(self->la);
+    Py_CLEAR(self->miss_read);
+    Py_CLEAR(self->miss_write);
+    return 0;
+}
+
+static void
+Accessor_dealloc(AccessorObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Accessor_clear_gc(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyMethodDef Accessor_methods[] = {
+    {"read", (PyCFunction)Accessor_read, METH_O,
+     "read(obj) -> Ready | miss generator.  The ThreadContext.read body "
+     "in one C call."},
+    {"write", (PyCFunction)Accessor_write, METH_O,
+     "write(obj) -> Ready | miss generator.  The ThreadContext.write body "
+     "in one C call."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject AccessorType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernel._kernelc.Accessor",
+    .tp_doc = "Fused ThreadContext access fast path: oid fetch + local "
+              "probe + Ready wrap (hit) or miss-generator delegation, "
+              "without a Python frame.",
+    .tp_basicsize = sizeof(AccessorObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Accessor_init,
+    .tp_dealloc = (destructor)Accessor_dealloc,
+    .tp_traverse = (traverseproc)Accessor_traverse,
+    .tp_clear = (inquiry)Accessor_clear_gc,
+    .tp_methods = Accessor_methods,
+};
+
+/* ---------------------------------------------------------------------- */
+/* ReplyRouter: pop-and-resolve reply dispatch                             */
+/* ---------------------------------------------------------------------- */
+
+typedef struct {
+    PyObject_HEAD
+    vectorcallfunc vectorcall;
+    PyObject *waiters; /* request_id -> Future dict, owned, never rebound */
+} RouterObject;
+
+static PyObject *
+Router_vectorcall(PyObject *op, PyObject *const *args, size_t nargsf,
+                  PyObject *kwnames)
+{
+    RouterObject *self = (RouterObject *)op;
+    PyObject *payload, *rid, *fut, *res;
+
+    if (kwnames != NULL && PyTuple_GET_SIZE(kwnames) > 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "ReplyRouter takes no keyword arguments");
+        return NULL;
+    }
+    if (PyVectorcall_NARGS(nargsf) != 1) {
+        PyErr_Format(PyExc_TypeError,
+                     "ReplyRouter expects exactly one payload, got %zd",
+                     PyVectorcall_NARGS(nargsf));
+        return NULL;
+    }
+    payload = args[0];
+    rid = PyObject_GetAttr(payload, str_request_id);
+    if (rid == NULL) {
+        return NULL;
+    }
+    fut = PyDict_GetItemWithError(self->waiters, rid);
+    if (fut == NULL) {
+        if (!PyErr_Occurred()) {
+            /* identical failure to dict.pop without default */
+            PyErr_SetObject(PyExc_KeyError, rid);
+        }
+        Py_DECREF(rid);
+        return NULL;
+    }
+    Py_INCREF(fut);
+    if (PyDict_DelItem(self->waiters, rid) < 0) {
+        Py_DECREF(fut);
+        Py_DECREF(rid);
+        return NULL;
+    }
+    Py_DECREF(rid);
+    res = PyObject_CallMethodObjArgs(fut, str_resolve, payload, NULL);
+    Py_DECREF(fut);
+    return res;
+}
+
+static int
+Router_init(RouterObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *waiters;
+
+    if (kwds != NULL && PyDict_GET_SIZE(kwds) > 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "ReplyRouter() takes no keyword arguments");
+        return -1;
+    }
+    if (!PyArg_ParseTuple(args, "O!:ReplyRouter", &PyDict_Type, &waiters)) {
+        return -1;
+    }
+    Py_INCREF(waiters);
+    Py_XSETREF(self->waiters, waiters);
+    self->vectorcall = Router_vectorcall;
+    return 0;
+}
+
+static int
+Router_traverse(RouterObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->waiters);
+    return 0;
+}
+
+static int
+Router_clear_gc(RouterObject *self)
+{
+    Py_CLEAR(self->waiters);
+    return 0;
+}
+
+static void
+Router_dealloc(RouterObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Router_clear_gc(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyTypeObject RouterType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernel._kernelc.ReplyRouter",
+    .tp_doc = "Callable reply handler: pops the waiter future keyed by "
+              "payload.request_id and resolves it with the payload "
+              "(the C twin of _resolve_reply).",
+    .tp_basicsize = sizeof(RouterObject),
+    .tp_vectorcall_offset = offsetof(RouterObject, vectorcall),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC |
+                Py_TPFLAGS_HAVE_VECTORCALL,
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Router_init,
+    .tp_call = PyVectorcall_Call,
+    .tp_dealloc = (destructor)Router_dealloc,
+    .tp_traverse = (traverseproc)Router_traverse,
+    .tp_clear = (inquiry)Router_clear_gc,
+};
+
+/* ---------------------------------------------------------------------- */
+/* DeliveryPort: batched per-node message delivery                         */
+/* ---------------------------------------------------------------------- */
+
+typedef struct {
+    PyObject_HEAD
+    EngineObject *engine;  /* owned */
+    PyObject *dispatch;    /* category -> handler dict */
+    double service;
+    PyObject *batch;       /* open batch list, or NULL */
+    double batch_time;
+    long long watermark;   /* engine seq right after the flush was pushed */
+    PyObject *flush_cb;    /* bound self.flush */
+    PyObject *arrive_cb;   /* bound self.arrive (event callback) */
+} PortObject;
+
+static int
+Port_init(PortObject *self, PyObject *args, PyObject *kwds);
+
+/* arrive(category, payload): coalesce into the open batch iff it still
+ * flushes at the same instant AND no other event was scheduled since the
+ * flush event was pushed (the seq watermark).  Any interleaved schedule
+ * breaks coalescing and this degrades to one flush per message, which
+ * reproduces the legacy one-event-per-message order exactly. */
+static PyObject *
+Port_arrive(PortObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    EngineObject *eng = self->engine;
+    double time;
+    PyObject *pair, *batch, *evargs;
+    Ev ev;
+
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "arrive() requires (category, payload)");
+        return NULL;
+    }
+    time = eng->now + self->service;
+    pair = PyTuple_Pack(2, args[0], args[1]);
+    if (pair == NULL) {
+        return NULL;
+    }
+    if (self->batch != NULL && self->batch_time == time &&
+        eng->seq == self->watermark) {
+        int rc = PyList_Append(self->batch, pair);
+        Py_DECREF(pair);
+        if (rc < 0) {
+            return NULL;
+        }
+        Py_RETURN_NONE;
+    }
+    batch = PyList_New(0);
+    if (batch == NULL) {
+        Py_DECREF(pair);
+        return NULL;
+    }
+    if (PyList_Append(batch, pair) < 0) {
+        Py_DECREF(pair);
+        Py_DECREF(batch);
+        return NULL;
+    }
+    Py_DECREF(pair);
+    evargs = PyTuple_Pack(1, batch);
+    if (evargs == NULL) {
+        Py_DECREF(batch);
+        return NULL;
+    }
+    if (heap_ensure(eng, eng->n + 1) < 0) {
+        Py_DECREF(batch);
+        Py_DECREF(evargs);
+        return NULL;
+    }
+    ev.time = time;
+    ev.seq = eng->seq++;
+    Py_INCREF(self->flush_cb);
+    ev.cb = self->flush_cb;
+    ev.args = evargs;
+    heap_push(eng, ev);
+    Py_XSETREF(self->batch, batch);
+    self->batch_time = time;
+    self->watermark = eng->seq;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Port_flush(PortObject *self, PyObject *batch)
+{
+    if (!PyList_Check(batch)) {
+        PyErr_SetString(PyExc_TypeError, "flush() requires a batch list");
+        return NULL;
+    }
+    if (self->batch == batch) {
+        Py_CLEAR(self->batch);
+    }
+    for (Py_ssize_t i = 0; i < PyList_GET_SIZE(batch); i++) {
+        PyObject *pair = PyList_GET_ITEM(batch, i);
+        PyObject *category = PyTuple_GET_ITEM(pair, 0);
+        PyObject *payload = PyTuple_GET_ITEM(pair, 1);
+        PyObject *handler, *res;
+
+        handler = PyDict_GetItemWithError(self->dispatch, category);
+        if (handler == NULL) {
+            if (!PyErr_Occurred()) {
+                PyErr_Format(PyExc_RuntimeError,
+                             "unhandled message category %R", category);
+            }
+            return NULL;
+        }
+        Py_INCREF(handler);
+        res = PyObject_CallOneArg(handler, payload);
+        Py_DECREF(handler);
+        if (res == NULL) {
+            return NULL;
+        }
+        Py_DECREF(res);
+    }
+    Py_RETURN_NONE;
+}
+
+static int
+Port_traverse(PortObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT((PyObject *)self->engine);
+    Py_VISIT(self->dispatch);
+    Py_VISIT(self->batch);
+    Py_VISIT(self->flush_cb);
+    Py_VISIT(self->arrive_cb);
+    return 0;
+}
+
+static int
+Port_clear_gc(PortObject *self)
+{
+    Py_CLEAR(self->engine);
+    Py_CLEAR(self->dispatch);
+    Py_CLEAR(self->batch);
+    Py_CLEAR(self->flush_cb);
+    Py_CLEAR(self->arrive_cb);
+    return 0;
+}
+
+static void
+Port_dealloc(PortObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Port_clear_gc(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyMethodDef Port_methods[] = {
+    {"arrive", (PyCFunction)(void (*)(void))Port_arrive, METH_FASTCALL,
+     "arrive(category, payload)\n--\n\n"
+     "Enqueue one delivery; coalesces same-instant back-to-back arrivals "
+     "into the open batch."},
+    {"flush", (PyCFunction)Port_flush, METH_O,
+     "flush(batch)\n--\n\nDispatch every (category, payload) in order."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject PortType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernel._kernelc.DeliveryPort",
+    .tp_doc = "Batched delivery endpoint for one node: same-instant "
+              "arrivals dispatch in a single flush event.",
+    .tp_basicsize = sizeof(PortObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Port_init,
+    .tp_dealloc = (destructor)Port_dealloc,
+    .tp_traverse = (traverseproc)Port_traverse,
+    .tp_clear = (inquiry)Port_clear_gc,
+    .tp_methods = Port_methods,
+};
+
+static int
+Port_init(PortObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *engine, *dispatch;
+    double service;
+
+    if (kwds != NULL && PyDict_GET_SIZE(kwds) > 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "DeliveryPort() takes no keyword arguments");
+        return -1;
+    }
+    if (!PyArg_ParseTuple(args, "O!O!d:DeliveryPort", &EngineType, &engine,
+                          &PyDict_Type, &dispatch, &service)) {
+        return -1;
+    }
+    if (service < 0.0) {
+        PyErr_SetString(PyExc_ValueError, "service_us must be >= 0");
+        return -1;
+    }
+    Py_INCREF(engine);
+    Py_XSETREF(self->engine, (EngineObject *)engine);
+    Py_INCREF(dispatch);
+    Py_XSETREF(self->dispatch, dispatch);
+    self->service = service;
+    Py_CLEAR(self->batch);
+    self->batch_time = 0.0;
+    self->watermark = -1;
+    Py_XSETREF(self->flush_cb,
+               PyObject_GetAttrString((PyObject *)self, "flush"));
+    Py_XSETREF(self->arrive_cb,
+               PyObject_GetAttrString((PyObject *)self, "arrive"));
+    if (self->flush_cb == NULL || self->arrive_cb == NULL) {
+        return -1;
+    }
+    return 0;
+}
+
+/* ---------------------------------------------------------------------- */
+/* NetFabric + FabricSender: the compiled network send path                */
+/* ---------------------------------------------------------------------- */
+
+typedef struct {
+    PyObject_HEAD
+    EngineObject *engine;  /* owned */
+    PyObject *msg_count;   /* ClusterStats Counter (dict subclass) */
+    PyObject *msg_bytes;
+    PyObject *ports;       /* list of DeliveryPort, one per node */
+    double *nic_free;
+    Py_ssize_t nnodes;
+    double startup_us;
+    double bandwidth;
+    PyObject *header_obj;  /* HEADER_BYTES as PyLong */
+    long long header_ll;
+} FabricObject;
+
+static int
+Fabric_init(FabricObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *engine, *msg_count, *msg_bytes, *nic, *fast;
+    double startup, bandwidth;
+    long long header;
+    Py_ssize_t nnodes;
+    double *nic_free;
+
+    if (kwds != NULL && PyDict_GET_SIZE(kwds) > 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "NetFabric() takes no keyword arguments");
+        return -1;
+    }
+    if (!PyArg_ParseTuple(args, "O!O!O!ddLO:NetFabric", &EngineType, &engine,
+                          &PyDict_Type, &msg_count, &PyDict_Type, &msg_bytes,
+                          &startup, &bandwidth, &header, &nic)) {
+        return -1;
+    }
+    if (bandwidth <= 0.0) {
+        PyErr_SetString(PyExc_ValueError, "bandwidth_mb_s must be positive");
+        return -1;
+    }
+    fast = PySequence_Fast(nic, "nic_free must be a sequence");
+    if (fast == NULL) {
+        return -1;
+    }
+    nnodes = PySequence_Fast_GET_SIZE(fast);
+    nic_free = PyMem_Malloc((size_t)(nnodes > 0 ? nnodes : 1) *
+                            sizeof(double));
+    if (nic_free == NULL) {
+        Py_DECREF(fast);
+        PyErr_NoMemory();
+        return -1;
+    }
+    for (Py_ssize_t i = 0; i < nnodes; i++) {
+        nic_free[i] = PyFloat_AsDouble(PySequence_Fast_GET_ITEM(fast, i));
+        if (nic_free[i] == -1.0 && PyErr_Occurred()) {
+            Py_DECREF(fast);
+            PyMem_Free(nic_free);
+            return -1;
+        }
+    }
+    Py_DECREF(fast);
+
+    Py_INCREF(engine);
+    Py_XSETREF(self->engine, (EngineObject *)engine);
+    Py_INCREF(msg_count);
+    Py_XSETREF(self->msg_count, msg_count);
+    Py_INCREF(msg_bytes);
+    Py_XSETREF(self->msg_bytes, msg_bytes);
+    Py_XSETREF(self->ports, PyList_New(0));
+    if (self->ports == NULL) {
+        PyMem_Free(nic_free);
+        return -1;
+    }
+    PyMem_Free(self->nic_free);
+    self->nic_free = nic_free;
+    self->nnodes = nnodes;
+    self->startup_us = startup;
+    self->bandwidth = bandwidth;
+    self->header_ll = header;
+    Py_XSETREF(self->header_obj, PyLong_FromLongLong(header));
+    if (self->header_obj == NULL) {
+        return -1;
+    }
+    return 0;
+}
+
+static PyObject *
+Fabric_add_port(FabricObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *port;
+
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "add_port() requires (dispatch, service_us)");
+        return NULL;
+    }
+    if (PyList_GET_SIZE(self->ports) >= self->nnodes) {
+        PyErr_SetString(PyExc_RuntimeError,
+                        "add_port() called more times than nnodes");
+        return NULL;
+    }
+    port = PyObject_CallFunction((PyObject *)&PortType, "OOd",
+                                 (PyObject *)self->engine, args[0],
+                                 PyFloat_AsDouble(args[1]));
+    if (port == NULL) {
+        return NULL;
+    }
+    if (PyList_Append(self->ports, port) < 0) {
+        Py_DECREF(port);
+        return NULL;
+    }
+    return port;
+}
+
+/* The legacy Network.send body, op for op: the same validation order and
+ * error strings, the same Counter updates, and the same IEEE-754
+ * sequence for the Hockney NIC occupancy math, so walls and stats hash
+ * identically under both backends. */
+static PyObject *
+fabric_send_core(FabricObject *f, PyObject *src_obj, PyObject *dst_obj,
+                 PyObject *category, PyObject *size_obj, PyObject *payload)
+{
+    long long src, dst;
+    PyObject *total, *evargs;
+    double total_d, now, nic_free, injection_start, injection_end, arrival;
+    EngineObject *eng;
+    PortObject *port;
+    Ev ev;
+
+    src = PyLong_AsLongLong(src_obj);
+    if (src == -1 && PyErr_Occurred()) {
+        return NULL;
+    }
+    dst = PyLong_AsLongLong(dst_obj);
+    if (dst == -1 && PyErr_Occurred()) {
+        return NULL;
+    }
+    if (src == dst) {
+        PyObject *value = PyObject_GetAttr(category, str_value);
+
+        if (value == NULL) {
+            return NULL;
+        }
+        PyErr_Format(PyExc_ValueError,
+                     "local message %S on node %lld; node-local operations "
+                     "must bypass the network", value, src);
+        Py_DECREF(value);
+        return NULL;
+    }
+    if (src < 0 || src >= f->nnodes || dst < 0 || dst >= f->nnodes) {
+        PyErr_Format(PyExc_ValueError,
+                     "endpoints %lld->%lld outside cluster", src, dst);
+        return NULL;
+    }
+    if (PyList_GET_SIZE(f->ports) != f->nnodes) {
+        PyErr_SetString(PyExc_RuntimeError,
+                        "NetFabric has unregistered delivery ports");
+        return NULL;
+    }
+    total = PyNumber_Add(size_obj, f->header_obj);
+    if (total == NULL) {
+        return NULL;
+    }
+    total_d = PyFloat_AsDouble(total);
+    if (total_d == -1.0 && PyErr_Occurred()) {
+        Py_DECREF(total);
+        return NULL;
+    }
+    if (total_d < (double)f->header_ll) {
+        PyErr_Format(PyExc_ValueError,
+                     "message size %S smaller than header (%lld bytes)",
+                     total, f->header_ll);
+        Py_DECREF(total);
+        return NULL;
+    }
+    if (counter_add(f->msg_count, category, one_long) < 0 ||
+        counter_add(f->msg_bytes, category, total) < 0) {
+        Py_DECREF(total);
+        return NULL;
+    }
+    Py_DECREF(total);
+
+    eng = f->engine;
+    now = eng->now;
+    nic_free = f->nic_free[src];
+    injection_start = now >= nic_free ? now : nic_free;
+    injection_end = injection_start + total_d / f->bandwidth;
+    f->nic_free[src] = injection_end;
+    arrival = injection_end + f->startup_us;
+
+    port = (PortObject *)PyList_GET_ITEM(f->ports, dst);
+    evargs = PyTuple_Pack(2, category, payload);
+    if (evargs == NULL) {
+        return NULL;
+    }
+    if (heap_ensure(eng, eng->n + 1) < 0) {
+        Py_DECREF(evargs);
+        return NULL;
+    }
+    ev.time = arrival; /* >= now: injection waits, startup is >= 0 */
+    ev.seq = eng->seq++;
+    Py_INCREF(port->arrive_cb);
+    ev.cb = port->arrive_cb;
+    ev.args = evargs;
+    heap_push(eng, ev);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Fabric_send(FabricObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 5) {
+        PyErr_SetString(PyExc_TypeError,
+                        "send() requires (src, dst, category, size_bytes, "
+                        "payload)");
+        return NULL;
+    }
+    return fabric_send_core(self, args[0], args[1], args[2], args[3],
+                            args[4]);
+}
+
+static PyObject *
+Fabric_get_nic_free(FabricObject *self, void *closure)
+{
+    PyObject *out = PyList_New(self->nnodes);
+
+    if (out == NULL) {
+        return NULL;
+    }
+    for (Py_ssize_t i = 0; i < self->nnodes; i++) {
+        PyObject *v = PyFloat_FromDouble(self->nic_free[i]);
+        if (v == NULL) {
+            Py_DECREF(out);
+            return NULL;
+        }
+        PyList_SET_ITEM(out, i, v);
+    }
+    return out;
+}
+
+static int
+Fabric_traverse(FabricObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT((PyObject *)self->engine);
+    Py_VISIT(self->msg_count);
+    Py_VISIT(self->msg_bytes);
+    Py_VISIT(self->ports);
+    Py_VISIT(self->header_obj);
+    return 0;
+}
+
+static int
+Fabric_clear_gc(FabricObject *self)
+{
+    Py_CLEAR(self->engine);
+    Py_CLEAR(self->msg_count);
+    Py_CLEAR(self->msg_bytes);
+    Py_CLEAR(self->ports);
+    Py_CLEAR(self->header_obj);
+    return 0;
+}
+
+static void
+Fabric_dealloc(FabricObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Fabric_clear_gc(self);
+    PyMem_Free(self->nic_free);
+    self->nic_free = NULL;
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+typedef struct {
+    PyObject_HEAD
+    vectorcallfunc vectorcall;
+    FabricObject *fabric; /* owned */
+    PyObject *src_obj;    /* owned PyLong */
+} SenderObject;
+
+static PyObject *
+Sender_vectorcall(PyObject *op, PyObject *const *args, size_t nargsf,
+                  PyObject *kwnames)
+{
+    SenderObject *self = (SenderObject *)op;
+    Py_ssize_t nargs = PyVectorcall_NARGS(nargsf);
+
+    if (kwnames != NULL && PyTuple_GET_SIZE(kwnames) > 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "sender takes no keyword arguments");
+        return NULL;
+    }
+    if (nargs != 4) {
+        PyErr_SetString(PyExc_TypeError,
+                        "sender requires (dst, category, size_bytes, "
+                        "payload)");
+        return NULL;
+    }
+    return fabric_send_core(self->fabric, self->src_obj, args[0], args[1],
+                            args[2], args[3]);
+}
+
+static int
+Sender_traverse(SenderObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT((PyObject *)self->fabric);
+    Py_VISIT(self->src_obj);
+    return 0;
+}
+
+static int
+Sender_clear_gc(SenderObject *self)
+{
+    Py_CLEAR(self->fabric);
+    Py_CLEAR(self->src_obj);
+    return 0;
+}
+
+static void
+Sender_dealloc(SenderObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Sender_clear_gc(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyTypeObject SenderType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernel._kernelc.FabricSender",
+    .tp_doc = "Per-node bound send entry point: sender(dst, category, "
+              "size_bytes, payload).",
+    .tp_basicsize = sizeof(SenderObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC |
+                Py_TPFLAGS_HAVE_VECTORCALL,
+    .tp_vectorcall_offset = offsetof(SenderObject, vectorcall),
+    .tp_call = PyVectorcall_Call,
+    .tp_dealloc = (destructor)Sender_dealloc,
+    .tp_traverse = (traverseproc)Sender_traverse,
+    .tp_clear = (inquiry)Sender_clear_gc,
+};
+
+static PyObject *
+Fabric_sender(FabricObject *self, PyObject *src)
+{
+    SenderObject *sender;
+    long long value;
+
+    value = PyLong_AsLongLong(src);
+    if (value == -1 && PyErr_Occurred()) {
+        return NULL;
+    }
+    if (value < 0 || value >= self->nnodes) {
+        PyErr_Format(PyExc_ValueError, "sender node %lld outside cluster",
+                     value);
+        return NULL;
+    }
+    sender = PyObject_GC_New(SenderObject, &SenderType);
+    if (sender == NULL) {
+        return NULL;
+    }
+    sender->vectorcall = Sender_vectorcall;
+    Py_INCREF(self);
+    sender->fabric = self;
+    Py_INCREF(src);
+    sender->src_obj = src;
+    PyObject_GC_Track((PyObject *)sender);
+    return (PyObject *)sender;
+}
+
+static PyMethodDef Fabric_methods[] = {
+    {"add_port", (PyCFunction)(void (*)(void))Fabric_add_port,
+     METH_FASTCALL,
+     "add_port(dispatch, service_us)\n--\n\n"
+     "Register the next node's delivery port (call once per node, in "
+     "node order); returns the DeliveryPort."},
+    {"send", (PyCFunction)(void (*)(void))Fabric_send, METH_FASTCALL,
+     "send(src, dst, category, size_bytes, payload)\n--\n\n"
+     "The legacy Network.send body: validate, account, occupy the "
+     "source NIC, and schedule the batched arrival."},
+    {"sender", (PyCFunction)Fabric_sender, METH_O,
+     "sender(src)\n--\n\nA bound per-node send callable."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef Fabric_getset[] = {
+    {"nic_free", (getter)Fabric_get_nic_free, NULL,
+     "Per-node NIC busy-until times (copy, for inspection).", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject FabricType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernel._kernelc.NetFabric",
+    .tp_doc = "Compiled network send + batched delivery boundary over the "
+              "compiled Engine.",
+    .tp_basicsize = sizeof(FabricObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Fabric_init,
+    .tp_dealloc = (destructor)Fabric_dealloc,
+    .tp_traverse = (traverseproc)Fabric_traverse,
+    .tp_clear = (inquiry)Fabric_clear_gc,
+    .tp_methods = Fabric_methods,
+    .tp_getset = Fabric_getset,
+};
+
+/* ====================================================================== */
 /* module                                                                  */
 /* ====================================================================== */
+
+/* record_request(state, requester, hops, events): the _serve_request
+ * monitor prelude — record_remote_read + record_redirections +
+ * stats.incr("remote_read") in one call. */
+static PyObject *
+kernel_record_request(PyObject *mod, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *state, *requester, *hops, *events, *sharers, *cur, *sum;
+    int neg;
+
+    if (nargs != 4) {
+        PyErr_Format(PyExc_TypeError,
+                     "record_request expects 4 arguments, got %zd", nargs);
+        return NULL;
+    }
+    state = args[0];
+    requester = args[1];
+    hops = args[2];
+    events = args[3];
+    if (!PyDict_Check(events)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "record_request events must be a Counter/dict");
+        return NULL;
+    }
+    /* record_remote_read */
+    if (attr_incr(state, str_remote_reads) < 0) {
+        return NULL;
+    }
+    sharers = PyObject_GetAttr(state, str_sharers);
+    if (sharers == NULL) {
+        return NULL;
+    }
+    if (PySet_Add(sharers, requester) < 0) {
+        Py_DECREF(sharers);
+        return NULL;
+    }
+    Py_DECREF(sharers);
+    /* record_redirections (same validation as the Python body) */
+    neg = PyObject_RichCompareBool(hops, zero_long, Py_LT);
+    if (neg < 0) {
+        return NULL;
+    }
+    if (neg) {
+        PyErr_Format(PyExc_ValueError,
+                     "hops must be non-negative, got %S", hops);
+        return NULL;
+    }
+    cur = PyObject_GetAttr(state, str_redirections);
+    if (cur == NULL) {
+        return NULL;
+    }
+    sum = PyNumber_Add(cur, hops);
+    Py_DECREF(cur);
+    if (sum == NULL) {
+        return NULL;
+    }
+    if (PyObject_SetAttr(state, str_redirections, sum) < 0) {
+        Py_DECREF(sum);
+        return NULL;
+    }
+    Py_DECREF(sum);
+    if (counter_add(events, ev_remote_read, one_long) < 0) {
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+/* cache_sweep_invalid(cache, invalid_mode, free): barrier-GC sweep of the
+ * flat CacheIndex — pool every INVALID twinless entry's payload and
+ * tombstone its slot, returning the drop count.  Mirrors the Python
+ * dead-scan + pop + free loop of collect_garbage. */
+static PyObject *
+kernel_cache_sweep(PyObject *mod, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *cache, *invalid, *freefn, *slots, *live, *adjusted;
+    Py_ssize_t i, ndead = 0;
+
+    if (nargs != 3) {
+        PyErr_Format(PyExc_TypeError,
+                     "cache_sweep_invalid expects 3 arguments, got %zd",
+                     nargs);
+        return NULL;
+    }
+    cache = args[0];
+    invalid = args[1];
+    freefn = args[2];
+    slots = PyObject_GetAttr(cache, str_slots);
+    if (slots == NULL) {
+        return NULL;
+    }
+    if (!PyList_Check(slots)) {
+        Py_DECREF(slots);
+        PyErr_SetString(PyExc_TypeError,
+                        "cache_sweep_invalid needs a CacheIndex");
+        return NULL;
+    }
+    for (i = 0; i < PyList_GET_SIZE(slots); i++) {
+        PyObject *entry = PyList_GET_ITEM(slots, i);
+        PyObject *mode, *twin, *payload, *r;
+        int dead;
+
+        if (entry == Py_None) {
+            continue;
+        }
+        mode = PyObject_GetAttr(entry, str_mode);
+        if (mode == NULL) {
+            goto fail;
+        }
+        dead = (mode == invalid);
+        Py_DECREF(mode);
+        if (!dead) {
+            continue;
+        }
+        twin = PyObject_GetAttr(entry, str_twin);
+        if (twin == NULL) {
+            goto fail;
+        }
+        dead = (twin == Py_None);
+        Py_DECREF(twin);
+        if (!dead) {
+            continue;
+        }
+        payload = PyObject_GetAttr(entry, str_payload);
+        if (payload == NULL) {
+            goto fail;
+        }
+        /* pop: tombstone the slot (the index entry stays sticky) */
+        Py_INCREF(Py_None);
+        if (PyList_SetItem(slots, i, Py_None) < 0) {
+            Py_DECREF(payload);
+            goto fail;
+        }
+        r = PyObject_CallOneArg(freefn, payload);
+        Py_DECREF(payload);
+        if (r == NULL) {
+            goto fail;
+        }
+        Py_DECREF(r);
+        ndead++;
+    }
+    Py_DECREF(slots);
+    /* cache._live -= ndead (pop's bookkeeping, batched) */
+    live = PyObject_GetAttr(cache, str_live);
+    if (live == NULL) {
+        return NULL;
+    }
+    {
+        PyObject *delta = PyLong_FromSsize_t(ndead);
+        if (delta == NULL) {
+            Py_DECREF(live);
+            return NULL;
+        }
+        adjusted = PyNumber_Subtract(live, delta);
+        Py_DECREF(delta);
+    }
+    Py_DECREF(live);
+    if (adjusted == NULL) {
+        return NULL;
+    }
+    if (PyObject_SetAttr(cache, str_live, adjusted) < 0) {
+        Py_DECREF(adjusted);
+        return NULL;
+    }
+    Py_DECREF(adjusted);
+    return PyLong_FromSsize_t(ndead);
+
+fail:
+    Py_DECREF(slots);
+    return NULL;
+}
+
+/* prune_floors(required, released, homes): delete every write-notice
+ * floor at or below the release horizon (or whose object is homed
+ * locally); returns the prune count.  Mirrors collect_garbage's
+ * prunable-scan + delete loop. */
+static PyObject *
+kernel_prune_floors(PyObject *mod, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *required, *released, *homes, *doomed, *oid, *floor;
+    Py_ssize_t pos = 0, i, n;
+
+    if (nargs != 3) {
+        PyErr_Format(PyExc_TypeError,
+                     "prune_floors expects 3 arguments, got %zd", nargs);
+        return NULL;
+    }
+    required = args[0];
+    released = args[1];
+    homes = args[2];
+    if (!PyDict_Check(required) || !PyDict_Check(released) ||
+        !PyDict_Check(homes)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "prune_floors expects three dicts");
+        return NULL;
+    }
+    doomed = PyList_New(0);
+    if (doomed == NULL) {
+        return NULL;
+    }
+    while (PyDict_Next(required, &pos, &oid, &floor)) {
+        PyObject *rel = PyDict_GetItemWithError(released, oid);
+        int prune;
+
+        if (rel == NULL) {
+            if (PyErr_Occurred()) {
+                goto fail;
+            }
+            rel = zero_long;
+        }
+        prune = PyObject_RichCompareBool(floor, rel, Py_LE);
+        if (prune < 0) {
+            goto fail;
+        }
+        if (!prune) {
+            prune = PyDict_Contains(homes, oid);
+            if (prune < 0) {
+                goto fail;
+            }
+        }
+        if (prune && PyList_Append(doomed, oid) < 0) {
+            goto fail;
+        }
+    }
+    n = PyList_GET_SIZE(doomed);
+    for (i = 0; i < n; i++) {
+        if (PyDict_DelItem(required, PyList_GET_ITEM(doomed, i)) < 0) {
+            goto fail;
+        }
+    }
+    Py_DECREF(doomed);
+    return PyLong_FromSsize_t(n);
+
+fail:
+    Py_DECREF(doomed);
+    return NULL;
+}
+
+/* ---------------------------------------------------------------------- */
+/* Future: one-shot resolvable value (C twin of repro.sim.future.Future)   */
+/* ---------------------------------------------------------------------- */
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *value;     /* owned; NULL = unset */
+    PyObject *exception; /* owned; NULL = none */
+    PyObject *callbacks; /* owned list, lazily allocated; NULL = empty */
+    PyObject *label;     /* owned */
+} FutureObject;
+
+static int
+Future_init(FutureObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"label", NULL};
+    PyObject *label = NULL;
+
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|O:Future", kwlist,
+                                     &label)) {
+        return -1;
+    }
+    if (label == NULL) {
+        label = PyUnicode_FromString("");
+        if (label == NULL) {
+            return -1;
+        }
+    }
+    else {
+        Py_INCREF(label);
+    }
+    Py_XSETREF(self->label, label);
+    Py_CLEAR(self->value);
+    Py_CLEAR(self->exception);
+    Py_CLEAR(self->callbacks);
+    return 0;
+}
+
+static inline int
+future_is_resolved(FutureObject *self)
+{
+    return self->value != NULL || self->exception != NULL;
+}
+
+/* Fire callbacks in registration order; the list is detached first so a
+ * callback adding callbacks sees the post-resolution immediate path,
+ * exactly like the Python twin. */
+static int
+future_fire(FutureObject *self)
+{
+    PyObject *callbacks = self->callbacks;
+    Py_ssize_t i, n;
+
+    if (callbacks == NULL) {
+        return 0;
+    }
+    self->callbacks = NULL;
+    n = PyList_GET_SIZE(callbacks);
+    for (i = 0; i < n; i++) {
+        PyObject *res = PyObject_CallOneArg(PyList_GET_ITEM(callbacks, i),
+                                            (PyObject *)self);
+        if (res == NULL) {
+            Py_DECREF(callbacks);
+            return -1;
+        }
+        Py_DECREF(res);
+    }
+    Py_DECREF(callbacks);
+    return 0;
+}
+
+static PyObject *
+Future_resolve(FutureObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *value;
+
+    if (nargs > 1) {
+        PyErr_Format(PyExc_TypeError,
+                     "resolve expects at most one argument, got %zd", nargs);
+        return NULL;
+    }
+    if (future_is_resolved(self)) {
+        PyErr_Format(sim_error_class(), "future %R resolved twice",
+                     self->label);
+        return NULL;
+    }
+    value = nargs == 1 ? args[0] : Py_None;
+    Py_INCREF(value);
+    self->value = value;
+    if (future_fire(self) < 0) {
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Future_fail(FutureObject *self, PyObject *exc)
+{
+    if (future_is_resolved(self)) {
+        PyErr_Format(sim_error_class(), "future %R resolved twice",
+                     self->label);
+        return NULL;
+    }
+    Py_INCREF(exc);
+    self->exception = exc;
+    if (future_fire(self) < 0) {
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Future_peek(FutureObject *self, PyObject *noarg)
+{
+    (void)noarg;
+    if (self->exception != NULL) {
+        return PyTuple_Pack(2, Py_None, self->exception);
+    }
+    if (self->value == NULL) {
+        PyErr_Format(sim_error_class(), "future %R peeked unresolved",
+                     self->label);
+        return NULL;
+    }
+    return PyTuple_Pack(2, self->value, Py_None);
+}
+
+static PyObject *
+Future_add_done_callback(FutureObject *self, PyObject *callback)
+{
+    if (future_is_resolved(self)) {
+        PyObject *res = PyObject_CallOneArg(callback, (PyObject *)self);
+        if (res == NULL) {
+            return NULL;
+        }
+        Py_DECREF(res);
+        Py_RETURN_NONE;
+    }
+    if (self->callbacks == NULL) {
+        self->callbacks = PyList_New(0);
+        if (self->callbacks == NULL) {
+            return NULL;
+        }
+    }
+    if (PyList_Append(self->callbacks, callback) < 0) {
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Future_get_resolved(FutureObject *self, void *closure)
+{
+    (void)closure;
+    return PyBool_FromLong(future_is_resolved(self));
+}
+
+static PyObject *
+Future_get_value(FutureObject *self, void *closure)
+{
+    (void)closure;
+    if (self->exception != NULL) {
+        PyErr_SetObject((PyObject *)Py_TYPE(self->exception),
+                        self->exception);
+        return NULL;
+    }
+    if (self->value == NULL) {
+        PyErr_Format(sim_error_class(),
+                     "future %R read before resolution", self->label);
+        return NULL;
+    }
+    Py_INCREF(self->value);
+    return self->value;
+}
+
+static PyObject *
+Future_get_exception(FutureObject *self, void *closure)
+{
+    (void)closure;
+    if (self->exception == NULL) {
+        Py_RETURN_NONE;
+    }
+    Py_INCREF(self->exception);
+    return self->exception;
+}
+
+static PyObject *
+Future_repr(FutureObject *self)
+{
+    return PyUnicode_FromFormat(
+        "<Future %R %s>", self->label,
+        future_is_resolved(self) ? "resolved" : "pending");
+}
+
+static int
+Future_traverse(FutureObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->value);
+    Py_VISIT(self->exception);
+    Py_VISIT(self->callbacks);
+    Py_VISIT(self->label);
+    return 0;
+}
+
+static int
+Future_clear_gc(FutureObject *self)
+{
+    Py_CLEAR(self->value);
+    Py_CLEAR(self->exception);
+    Py_CLEAR(self->callbacks);
+    Py_CLEAR(self->label);
+    return 0;
+}
+
+static void
+Future_dealloc(FutureObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Future_clear_gc(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyMethodDef Future_methods[] = {
+    {"resolve", (PyCFunction)(void (*)(void))Future_resolve, METH_FASTCALL,
+     "resolve(value=None)\n--\n\n"
+     "Provide the value and fire callbacks (in registration order)."},
+    {"fail", (PyCFunction)Future_fail, METH_O,
+     "fail(exc)\n--\n\n"
+     "Resolve the future with an exception instead of a value."},
+    {"peek", (PyCFunction)Future_peek, METH_NOARGS,
+     "peek()\n--\n\n"
+     "(value, exception) without raising - exactly one is set."},
+    {"add_done_callback", (PyCFunction)Future_add_done_callback, METH_O,
+     "add_done_callback(callback)\n--\n\n"
+     "Run callback(self) when resolved (immediately if already)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef Future_getset[] = {
+    {"resolved", (getter)Future_get_resolved, NULL,
+     "Whether the future holds a value or an exception.", NULL},
+    {"value", (getter)Future_get_value, NULL,
+     "The resolved value; raises if unresolved or resolved to an error.",
+     NULL},
+    {"exception", (getter)Future_get_exception, NULL,
+     "The exception this future was failed with, if any.", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyMemberDef Future_members[] = {
+    {"label", T_OBJECT_EX, offsetof(FutureObject, label), 0,
+     "Debug label carried into error messages."},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyTypeObject FutureType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernel._kernelc.Future",
+    .tp_doc = "One-shot future (C twin of repro.sim.future.Future): "
+              "single-assignment, callbacks fired in registration order.",
+    .tp_basicsize = sizeof(FutureObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Future_init,
+    .tp_dealloc = (destructor)Future_dealloc,
+    .tp_traverse = (traverseproc)Future_traverse,
+    .tp_clear = (inquiry)Future_clear_gc,
+    .tp_repr = (reprfunc)Future_repr,
+    .tp_methods = Future_methods,
+    .tp_getset = Future_getset,
+    .tp_members = Future_members,
+};
+
+/* ---------------------------------------------------------------------- */
+/* Arena: slab allocator with exact-size free lists (C twin of            */
+/* repro.memory.arena.Arena; byte-identical accounting)                    */
+/* ---------------------------------------------------------------------- */
+
+#define ARENA_ALIGN_BYTES 16
+#define ARENA_DEFAULT_SLAB_BYTES (1 << 20)
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *label;   /* owned */
+    PyObject *slab;    /* owned uint8 ndarray or NULL */
+    PyObject *free;    /* owned dict: (length, dtype) -> list of views */
+    PyObject *scratch; /* owned bool ndarray */
+    long long slab_bytes;
+    long long offset;
+    long long slabs_allocated;
+    long long slab_bytes_total;
+    long long carve_count;
+    long long reuse_count;
+    long long free_count;
+    long long live_bytes;
+    long long pooled_bytes;
+} ArenaObject;
+
+static int
+Arena_init(ArenaObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"slab_bytes", "label", NULL};
+    long long slab_bytes = ARENA_DEFAULT_SLAB_BYTES;
+    PyObject *label = NULL, *free_dict, *scratch;
+    npy_intp zero = 0;
+
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|LO:Arena", kwlist,
+                                     &slab_bytes, &label)) {
+        return -1;
+    }
+    if (slab_bytes < ARENA_ALIGN_BYTES) {
+        PyErr_Format(PyExc_ValueError,
+                     "slab_bytes must be >= %d, got %lld",
+                     ARENA_ALIGN_BYTES, slab_bytes);
+        return -1;
+    }
+    if (label == NULL) {
+        label = PyUnicode_FromString("");
+        if (label == NULL) {
+            return -1;
+        }
+    }
+    else {
+        Py_INCREF(label);
+    }
+    free_dict = PyDict_New();
+    if (free_dict == NULL) {
+        Py_DECREF(label);
+        return -1;
+    }
+    scratch = PyArray_SimpleNew(1, &zero, NPY_BOOL);
+    if (scratch == NULL) {
+        Py_DECREF(label);
+        Py_DECREF(free_dict);
+        return -1;
+    }
+    Py_XSETREF(self->label, label);
+    Py_XSETREF(self->free, free_dict);
+    Py_XSETREF(self->scratch, scratch);
+    Py_CLEAR(self->slab);
+    self->slab_bytes = slab_bytes;
+    self->offset = 0;
+    self->slabs_allocated = 0;
+    self->slab_bytes_total = 0;
+    self->carve_count = 0;
+    self->reuse_count = 0;
+    self->free_count = 0;
+    self->live_bytes = 0;
+    self->pooled_bytes = 0;
+    return 0;
+}
+
+/* Carve a fresh view from the current slab (Arena._carve).  Steals no
+ * references; returns a new writeable 1-D view of `length` elements of
+ * `descr` backed by the slab. */
+static PyObject *
+arena_carve(ArenaObject *self, npy_intp length, PyArray_Descr *descr)
+{
+    long long nbytes = (long long)length * PyDataType_ELSIZE(descr);
+    long long aligned =
+        (nbytes + ARENA_ALIGN_BYTES - 1) / ARENA_ALIGN_BYTES *
+        ARENA_ALIGN_BYTES;
+    PyArrayObject *slab = (PyArrayObject *)self->slab;
+    PyObject *view;
+    npy_intp dims[1];
+    long long start;
+
+    if (slab == NULL ||
+        self->offset + aligned > (long long)PyArray_DIM(slab, 0)) {
+        long long size =
+            self->slab_bytes > aligned ? self->slab_bytes : aligned;
+        npy_intp slab_dims[1];
+
+        slab_dims[0] = (npy_intp)size;
+        slab = (PyArrayObject *)PyArray_SimpleNew(1, slab_dims, NPY_UINT8);
+        if (slab == NULL) {
+            return NULL;
+        }
+        Py_XSETREF(self->slab, (PyObject *)slab);
+        self->offset = 0;
+        self->slabs_allocated += 1;
+        self->slab_bytes_total += size;
+    }
+    start = self->offset;
+    self->offset = start + aligned;
+    dims[0] = length;
+    Py_INCREF(descr);
+    view = PyArray_NewFromDescr(&PyArray_Type, descr, 1, dims, NULL,
+                                PyArray_BYTES(slab) + start,
+                                NPY_ARRAY_CARRAY, NULL);
+    if (view == NULL) {
+        return NULL;
+    }
+    Py_INCREF(slab);
+    if (PyArray_SetBaseObject((PyArrayObject *)view, (PyObject *)slab) < 0) {
+        Py_DECREF(view);
+        return NULL;
+    }
+    return view;
+}
+
+/* Shared alloc body: returns a new reference, `descr` is borrowed. */
+static PyObject *
+arena_alloc_impl(ArenaObject *self, npy_intp length, PyArray_Descr *descr)
+{
+    PyObject *key, *stack, *view;
+    long long nbytes;
+
+    if (length <= 0) {
+        PyErr_Format(PyExc_ValueError,
+                     "allocation length must be positive, got %zd",
+                     (Py_ssize_t)length);
+        return NULL;
+    }
+    key = Py_BuildValue("(nO)", (Py_ssize_t)length, (PyObject *)descr);
+    if (key == NULL) {
+        return NULL;
+    }
+    stack = PyDict_GetItemWithError(self->free, key);
+    Py_DECREF(key);
+    if (stack == NULL && PyErr_Occurred()) {
+        return NULL;
+    }
+    nbytes = (long long)length * PyDataType_ELSIZE(descr);
+    if (stack != NULL && PyList_GET_SIZE(stack) > 0) {
+        Py_ssize_t last = PyList_GET_SIZE(stack) - 1;
+
+        view = PyList_GET_ITEM(stack, last);
+        Py_INCREF(view);
+        if (PyList_SetSlice(stack, last, last + 1, NULL) < 0) {
+            Py_DECREF(view);
+            return NULL;
+        }
+        self->reuse_count += 1;
+        self->pooled_bytes -= nbytes;
+        self->live_bytes += nbytes;
+        return view;
+    }
+    view = arena_carve(self, length, descr);
+    if (view == NULL) {
+        return NULL;
+    }
+    self->carve_count += 1;
+    self->live_bytes += nbytes;
+    return view;
+}
+
+/* Parse the (length, dtype=...) argument pair shared by alloc/zeros. */
+static int
+arena_parse_alloc_args(PyObject *const *args, Py_ssize_t nargs,
+                       const char *name, npy_intp *length,
+                       PyArray_Descr **descr)
+{
+    Py_ssize_t n;
+
+    if (nargs < 1 || nargs > 2) {
+        PyErr_Format(PyExc_TypeError, "%s expects (length[, dtype]), got "
+                     "%zd arguments", name, nargs);
+        return -1;
+    }
+    n = PyNumber_AsSsize_t(args[0], PyExc_OverflowError);
+    if (n == -1 && PyErr_Occurred()) {
+        return -1;
+    }
+    *length = (npy_intp)n;
+    if (nargs == 2) {
+        if (!PyArray_DescrConverter(args[1], descr)) {
+            return -1;
+        }
+    }
+    else {
+        *descr = PyArray_DescrFromType(NPY_FLOAT64);
+        if (*descr == NULL) {
+            return -1;
+        }
+    }
+    return 0;
+}
+
+static PyObject *
+Arena_alloc(ArenaObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    npy_intp length;
+    PyArray_Descr *descr;
+    PyObject *view;
+
+    if (arena_parse_alloc_args(args, nargs, "alloc", &length, &descr) < 0) {
+        return NULL;
+    }
+    view = arena_alloc_impl(self, length, descr);
+    Py_DECREF(descr);
+    return view;
+}
+
+static PyObject *
+Arena_zeros(ArenaObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    npy_intp length;
+    PyArray_Descr *descr;
+    PyObject *view;
+
+    if (arena_parse_alloc_args(args, nargs, "zeros", &length, &descr) < 0) {
+        return NULL;
+    }
+    view = arena_alloc_impl(self, length, descr);
+    Py_DECREF(descr);
+    if (view == NULL) {
+        return NULL;
+    }
+    memset(PyArray_DATA((PyArrayObject *)view), 0,
+           (size_t)PyArray_NBYTES((PyArrayObject *)view));
+    return view;
+}
+
+static PyObject *
+Arena_take_copy(ArenaObject *self, PyObject *src_obj)
+{
+    PyArrayObject *src, *dst;
+    PyObject *view;
+
+    if (!PyArray_Check(src_obj)) {
+        PyErr_Format(PyExc_TypeError, "take_copy expects an ndarray, got %s",
+                     Py_TYPE(src_obj)->tp_name);
+        return NULL;
+    }
+    src = (PyArrayObject *)src_obj;
+    if (PyArray_NDIM(src) != 1) {
+        PyErr_Format(PyExc_ValueError,
+                     "arenas hold 1-D buffers, got ndim=%d",
+                     PyArray_NDIM(src));
+        return NULL;
+    }
+    view = arena_alloc_impl(self, PyArray_DIM(src, 0), PyArray_DESCR(src));
+    if (view == NULL) {
+        return NULL;
+    }
+    dst = (PyArrayObject *)view;
+    if (PyArray_ISCARRAY_RO(src)) {
+        memcpy(PyArray_DATA(dst), PyArray_DATA(src),
+               (size_t)PyArray_NBYTES(src));
+    }
+    else if (PyArray_CopyInto(dst, src) < 0) {
+        Py_DECREF(view);
+        return NULL;
+    }
+    return view;
+}
+
+static PyObject *
+Arena_free(ArenaObject *self, PyObject *buf_obj)
+{
+    PyArrayObject *buf;
+    PyObject *key, *stack;
+    long long nbytes;
+
+    if (!PyArray_Check(buf_obj)) {
+        PyErr_Format(PyExc_TypeError, "free expects an ndarray, got %s",
+                     Py_TYPE(buf_obj)->tp_name);
+        return NULL;
+    }
+    buf = (PyArrayObject *)buf_obj;
+    if (PyArray_NDIM(buf) != 1) {
+        PyErr_Format(PyExc_ValueError,
+                     "arenas hold 1-D buffers, got ndim=%d",
+                     PyArray_NDIM(buf));
+        return NULL;
+    }
+    key = Py_BuildValue("(nO)", (Py_ssize_t)PyArray_DIM(buf, 0),
+                        (PyObject *)PyArray_DESCR(buf));
+    if (key == NULL) {
+        return NULL;
+    }
+    stack = PyDict_GetItemWithError(self->free, key);
+    if (stack == NULL) {
+        if (PyErr_Occurred()) {
+            Py_DECREF(key);
+            return NULL;
+        }
+        stack = PyList_New(0);
+        if (stack == NULL || PyDict_SetItem(self->free, key, stack) < 0) {
+            Py_XDECREF(stack);
+            Py_DECREF(key);
+            return NULL;
+        }
+        Py_DECREF(stack); /* dict holds it */
+    }
+    Py_DECREF(key);
+    if (PyList_Append(stack, buf_obj) < 0) {
+        return NULL;
+    }
+    nbytes = (long long)PyArray_NBYTES(buf);
+    self->free_count += 1;
+    self->pooled_bytes += nbytes;
+    self->live_bytes -= nbytes;
+    if (self->live_bytes < 0) {
+        self->live_bytes = 0;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Arena_bool_scratch(ArenaObject *self, PyObject *length_obj)
+{
+    Py_ssize_t length = PyNumber_AsSsize_t(length_obj, PyExc_OverflowError);
+    PyArrayObject *scratch;
+    PyObject *view;
+    npy_intp dims[1];
+
+    if (length == -1 && PyErr_Occurred()) {
+        return NULL;
+    }
+    scratch = (PyArrayObject *)self->scratch;
+    if (PyArray_DIM(scratch, 0) < (npy_intp)length) {
+        npy_intp grown = 2 * PyArray_DIM(scratch, 0);
+
+        dims[0] = (npy_intp)length > grown ? (npy_intp)length : grown;
+        scratch = (PyArrayObject *)PyArray_SimpleNew(1, dims, NPY_BOOL);
+        if (scratch == NULL) {
+            return NULL;
+        }
+        Py_XSETREF(self->scratch, (PyObject *)scratch);
+    }
+    dims[0] = (npy_intp)length;
+    view = PyArray_NewFromDescr(&PyArray_Type,
+                                PyArray_DescrFromType(NPY_BOOL), 1, dims,
+                                NULL, PyArray_DATA(scratch),
+                                NPY_ARRAY_CARRAY, NULL);
+    if (view == NULL) {
+        return NULL;
+    }
+    Py_INCREF(scratch);
+    if (PyArray_SetBaseObject((PyArrayObject *)view,
+                              (PyObject *)scratch) < 0) {
+        Py_DECREF(view);
+        return NULL;
+    }
+    return view;
+}
+
+static PyObject *
+Arena_stats(ArenaObject *self, PyObject *noarg)
+{
+    PyObject *out, *val, *stack;
+    Py_ssize_t pos = 0, pooled_buffers = 0;
+    PyObject *key;
+
+    (void)noarg;
+    while (PyDict_Next(self->free, &pos, &key, &stack)) {
+        pooled_buffers += PyList_GET_SIZE(stack);
+    }
+    out = PyDict_New();
+    if (out == NULL) {
+        return NULL;
+    }
+#define STATS_SET(name, expr)                                              \
+    do {                                                                   \
+        val = (expr);                                                      \
+        if (val == NULL || PyDict_SetItemString(out, name, val) < 0) {     \
+            Py_XDECREF(val);                                               \
+            Py_DECREF(out);                                                \
+            return NULL;                                                   \
+        }                                                                  \
+        Py_DECREF(val);                                                    \
+    } while (0)
+    STATS_SET("label", (Py_INCREF(self->label), self->label));
+    STATS_SET("slabs", PyLong_FromLongLong(self->slabs_allocated));
+    STATS_SET("slab_bytes", PyLong_FromLongLong(self->slab_bytes_total));
+    STATS_SET("carves", PyLong_FromLongLong(self->carve_count));
+    STATS_SET("reuses", PyLong_FromLongLong(self->reuse_count));
+    STATS_SET("frees", PyLong_FromLongLong(self->free_count));
+    STATS_SET("live_bytes", PyLong_FromLongLong(self->live_bytes));
+    STATS_SET("pooled_bytes", PyLong_FromLongLong(self->pooled_bytes));
+    STATS_SET("pooled_buffers", PyLong_FromSsize_t(pooled_buffers));
+    STATS_SET("scratch_bytes",
+              PyLong_FromLongLong(
+                  (long long)PyArray_NBYTES(
+                      (PyArrayObject *)self->scratch)));
+#undef STATS_SET
+    return out;
+}
+
+static int
+Arena_traverse(ArenaObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->label);
+    Py_VISIT(self->slab);
+    Py_VISIT(self->free);
+    Py_VISIT(self->scratch);
+    return 0;
+}
+
+static int
+Arena_clear_gc(ArenaObject *self)
+{
+    Py_CLEAR(self->label);
+    Py_CLEAR(self->slab);
+    Py_CLEAR(self->free);
+    Py_CLEAR(self->scratch);
+    return 0;
+}
+
+static void
+Arena_dealloc(ArenaObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Arena_clear_gc(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyMethodDef Arena_methods[] = {
+    {"alloc", (PyCFunction)(void (*)(void))Arena_alloc, METH_FASTCALL,
+     "alloc(length, dtype='float64')\n--\n\n"
+     "An uninitialised 1-D buffer; reuses a pooled same-shape buffer "
+     "when one exists, else carves fresh slab space."},
+    {"zeros", (PyCFunction)(void (*)(void))Arena_zeros, METH_FASTCALL,
+     "zeros(length, dtype='float64')\n--\n\n"
+     "A zeroed buffer (pool-reuse equivalent of np.zeros)."},
+    {"take_copy", (PyCFunction)Arena_take_copy, METH_O,
+     "take_copy(src)\n--\n\n"
+     "A pooled copy of 1-D src (pool-reuse equivalent of .copy())."},
+    {"free", (PyCFunction)Arena_free, METH_O,
+     "free(buf)\n--\n\n"
+     "Return buf to the pool for same-shape reuse."},
+    {"bool_scratch", (PyCFunction)Arena_bool_scratch, METH_O,
+     "bool_scratch(length)\n--\n\n"
+     "The shared grow-only boolean scratch buffer, sliced to length."},
+    {"stats", (PyCFunction)Arena_stats, METH_NOARGS,
+     "stats()\n--\n\n"
+     "Plain-dict accounting snapshot (telemetry and tests)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyMemberDef Arena_members[] = {
+    {"label", T_OBJECT_EX, offsetof(ArenaObject, label), 0, NULL},
+    {"slab_bytes", T_LONGLONG, offsetof(ArenaObject, slab_bytes), 0, NULL},
+    {"slabs_allocated", T_LONGLONG,
+     offsetof(ArenaObject, slabs_allocated), 0, NULL},
+    {"slab_bytes_total", T_LONGLONG,
+     offsetof(ArenaObject, slab_bytes_total), 0, NULL},
+    {"carve_count", T_LONGLONG, offsetof(ArenaObject, carve_count), 0, NULL},
+    {"reuse_count", T_LONGLONG, offsetof(ArenaObject, reuse_count), 0, NULL},
+    {"free_count", T_LONGLONG, offsetof(ArenaObject, free_count), 0, NULL},
+    {"live_bytes", T_LONGLONG, offsetof(ArenaObject, live_bytes), 0, NULL},
+    {"pooled_bytes", T_LONGLONG,
+     offsetof(ArenaObject, pooled_bytes), 0, NULL},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyTypeObject ArenaType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernel._kernelc.Arena",
+    .tp_doc = "Slab allocator with exact-size free lists (C twin of "
+              "repro.memory.arena.Arena; byte-identical accounting).",
+    .tp_basicsize = sizeof(ArenaObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Arena_init,
+    .tp_dealloc = (destructor)Arena_dealloc,
+    .tp_traverse = (traverseproc)Arena_traverse,
+    .tp_clear = (inquiry)Arena_clear_gc,
+    .tp_methods = Arena_methods,
+    .tp_members = Arena_members,
+};
 
 static PyObject *
 kernel_install(PyObject *mod, PyObject *exc)
@@ -870,6 +3964,26 @@ static PyMethodDef kernel_methods[] = {
      "lam, t_init)\n--\n\n"
      "Equation 2: max(base + lam * (R - alpha * E), t_init), with the "
      "pure-Python function's validation."},
+    {"merge_notices", (PyCFunction)(void (*)(void))kernel_merge_notices,
+     METH_FASTCALL,
+     "merge_notices(accumulated, incoming)\n--\n\n"
+     "Fold an oid -> version dict into an oid -> max version dict, in "
+     "place (missing oids read as 0)."},
+    {"record_request", (PyCFunction)(void (*)(void))kernel_record_request,
+     METH_FASTCALL,
+     "record_request(state, requester, hops, events)\n--\n\n"
+     "The home-side request prelude: record_remote_read + "
+     "record_redirections + the remote_read stats bump, in one call."},
+    {"cache_sweep_invalid",
+     (PyCFunction)(void (*)(void))kernel_cache_sweep, METH_FASTCALL,
+     "cache_sweep_invalid(cache, invalid_mode, free)\n--\n\n"
+     "Barrier-GC sweep of a CacheIndex: pool every INVALID twinless "
+     "entry's payload via free(), tombstone its slot, return the count."},
+    {"prune_floors", (PyCFunction)(void (*)(void))kernel_prune_floors,
+     METH_FASTCALL,
+     "prune_floors(required, released, homes)\n--\n\n"
+     "Drop write-notice floors at or below the release horizon (or "
+     "locally homed); returns the prune count."},
     {NULL, NULL, 0, NULL},
 };
 
@@ -897,8 +4011,63 @@ PyInit__kernelc(void)
     if (str_payload == NULL) {
         return NULL;
     }
+#define INTERN(var, text)                                                  \
+    do {                                                                   \
+        var = PyUnicode_InternFromString(text);                            \
+        if (var == NULL) {                                                 \
+            return NULL;                                                   \
+        }                                                                  \
+    } while (0)
+    INTERN(str_value, "value");
+    INTERN(str_mode, "mode");
+    INTERN(str_interval, "interval");
+    INTERN(str_read_interval, "read_interval");
+    INTERN(str_write_interval, "write_interval");
+    INTERN(str_homes, "homes");
+    INTERN(str_cache, "cache");
+    INTERN(str_index, "_index");
+    INTERN(str_slots, "_slots");
+    INTERN(str_dirty, "dirty");
+    INTERN(str_home_dirty, "home_dirty");
+    INTERN(str_try_read_local, "try_read_local");
+    INTERN(str_try_write_local, "try_write_local");
+    INTERN(str_state, "state");
+    INTERN(str_home_reads, "home_reads");
+    INTERN(str_home_writes, "home_writes");
+    INTERN(str_exclusive_home_writes, "exclusive_home_writes");
+    INTERN(str_last_writer, "last_writer");
+    INTERN(str_consecutive_writes, "consecutive_writes");
+    INTERN(str_consecutive_writer, "consecutive_writer");
+    INTERN(str_remote_reads, "remote_reads");
+    INTERN(str_sharers, "sharers");
+    INTERN(str_redirections, "redirections");
+    INTERN(str_upgrade_to_write, "upgrade_to_write");
+    INTERN(str_twin, "twin");
+    INTERN(str_request_id, "request_id");
+    INTERN(str_resolve, "resolve");
+    INTERN(str_arena, "arena");
+    INTERN(str_stats, "stats");
+    INTERN(str_events, "events");
+    INTERN(str_live, "_live");
+    INTERN(str_oid, "oid");
+    INTERN(ev_home_write, "home_write");
+    INTERN(ev_exclusive_home_write, "exclusive_home_write");
+    INTERN(ev_remote_read, "remote_read");
+#undef INTERN
+    zero_long = PyLong_FromLong(0);
+    one_long = PyLong_FromLong(1);
+    minus_one_long = PyLong_FromLong(-1);
+    if (zero_long == NULL || one_long == NULL || minus_one_long == NULL) {
+        return NULL;
+    }
 
-    if (PyType_Ready(&EngineType) < 0 || PyType_Ready(&DispatcherType) < 0) {
+    if (PyType_Ready(&EngineType) < 0 || PyType_Ready(&DispatcherType) < 0 ||
+        PyType_Ready(&VqType) < 0 || PyType_Ready(&KfType) < 0 ||
+        PyType_Ready(&LocalAccessType) < 0 || PyType_Ready(&PortType) < 0 ||
+        PyType_Ready(&FabricType) < 0 || PyType_Ready(&SenderType) < 0 ||
+        PyType_Ready(&ReadyType) < 0 || PyType_Ready(&RouterType) < 0 ||
+        PyType_Ready(&FutureType) < 0 || PyType_Ready(&ArenaType) < 0 ||
+        PyType_Ready(&AccessorType) < 0) {
         return NULL;
     }
 
@@ -909,7 +4078,25 @@ PyInit__kernelc(void)
     if (PyModule_AddObjectRef(mod, "Engine", (PyObject *)&EngineType) < 0 ||
         PyModule_AddObjectRef(mod, "Dispatcher",
                               (PyObject *)&DispatcherType) < 0 ||
-        PyModule_AddIntConstant(mod, "KERNEL_API", 1) < 0) {
+        PyModule_AddObjectRef(mod, "VersionIndexedQueue",
+                              (PyObject *)&VqType) < 0 ||
+        PyModule_AddObjectRef(mod, "KeyedFifo", (PyObject *)&KfType) < 0 ||
+        PyModule_AddObjectRef(mod, "LocalAccess",
+                              (PyObject *)&LocalAccessType) < 0 ||
+        PyModule_AddObjectRef(mod, "DeliveryPort",
+                              (PyObject *)&PortType) < 0 ||
+        PyModule_AddObjectRef(mod, "NetFabric",
+                              (PyObject *)&FabricType) < 0 ||
+        PyModule_AddObjectRef(mod, "FabricSender",
+                              (PyObject *)&SenderType) < 0 ||
+        PyModule_AddObjectRef(mod, "Ready", (PyObject *)&ReadyType) < 0 ||
+        PyModule_AddObjectRef(mod, "ReplyRouter",
+                              (PyObject *)&RouterType) < 0 ||
+        PyModule_AddObjectRef(mod, "Future", (PyObject *)&FutureType) < 0 ||
+        PyModule_AddObjectRef(mod, "Arena", (PyObject *)&ArenaType) < 0 ||
+        PyModule_AddObjectRef(mod, "Accessor",
+                              (PyObject *)&AccessorType) < 0 ||
+        PyModule_AddIntConstant(mod, "KERNEL_API", 4) < 0) {
         Py_DECREF(mod);
         return NULL;
     }

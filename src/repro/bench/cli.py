@@ -341,6 +341,17 @@ def main(argv: list[str] | None = None) -> int:
         )
 
         slo = analyze_trace(trace_path)
+        if slo["spans"]["opened"] == 0:
+            # Not an error: the trace is valid, it just wasn't recorded
+            # with span kinds.  Say exactly how to get an analyzable one
+            # instead of printing a report full of empty sections.
+            print(
+                f"{trace_path}: no spans in this trace — re-record it "
+                f"with span kinds enabled (the default for repro-bench "
+                f"--trace-out and scripts/record_trace.py) to get causal "
+                f"analytics"
+            )
+            return 0
         print(render_analysis(slo), end="")
         if args.json:
             write_json_report(slo, args.json)

@@ -21,7 +21,8 @@ node-local operations without the network, as the real system does.
 
 from __future__ import annotations
 
-from typing import Any, TYPE_CHECKING
+from functools import partial
+from typing import Any, Callable, TYPE_CHECKING
 
 from repro.cluster.hockney import HockneyModel
 from repro.cluster.message import HEADER_BYTES, Message, MsgCategory
@@ -30,6 +31,56 @@ from repro.cluster.stats import ClusterStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
+
+
+class _PyDeliveryPort:
+    """Pure-Python twin of the kernel's ``DeliveryPort``.
+
+    Batching rule (identical in C): an arrival coalesces into the open
+    batch iff it flushes at the same instant *and* the engine's sequence
+    counter still equals the watermark recorded right after the batch's
+    flush event was scheduled.  Any interleaved event — another port's
+    flush, a handler-scheduled callback — advances the counter and
+    breaks coalescing, so the degenerate case is exactly the legacy
+    one-event-per-message delivery order.
+    """
+
+    __slots__ = ("_sim", "_dispatch", "_service", "_batch", "_batch_time",
+                 "_watermark")
+
+    def __init__(self, sim: "Simulator", dispatch: dict, service_us: float):
+        self._sim = sim
+        self._dispatch = dispatch
+        self._service = service_us
+        self._batch: list | None = None
+        self._batch_time = 0.0
+        self._watermark = -1
+
+    def arrive(self, category: MsgCategory, payload: Any) -> None:
+        sim = self._sim
+        time = sim._now + self._service
+        batch = self._batch
+        if (batch is not None and self._batch_time == time
+                and sim._seq == self._watermark):
+            batch.append((category, payload))
+            return
+        batch = [(category, payload)]
+        sim.schedule(self._service, self.flush, batch)
+        self._batch = batch
+        self._batch_time = time
+        self._watermark = sim._seq
+
+    def flush(self, batch: list) -> None:
+        if batch is self._batch:
+            self._batch = None
+        dispatch = self._dispatch
+        for category, payload in batch:
+            handler = dispatch.get(category)
+            if handler is None:
+                raise RuntimeError(
+                    f"unhandled message category {category!r}"
+                )
+            handler(payload)
 
 
 class Network:
@@ -66,10 +117,124 @@ class Network:
         #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when set,
         #: per-category message/byte counters accrue on every send.
         self.metrics = metrics
+        #: Fast-path state (PR 8): once every node's protocol engine has
+        #: registered its dispatch dict, sends route through a single
+        #: Message-free path with batched delivery, in C when the
+        #: simulator is the compiled Engine.  ``None`` until activated.
+        self._fast_send: Callable | None = None
+        self._fast_dispatch: dict[int, dict] = {}
+        self._fast_bind: dict[int, Callable] = {}
+        self._fast_ports: list[_PyDeliveryPort] | None = None
+        self._fabric = None
 
     @property
     def nnodes(self) -> int:
         return len(self.nodes)
+
+    def register_fast_dispatch(
+        self, node_id: int, dispatch: dict, bind_sender: Callable
+    ) -> None:
+        """Opt one node into fast delivery.
+
+        ``dispatch`` is the engine's shared category -> handler dict (the
+        same object its kernel Dispatcher reads, so later handler swaps
+        stay visible); ``bind_sender`` is called with a per-node send
+        callable once *every* node has registered.  Activation is
+        all-or-nothing: a cluster with any non-registering endpoint
+        (e.g. the homeless engines) keeps the legacy per-message path,
+        so NIC state never splits across two send paths.
+        """
+        if not 0 <= node_id < self.nnodes:
+            raise ValueError(f"node {node_id} outside cluster")
+        self._fast_dispatch[node_id] = dispatch
+        self._fast_bind[node_id] = bind_sender
+        if len(self._fast_dispatch) == self.nnodes:
+            self._activate_fast_delivery()
+
+    def _activate_fast_delivery(self) -> None:
+        from repro import _kernel
+
+        kernel_module = _kernel.kernel()
+        sim = self.sim
+        # With a metrics registry attached every send must also feed the
+        # observability counters, which the C fabric cannot do — use the
+        # Python fast path there.  Event structure (and so every
+        # deterministic field) is identical either way; only the send
+        # body's speed differs.
+        if (
+            self.metrics is None
+            and kernel_module is not None
+            and isinstance(sim, kernel_module.Engine)
+        ):
+            fabric = kernel_module.NetFabric(
+                sim,
+                self.stats.msg_count,
+                self.stats.msg_bytes,
+                self._startup_us,
+                self.comm_model.bandwidth_mb_s,
+                HEADER_BYTES,
+                self._nic_free,
+            )
+            for i in range(self.nnodes):
+                fabric.add_port(self._fast_dispatch[i], self.nodes[i].service_us)
+            senders = [fabric.sender(i) for i in range(self.nnodes)]
+            self._fabric = fabric
+            self._fast_send = fabric.send
+        else:
+            self._fast_ports = [
+                _PyDeliveryPort(sim, self._fast_dispatch[i], self.nodes[i].service_us)
+                for i in range(self.nnodes)
+            ]
+            senders = [
+                partial(self._py_fast_send, i) for i in range(self.nnodes)
+            ]
+            self._fast_send = self._py_fast_send
+        for i in range(self.nnodes):
+            self._fast_bind[i](senders[i])
+
+    def _py_fast_send(
+        self,
+        src: int,
+        dst: int,
+        category: MsgCategory,
+        size_bytes: int,
+        payload: Any = None,
+    ) -> None:
+        """Pure-Python twin of the kernel ``NetFabric.send`` body: the
+        legacy :meth:`send` semantics without the Message allocation."""
+        if src == dst:
+            raise ValueError(
+                f"local message {category.value} on node {src}; node-local "
+                "operations must bypass the network"
+            )
+        nnodes = len(self.nodes)
+        if not (0 <= src < nnodes and 0 <= dst < nnodes):
+            raise ValueError(f"endpoints {src}->{dst} outside cluster")
+        total = size_bytes + HEADER_BYTES
+        if total < HEADER_BYTES:
+            raise ValueError(
+                f"message size {total} smaller than header "
+                f"({HEADER_BYTES} bytes)"
+            )
+        stats = self.stats
+        stats.msg_count[category] += 1
+        stats.msg_bytes[category] += total
+        if self.metrics is not None:
+            label = category.value
+            self.metrics.counter("net_messages_total", category=label).inc()
+            self.metrics.counter("net_bytes_total", category=label).inc(total)
+
+        now = self.sim._now
+        nic_free = self._nic_free[src]
+        injection_start = now if now >= nic_free else nic_free
+        injection_end = injection_start + self._transfer_us(total)
+        self._nic_free[src] = injection_end
+        self._sim_at(
+            injection_end + self._startup_us,
+            self._fast_ports[dst].arrive,
+            category,
+            payload,
+        )
 
     def send(
         self,
@@ -78,11 +243,16 @@ class Network:
         category: MsgCategory,
         size_bytes: int,
         payload: Any = None,
-    ) -> Message:
+    ) -> Message | None:
         """Inject a message; schedules its delivery and returns it.
 
         ``size_bytes`` is the payload size; the fixed header is added here.
+        On the activated fast path no :class:`Message` is materialized
+        and ``None`` is returned (no protocol caller reads the value).
         """
+        if self._fast_send is not None:
+            self._fast_send(src, dst, category, size_bytes, payload)
+            return None
         if src == dst:
             raise ValueError(
                 f"local message {category.value} on node {src}; node-local "

@@ -39,12 +39,12 @@ from repro.cluster.stats import ClusterStats
 from repro.dsm.barrier import BarrierHandle, BarrierState
 from repro.dsm.cache import AccessMode
 from repro.dsm.locks import LockHandle, LockTable
-from repro.memory.arena import Arena
+from repro.memory.arena import Arena, new_arena
 from repro.memory.diff import Diff, apply_diff, compute_diff
 from repro.memory.heap import ObjectHeap
 from repro.memory.twin import make_twin
 from repro.sim.engine import Simulator
-from repro.sim.future import Future
+from repro.sim.future import Future, future_class
 
 REQUEST_BYTES = 8
 SYNC_BASE_BYTES = 8
@@ -154,7 +154,9 @@ class HomelessEngine:
         #: Pooled payload/twin storage (same discipline as DsmEngine;
         #: replica payloads and twins are strictly node-local here, so
         #: no cross-arena traffic exists at all).
-        self.arena: Arena = arena if arena is not None else Arena()
+        self.arena: Arena = arena if arena is not None else new_arena()
+        #: Hot-path Future class (the kernel's C twin when compiled).
+        self._Future = future_class()
         self.replicas: dict[int, _Replica] = {}
         #: Our own diff history per object (retained for remote fetches).
         self.history: dict[int, list[_StampedDiff]] = {}
@@ -271,7 +273,7 @@ class HomelessEngine:
         pending: list[Future] = []
         for writer, have, _need in sorted(missing):
             request_id = self._next_request_id()
-            fut = Future(label=f"diffreq-{oid}-{writer}")
+            fut = self._Future(label="diffreq")
             self._reply_waiters[request_id] = fut
             self.network.send(
                 self.node_id,
@@ -377,11 +379,11 @@ class HomelessEngine:
                     handle.lock_id, self.node_id
                 )
             else:
-                fut = Future(label=f"hl-lock-{handle.lock_id}")
+                fut = self._Future(label="hl-lock")
                 self._lock_waiters[(handle.lock_id, request_id)] = fut
                 notices = yield fut
         else:
-            fut = Future(label=f"hl-lock-{handle.lock_id}")
+            fut = self._Future(label="hl-lock")
             self._lock_waiters[(handle.lock_id, request_id)] = fut
             self.network.send(
                 self.node_id,
@@ -446,7 +448,7 @@ class HomelessEngine:
         self, handle: BarrierHandle, round_no: int
     ) -> Generator[Any, Any, None]:
         notices = self._gossip_notices()
-        fut = Future(label=f"hl-barrier-{handle.barrier_id}-{round_no}")
+        fut = self._Future(label="hl-barrier")
         self._barrier_waiters.setdefault(
             (handle.barrier_id, round_no), []
         ).append(fut)

@@ -46,12 +46,12 @@ from repro.core.coefficient import home_access_coefficient
 from repro.core.policies import MigrationPolicy
 from repro.core.state import ObjectAccessState
 from repro.dsm.barrier import BarrierHandle, BarrierState
-from repro.dsm.cache import AccessMode, CacheEntry
+from repro.dsm.cache import AccessMode, CacheEntry, CacheIndex
 from repro.dsm.home import HomeEntry
 from repro.dsm.locks import LockHandle, LockTable
-from repro.dsm.pending import KeyedFifo
+from repro.dsm.pending import KeyedFifo, new_keyed_fifo
 from repro.dsm.redirection import NotificationMechanism
-from repro.memory.arena import Arena
+from repro.memory.arena import Arena, new_arena
 from repro.memory.diff import Diff, apply_diff, compute_diff
 from repro.memory.heap import ObjectHeap
 from repro.obs.timers import EpochTimer, SpanTracker
@@ -308,7 +308,7 @@ class DsmEngine:
         #: tests) get a private arena and skip the cross-node discipline.
         self.arenas = arenas
         self.arena: Arena = (
-            arenas[node_id] if arenas is not None else Arena()
+            arenas[node_id] if arenas is not None else new_arena()
         )
         self.gc_enabled = gc_enabled
         #: Barrier-epoch GC tallies (observability only; never in stats).
@@ -378,7 +378,7 @@ class DsmEngine:
             spans if (spans is not None and spans.enabled) else None
         )
 
-        self.cache: dict[int, CacheEntry] = {}
+        self.cache = CacheIndex()
         self.homes: dict[int, HomeEntry] = {}
         self.forwards: dict[int, int] = {}
         self.home_hint: dict[int, int] = {}
@@ -395,8 +395,8 @@ class DsmEngine:
         self._reply_waiters: dict[tuple[int, int], Future] = {}
         self._lock_waiters: dict[tuple[int, tuple[int, int]], Future] = {}
         self._barrier_waiters: dict[tuple[int, int], list[Future]] = {}
-        self.pending_foreign: KeyedFifo = KeyedFifo()
-        self._pending_diffs: KeyedFifo = KeyedFifo()
+        self.pending_foreign: KeyedFifo = new_keyed_fifo()
+        self._pending_diffs: KeyedFifo = new_keyed_fifo()
         #: Local threads waiting for an inbound home transfer (a barrier
         #: release can announce this node as the new home before the
         #: transfer message arrives).
@@ -406,17 +406,46 @@ class DsmEngine:
         self._inflight: dict[int, Future] = {}
         self._req_counter = 0
 
+        #: Resolved kernel module (or None), cached once: the hot paths
+        #: branch on it per call and must not pay re-resolution.
+        self._kernel = kernel_module = _kernel.kernel()
+        #: Hot-path Future class: the C twin when compiled (request/reply
+        #: round trips create tens of thousands per run), else the
+        #: pure-Python reference.  Interchangeable by contract.  Labels on
+        #: these futures are static kind strings — per-call f-strings cost
+        #: more than the futures themselves at this volume.
+        self._Future = (
+            kernel_module.Future if kernel_module is not None else Future
+        )
         self._msg_dispatch = self._build_dispatch()
         # Compiled backend: the per-message dispatch (category lookup +
         # handler call) runs in C.  The Dispatcher reads the *same* dict
         # object, so handler-table semantics are identical; on_message
         # stays available either way.
-        kernel_module = _kernel.kernel()
         if kernel_module is not None:
             handler = kernel_module.Dispatcher(self._msg_dispatch)
         else:
             handler = self.on_message
         network.nodes[node_id].install_handler(handler)
+        # Protocol fast paths (PR 8).  Compiled backend: the local-hit
+        # read/write bodies run in C against the flat cache index, with
+        # cold paths (trap bookkeeping, twin creation, tracing) falling
+        # back to the bound Python methods captured at construction.
+        if kernel_module is not None:
+            self._local_access = kernel_module.LocalAccess(
+                self,
+                AccessMode.INVALID,
+                AccessMode.WRITE,
+                not self._tr_twin_create,
+            )
+            self.try_read_local = self._local_access.try_read
+            self.try_write_local = self._local_access.try_write
+        # Both backends register for fast (batched, Message-free)
+        # delivery so python and compiled runs keep identical event
+        # structure; the network activates it once every node is in.
+        network.register_fast_dispatch(
+            node_id, self._msg_dispatch, self._bind_fast_sender
+        )
 
     # -- helpers ------------------------------------------------------------
 
@@ -464,6 +493,12 @@ class DsmEngine:
         self, dst: int, category: MsgCategory, size_bytes: int, payload: Any
     ) -> None:
         self.network.send(self.node_id, dst, category, size_bytes, payload)
+
+    def _bind_fast_sender(self, sender: Any) -> None:
+        """Install the network's fast-path send callable as this
+        engine's ``_send`` (same ``(dst, category, size_bytes, payload)``
+        signature; the node id is pre-bound)."""
+        self._send = sender
 
     def _dst_arena(self, node: int) -> Arena:
         """The arena a payload copy destined for ``node`` is carved from.
@@ -585,7 +620,7 @@ class DsmEngine:
         pending: list[Future] = []
         for target, group in sorted(by_target.items()):
             request_id = self._next_request_id()
-            fut = Future(label=f"batchreq-{target}-{request_id}")
+            fut = self._Future(label="batchreq")
             self._reply_waiters[request_id] = fut
             self._send(
                 target,
@@ -699,12 +734,12 @@ class DsmEngine:
                 if oid in self.forwards:
                     self.home_hint[oid] = self.forwards[oid]
                     continue
-                fut = Future(label=f"inbound-home-{oid}")
+                fut = self._Future(label="inbound-home")
                 self._local_home_waits.setdefault(oid, []).append(fut)
                 yield fut
                 continue
             request_id = self._next_request_id()
-            fut = Future(label=f"ship-{oid}-{request_id}")
+            fut = self._Future(label="ship")
             self._reply_waiters[request_id] = fut
             sent_at = self.sim.now
             self._send(
@@ -927,7 +962,7 @@ class DsmEngine:
             cached = self.cache.get(oid)
             if cached is not None and cached.readable():
                 return cached.payload
-        marker = Future(label=f"inflight-{oid}")
+        marker = self._Future(label="inflight")
         self._inflight[oid] = marker
         sp = self._sp
         if sp is not None:
@@ -967,12 +1002,12 @@ class DsmEngine:
                     continue
                 # we were announced as the new home but the transfer is
                 # still in flight: wait for it
-                fut = Future(label=f"inbound-home-{oid}")
+                fut = self._Future(label="inbound-home")
                 self._local_home_waits.setdefault(oid, []).append(fut)
                 yield fut
                 continue
             request_id = self._next_request_id()
-            fut = Future(label=f"objreq-{oid}-{request_id}")
+            fut = self._Future(label="objreq")
             self._reply_waiters[request_id] = fut
             sent_at = self.sim.now
             self._send(
@@ -1026,7 +1061,7 @@ class DsmEngine:
             # we are the manager: answer from the local map
             return self.manager_home_map.get(oid, self.heap.initial_home(oid))
         request_id = self._next_request_id()
-        fut = Future(label=f"homequery-{oid}-{request_id}")
+        fut = self._Future(label="homequery")
         self._reply_waiters[request_id] = fut
         self._send(
             manager,
@@ -1141,7 +1176,7 @@ class DsmEngine:
                 cached.downgrade_clean(arena)
                 continue
             request_id = self._next_request_id()
-            fut = Future(label=f"diffack-{oid}-{request_id}")
+            fut = self._Future(label="diffack")
             self._reply_waiters[request_id] = fut
             target = self.best_home_hint(oid)
             if sp is not None:
@@ -1240,6 +1275,10 @@ class DsmEngine:
         (acquire, barrier) follow with :meth:`invalidate_all_cached`
         (Java consistency), which subsumes per-notice invalidation.
         """
+        kernel_module = self._kernel
+        if kernel_module is not None:
+            kernel_module.merge_notices(self.required_version, notices)
+            return
         required = self.required_version
         for oid, version in notices.items():
             if version > required.get(oid, 0):
@@ -1293,26 +1332,37 @@ class DsmEngine:
         # pre-GC footprint peaks: the bounded-steady-state evidence
         self.stats.record_peak("cache_entries", len(cache))
         self.stats.record_peak("notice_floors", len(required))
+        kernel_module = self._kernel
         if cache:
-            dead = [
-                oid
-                for oid, entry in cache.items()
-                if entry.mode is AccessMode.INVALID and entry.twin is None
-            ]
-            arena = self.arena
-            for oid in dead:
-                arena.free(cache.pop(oid).payload)
-            self.gc_cache_drops += len(dead)
+            if kernel_module is not None:
+                self.gc_cache_drops += kernel_module.cache_sweep_invalid(
+                    cache, AccessMode.INVALID, self.arena.free
+                )
+            else:
+                dead = [
+                    oid
+                    for oid, entry in cache.items()
+                    if entry.mode is AccessMode.INVALID and entry.twin is None
+                ]
+                arena = self.arena
+                for oid in dead:
+                    arena.free(cache.pop(oid).payload)
+                self.gc_cache_drops += len(dead)
         if required:
-            homes = self.homes
-            prunable = [
-                oid
-                for oid, floor in required.items()
-                if floor <= released.get(oid, 0) or oid in homes
-            ]
-            for oid in prunable:
-                del required[oid]
-            self.gc_notice_prunes += len(prunable)
+            if kernel_module is not None:
+                self.gc_notice_prunes += kernel_module.prune_floors(
+                    required, released, self.homes
+                )
+            else:
+                homes = self.homes
+                prunable = [
+                    oid
+                    for oid, floor in required.items()
+                    if floor <= released.get(oid, 0) or oid in homes
+                ]
+                for oid in prunable:
+                    del required[oid]
+                self.gc_notice_prunes += len(prunable)
         # deferred-work queues are provably drained at a completed
         # barrier (flush blocks on diff acks; transfers precede release
         # delivery), but stale empty keys cost memory — compact them.
@@ -1381,11 +1431,11 @@ class DsmEngine:
                 return self.lock_table.grant_notices(
                     handle.lock_id, self.node_id
                 )
-            fut = Future(label=f"lock-{handle.lock_id}-{request_id}")
+            fut = self._Future(label="lock")
             self._lock_waiters[(handle.lock_id, request_id)] = fut
             grant: LockGrantMsg = yield fut
             return grant.notices
-        fut = Future(label=f"lock-{handle.lock_id}-{request_id}")
+        fut = self._Future(label="lock")
         self._lock_waiters[(handle.lock_id, request_id)] = fut
         self._send(
             handle.home,
@@ -1423,7 +1473,7 @@ class DsmEngine:
                         handle.lock_id, self.node_id
                     )
             else:
-                fut = Future(label=f"lock-{handle.lock_id}-{request_id}")
+                fut = self._Future(label="lock")
                 self._lock_waiters[(handle.lock_id, request_id)] = fut
                 self._send(
                     handle.home,
@@ -1534,7 +1584,7 @@ class DsmEngine:
                 round=round_no,
             )
         notices = yield from self.flush_diffs(op)
-        fut = Future(label=f"barrier-{handle.barrier_id}-{round_no}")
+        fut = self._Future(label="barrier")
         self._barrier_waiters.setdefault(
             (handle.barrier_id, round_no), []
         ).append(fut)
@@ -1651,7 +1701,12 @@ class DsmEngine:
 
     def _build_dispatch(self) -> dict[MsgCategory, Any]:
         """Category -> bound payload handler (built once per engine)."""
-        resolve_reply = self._resolve_reply
+        if self._kernel is not None:
+            # C twin of _resolve_reply over the same waiter dict (which
+            # is bound once in __init__ and never rebound).
+            resolve_reply = self._kernel.ReplyRouter(self._reply_waiters)
+        else:
+            resolve_reply = self._resolve_reply
         return {
             MsgCategory.OBJ_REQUEST: self._on_obj_request_msg,
             MsgCategory.OBJ_REPLY: resolve_reply,
@@ -1744,9 +1799,16 @@ class DsmEngine:
     def _serve_request(self, entry: HomeEntry, request: ObjRequest) -> None:
         oid = request.oid
         state = entry.state
-        state.record_remote_read(request.requester)
-        state.record_redirections(request.hops)
-        self.stats.incr("remote_read")
+        if self._kernel is not None:
+            # One C call for the monitor prelude (remote-read recording,
+            # redirection accumulation, the remote_read stats bump).
+            self._kernel.record_request(
+                state, request.requester, request.hops, self.stats.events
+            )
+        else:
+            state.record_remote_read(request.requester)
+            state.record_redirections(request.hops)
+            self.stats.incr("remote_read")
         if self._m_redirect_hops is not None:
             self._m_redirect_hops.observe(request.hops)
         alpha = self.alpha(oid, state)

@@ -17,7 +17,7 @@ from repro.cluster.stats import ClusterStats
 from repro.dsm.barrier import BarrierHandle
 from repro.dsm.homeless import HomelessEngine
 from repro.dsm.locks import LockHandle
-from repro.memory.arena import Arena
+from repro.memory.arena import Arena, new_arena
 from repro.memory.heap import ObjectHeap
 from repro.memory.objects import SharedObject
 from repro.sim.engine import make_simulator
@@ -39,7 +39,7 @@ class HomelessObjectSpace:
             self.sim, comm_model, nnodes, self.stats, service_us=service_us
         )
         self.heap = ObjectHeap()
-        self.arenas = [Arena(label=f"hl-node{i}") for i in range(nnodes)]
+        self.arenas = [new_arena(label=f"hl-node{i}") for i in range(nnodes)]
         self.engines = [
             HomelessEngine(
                 node_id=i,

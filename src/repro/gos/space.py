@@ -13,7 +13,7 @@ from repro.dsm.redirection import (
     ForwardingPointerMechanism,
     NotificationMechanism,
 )
-from repro.memory.arena import Arena
+from repro.memory.arena import Arena, new_arena
 from repro.memory.heap import ObjectHeap
 from repro.memory.objects import SharedObject
 from repro.obs.spans import SpanTracer
@@ -72,7 +72,7 @@ class GlobalObjectSpace:
         #: copies are carved from the *receiving* node's pool (the
         #: free/reuse cycle then closes inside each node; see
         #: :class:`~repro.memory.arena.Arena`).
-        self.arenas = [Arena(label=f"node{i}") for i in range(nnodes)]
+        self.arenas = [new_arena(label=f"node{i}") for i in range(nnodes)]
         self.gc_enabled = gc_enabled
         engine_logger = (
             logger.child(clock=lambda: self.sim.now)

@@ -21,6 +21,7 @@ from typing import Any, Generator, TYPE_CHECKING
 
 import numpy as np
 
+from repro import _kernel
 from repro.dsm.barrier import BarrierHandle
 from repro.dsm.locks import LockHandle
 from repro.memory.objects import FieldsSpec, SharedObject
@@ -28,6 +29,30 @@ from repro.sim.process import Delay
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gos.space import GlobalObjectSpace
+
+
+class _PyReady:
+    """Pure-Python twin of the kernel ``Ready`` iterator.
+
+    A single-use iterable whose iteration immediately ends with the given
+    value: ``yield from _PyReady(x)`` evaluates to ``x`` without ever
+    suspending.  Replaces generator-frame creation on local-hit accesses.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value):
+        self._value = value
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        value = self._value
+        if value is None:
+            raise StopIteration
+        self._value = None
+        raise StopIteration(value)
 
 
 class ThreadContext:
@@ -41,27 +66,50 @@ class ThreadContext:
         self.node = node
         self.engine = gos.engines[node]
         self._barrier_rounds: dict[int, int] = {}
+        kernel_module = _kernel.kernel()
+        self._ready = (
+            kernel_module.Ready if kernel_module is not None else _PyReady
+        )
+        # Hot-path pre-binds: the local-access shadows are installed on
+        # the engine at construction and never rebound afterwards, so one
+        # attribute resolution here replaces two per access.
+        self._try_read = self.engine.try_read_local
+        self._try_write = self.engine.try_write_local
+        self._miss_read = self.engine.read
+        self._miss_write = self.engine.write
+        # When the engine carries a kernel LocalAccess, the whole
+        # read/write wrapper collapses into one C call (instance
+        # attributes shadow the class methods below; same probe, same
+        # miss generator, same Ready iterator — no Python frame).
+        local_access = getattr(self.engine, "_local_access", None)
+        if kernel_module is not None and isinstance(
+            local_access, kernel_module.LocalAccess
+        ):
+            accessor = kernel_module.Accessor(
+                local_access, self._miss_read, self._miss_write
+            )
+            self.read = accessor.read
+            self.write = accessor.write
 
     # -- object access --------------------------------------------------
 
     def read(self, obj: SharedObject) -> Generator[Any, Any, np.ndarray]:
         """Readable payload of ``obj`` (may fault in from the home)."""
-        # Local hits (home copy or valid cached copy) resolve as a plain
-        # call; the protocol generator is only built when communication
-        # is actually needed.  Same side effects either way.
-        engine = self.engine
-        payload = engine.try_read_local(obj.oid)
+        # Local hits (home copy or valid cached copy) resolve without a
+        # generator frame: the Ready iterator finishes immediately under
+        # ``yield from``.  The protocol generator is only built when
+        # communication is actually needed.  Same side effects either way.
+        payload = self._try_read(obj.oid)
         if payload is None:
-            payload = yield from engine.read(obj.oid)
-        return payload
+            return self._miss_read(obj.oid)
+        return self._ready(payload)
 
     def write(self, obj: SharedObject) -> Generator[Any, Any, np.ndarray]:
         """Writable payload of ``obj`` (faults, twins, or home-write traps)."""
-        engine = self.engine
-        payload = engine.try_write_local(obj.oid)
+        payload = self._try_write(obj.oid)
         if payload is None:
-            payload = yield from engine.write(obj.oid)
-        return payload
+            return self._miss_write(obj.oid)
+        return self._ready(payload)
 
     def read_many(
         self, objs: list[SharedObject]

@@ -200,3 +200,20 @@ class Arena:
             f"<Arena {self.label or id(self):x} slabs={self.slabs_allocated} "
             f"live={self.live_bytes}B pooled={self.pooled_bytes}B>"
         )
+
+
+def new_arena(slab_bytes: int = DEFAULT_SLAB_BYTES, label: str = "") -> Arena:
+    """An arena from the active backend.
+
+    The compiled kernel ships a C twin of :class:`Arena` (identical
+    methods, error messages and accounting); engines allocate through it
+    when the compiled backend is loaded because ``take_copy``/``free``
+    sit on the per-message hot path.  The pure-Python class stays the
+    reference — and the return type, as far as callers are concerned.
+    """
+    from repro import _kernel
+
+    kernel_module = _kernel.kernel()
+    if kernel_module is not None:
+        return kernel_module.Arena(slab_bytes, label)
+    return Arena(slab_bytes, label)

@@ -13,6 +13,7 @@ every object pays :data:`OBJECT_HEADER_BYTES` of header; array objects add
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Mapping, TYPE_CHECKING
 
 import numpy as np
@@ -36,7 +37,10 @@ class ArraySpec:
             raise ValueError(f"array length must be positive, got {self.length}")
         np.dtype(self.dtype)  # validates
 
-    @property
+    # Layout sizes are cached on first access (specs are frozen, so the
+    # values can never change): size lookups sit on the per-message hot
+    # path, and ``np.dtype(...)`` per call is measurable there.
+    @cached_property
     def itemsize(self) -> int:
         return np.dtype(self.dtype).itemsize
 
@@ -45,7 +49,7 @@ class ArraySpec:
             return arena.zeros(self.length, self.dtype)
         return np.zeros(self.length, dtype=self.dtype)
 
-    @property
+    @cached_property
     def data_bytes(self) -> int:
         return self.length * self.itemsize
 
@@ -68,7 +72,7 @@ class FieldsSpec:
             raise ValueError(f"duplicate field names in {self.fields}")
         np.dtype(self.dtype)
 
-    @property
+    @cached_property
     def itemsize(self) -> int:
         return np.dtype(self.dtype).itemsize
 
@@ -83,7 +87,7 @@ class FieldsSpec:
             return arena.zeros(len(self.fields), self.dtype)
         return np.zeros(len(self.fields), dtype=self.dtype)
 
-    @property
+    @cached_property
     def data_bytes(self) -> int:
         return len(self.fields) * self.itemsize
 
@@ -102,12 +106,12 @@ class SharedObject:
     #: Extra metadata slot for applications (e.g. row index), not sized.
     meta: Mapping | None = field(default=None, compare=False, hash=False)
 
-    @property
+    @cached_property
     def size_bytes(self) -> int:
         """Wire size of a full object image (header + data)."""
         return OBJECT_HEADER_BYTES + self.spec.data_bytes
 
-    @property
+    @cached_property
     def itemsize(self) -> int:
         return self.spec.itemsize
 

@@ -30,6 +30,12 @@ def merge_notices(
 ) -> None:
     """Fold ``incoming`` notices into an ``oid -> max version`` map, in place."""
     if isinstance(incoming, dict):
+        from repro import _kernel
+
+        kernel_module = _kernel.kernel()
+        if kernel_module is not None:
+            kernel_module.merge_notices(accumulated, incoming)
+            return
         items = incoming.items()
     else:
         items = ((n.oid, n.version) for n in incoming)

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Generator, TYPE_CHECKING
 
 from repro.sim.errors import ProcessFailed, SimulationError
-from repro.sim.future import Future
+from repro.sim.future import Future, future_classes
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -50,7 +50,7 @@ class Process:
     if the generator raises.
     """
 
-    __slots__ = ("sim", "name", "_gen", "finished", "_started")
+    __slots__ = ("sim", "name", "_gen", "finished", "_started", "_blocking")
 
     def __init__(
         self, sim: "Simulator", generator: Generator[Any, Any, Any], name: str
@@ -60,6 +60,9 @@ class Process:
         self._gen = generator
         self.finished: Future = Future(label=f"{name}.finished")
         self._started = False
+        # Effect classes that block this process: the Python Future plus
+        # the kernel's C twin when the compiled backend is active.
+        self._blocking = future_classes()
 
     @property
     def done(self) -> bool:
@@ -100,7 +103,7 @@ class Process:
             if type(effect) is Delay:
                 sim.schedule(effect.duration_us, self._step, None, None)
                 return
-            if isinstance(effect, Future):
+            if isinstance(effect, self._blocking):
                 if effect.resolved:
                     value, exc = effect.peek()
                     continue

@@ -250,3 +250,32 @@ def test_empty_span_trace_renders_gracefully(tmp_path):
     assert report["spans"]["opened"] == 0
     text = render_analysis(report)
     assert "no spans in this trace" in text
+
+
+def test_cli_analyze_spans_disabled_trace_is_one_line_and_exit_0(tmp_path):
+    """``repro-bench analyze`` on a spans-disabled trace prints a single
+    actionable line (how to re-record) and exits 0 — a filtered trace is
+    not an error condition."""
+    path = tmp_path / "nospans.jsonl"
+    record_trace(str(path), app="asp", app_kwargs={"size": 20},
+                 policy="NM", nodes=4)
+    lines = path.read_text().splitlines()
+    kept = [lines[0]] + [
+        line for line in lines[1:]
+        if '"span_open"' not in line and '"span_close"' not in line
+    ]
+    filtered = tmp_path / "filtered.jsonl"
+    filtered.write_text("\n".join(kept) + "\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "analyze", str(filtered)],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin",
+             "REPRO_BACKEND": "python"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    out_lines = proc.stdout.strip().splitlines()
+    assert len(out_lines) == 1, proc.stdout
+    assert "no spans in this trace" in out_lines[0]
+    assert "re-record" in out_lines[0]

@@ -137,6 +137,38 @@ def test_fuzzer_episodes_identical_across_backends():
     assert digests["python"] == digests["compiled"]
 
 
+FASTPATH_CODE = """\
+import hashlib, json
+from repro.bench.executor import RunSpec, run_spec
+# Episodes chosen to exercise every compiled fast path: ASP/NM drives
+# fault-in + diff propagation through the batched delivery layer with no
+# migration; tokenring/AT is lock-transfer heavy (ReplyRouter, pending
+# queues); the homeless SOR leg uses the fallback engine whose accesses
+# bypass the LocalAccess shadows entirely.
+specs = [
+    RunSpec(app="asp", app_kwargs={"size": 20}, policy="NM", nodes=8,
+            tag="fp-asp"),
+    RunSpec(app="tokenring", app_kwargs={}, policy="AT", nodes=8,
+            tag="fp-ring"),
+    RunSpec(app="sor", app_kwargs={"size": 24, "iterations": 6},
+            policy="AT", nodes=4, protocol="homeless", tag="fp-homeless"),
+]
+blobs = [
+    json.dumps(run_spec(s).deterministic(), sort_keys=True, default=repr)
+    for s in specs
+]
+print(hashlib.sha256("\\n".join(blobs).encode()).hexdigest())
+"""
+
+
+def test_fastpath_episodes_identical_across_backends():
+    """Episode hashes across the PR-8 fast paths (local-access shadows,
+    batched delivery, C pending queues, C futures/arenas) are identical
+    under both backends."""
+    digests = _run_both(FASTPATH_CODE)
+    assert digests["python"] == digests["compiled"]
+
+
 SPAN_TRACE_CODE = """\
 import hashlib, tempfile, os
 from repro.bench.record import record_trace

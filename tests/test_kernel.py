@@ -262,6 +262,216 @@ def test_adaptive_threshold_error_messages_match(km):
 
 
 # --------------------------------------------------------------------------
+# Future: the C twin of repro.sim.future.Future
+# --------------------------------------------------------------------------
+
+
+def _future_transcript(cls):
+    """Exercise one class through the full Future contract; return a
+    comparable transcript (values, callback orders, error messages)."""
+    from repro.sim.errors import SimulationError
+
+    out = []
+    fut = cls(label="t")
+    out.append((fut.resolved, fut.exception, repr(fut)))
+    calls = []
+    fut.add_done_callback(lambda f: calls.append(("first", f.value)))
+    fut.add_done_callback(lambda f: calls.append(("second", f.value)))
+    fut.resolve(41)
+    out.append((fut.resolved, fut.value, calls, repr(fut)))
+    fut.add_done_callback(lambda f: calls.append(("late", f.value)))
+    out.append(list(calls))
+    for exc_case in ("resolve", "fail"):
+        try:
+            getattr(fut, exc_case)(RuntimeError("x") if exc_case == "fail" else 1)
+        except SimulationError as exc:
+            out.append(str(exc))
+    unread = cls(label="u")
+    try:
+        unread.value
+    except SimulationError as exc:
+        out.append(str(exc))
+    try:
+        unread.peek()
+    except SimulationError as exc:
+        out.append(str(exc))
+    failed = cls(label="f")
+    error = ValueError("boom")
+    failed.fail(error)
+    value, exc = failed.peek()
+    out.append((failed.resolved, failed.exception is error, value, exc is error))
+    try:
+        failed.value
+    except ValueError as exc:
+        out.append(("reraised", exc is error))
+    return out
+
+
+def test_future_twin_matches_python(km):
+    from repro.sim.future import Future as PyFuture
+
+    assert _future_transcript(PyFuture) == _future_transcript(km.Future)
+
+
+def test_future_classes_cover_both_backends(km):
+    from repro.sim.future import Future as PyFuture, future_class, future_classes
+
+    classes = future_classes()
+    assert PyFuture in classes and km.Future in classes
+    assert future_class() is km.Future
+
+
+def test_process_blocks_on_compiled_future(km, sim_classes):
+    """A generator yielding a C Future suspends and resumes exactly like
+    one yielding the Python Future."""
+    from repro.sim.process import Process
+
+    _, compiled_cls = sim_classes
+    sim = compiled_cls()
+    fut = km.Future(label="gate")
+    trace = []
+
+    def body():
+        value = yield fut
+        trace.append(value)
+        return value * 2
+
+    proc = Process(sim, body(), name="p")
+    proc.start()
+    sim.schedule(5.0, lambda: fut.resolve(21))
+    sim.run()
+    assert trace == [21]
+    assert proc.finished.value == 42
+
+
+# --------------------------------------------------------------------------
+# Arena: the C twin of repro.memory.arena.Arena
+# --------------------------------------------------------------------------
+
+
+def _arena_transcript(cls):
+    """One allocation workout; returns (stats dict, error messages)."""
+    arena = cls(1024, "t")
+    a = arena.zeros(10)
+    b = arena.take_copy(np.arange(5, dtype=np.float64))
+    arena.free(a)
+    c = arena.alloc(10)  # exact-shape reuse of a
+    assert c.base is not None
+    scratch = arena.bool_scratch(100)
+    assert scratch.dtype == np.bool_ and scratch.size == 100
+    errors = []
+    for thunk in (
+        lambda: arena.alloc(0),
+        lambda: arena.take_copy(np.zeros((2, 2))),
+        lambda: cls(8),
+    ):
+        try:
+            thunk()
+        except ValueError as exc:
+            errors.append(str(exc))
+    np.testing.assert_array_equal(b, np.arange(5, dtype=np.float64))
+    return arena.stats(), errors
+
+
+def test_arena_twin_matches_python(km):
+    from repro.memory.arena import Arena as PyArena
+
+    py_stats, py_errors = _arena_transcript(PyArena)
+    c_stats, c_errors = _arena_transcript(km.Arena)
+    assert py_stats == c_stats
+    assert py_errors == c_errors
+
+
+def test_arena_twin_zeroes_and_isolates_reuse(km):
+    """Pooled reuse can never leak stale bytes through ``zeros``."""
+    arena = km.Arena(1024, "reuse")
+    first = arena.zeros(16)
+    first[:] = 7.5
+    arena.free(first)
+    again = arena.zeros(16)
+    np.testing.assert_array_equal(again, np.zeros(16))
+
+
+def test_new_arena_returns_backend_class(km):
+    from repro.memory.arena import new_arena
+
+    assert type(new_arena(label="x")).__module__ == "repro._kernel._kernelc"
+
+
+# --------------------------------------------------------------------------
+# Ready + Accessor: the fused local-access fast path
+# --------------------------------------------------------------------------
+
+
+def test_ready_is_single_use_yield_from_target(km):
+    def consume(it):
+        value = yield from it
+        return value
+
+    gen = consume(km.Ready({"k": 1}))
+    with pytest.raises(StopIteration) as stop:
+        next(gen)
+    assert stop.value.value == {"k": 1}
+    # a consumed Ready ends iteration immediately, with no value
+    spent = km.Ready(5)
+    assert list(spent) == []
+    assert list(spent) == []
+
+
+def test_accessor_hit_and_miss_paths(km):
+    """ctx.read/ctx.write route through the C Accessor under the
+    compiled backend: a home-copy write is a local hit, a remote read
+    faults in through the protocol generator — and the run's result is
+    what the Python wrapper would produce."""
+    from repro.apps.base import DsmApplication
+    from repro.bench.runner import make_comm_model
+    from repro.gos.jvm import DistributedJVM
+
+    class Probe(DsmApplication):
+        name = "accessor-probe"
+
+        def setup(self, gos, nthreads):
+            self.arr = gos.alloc_array(8, home=0, label="arr")
+            self.gate = gos.alloc_barrier(nthreads)
+
+        def thread_body(self, ctx, tid):
+            if tid == 0:
+                payload = yield from ctx.write(self.arr)  # home hit
+                payload[0] = 42.0
+            yield from ctx.barrier(self.gate)
+            got = yield from ctx.read(self.arr)  # tid 1: remote fault-in
+            self.seen[tid] = float(got[0])
+
+        def setup_run(self):
+            self.seen = {}
+
+        def finalize(self, gos):
+            return dict(self.seen)
+
+    app = Probe()
+    app.setup_run()
+    jvm = DistributedJVM(nodes=2, comm_model=make_comm_model("fast-ethernet"))
+    result = jvm.run(app, nthreads=2)
+    assert result.output == {0: 42.0, 1: 42.0}
+
+
+def test_thread_context_binds_accessor_methods(km):
+    """Under the compiled backend the context's read/write are the C
+    Accessor's bound methods, not the Python wrappers."""
+    from repro.bench.runner import make_comm_model
+    from repro.gos.space import GlobalObjectSpace
+    from repro.gos.thread import ThreadContext
+
+    gos = GlobalObjectSpace(
+        nnodes=2, comm_model=make_comm_model("fast-ethernet")
+    )
+    ctx = ThreadContext(gos, tid=0, node=0)
+    assert type(ctx.read).__name__ == "builtin_function_or_method"
+    assert type(ctx.read.__self__) is km.Accessor
+    assert ctx.write.__self__ is ctx.read.__self__
+
+
+# --------------------------------------------------------------------------
 # Build / fallback machinery
 # --------------------------------------------------------------------------
 
@@ -340,6 +550,35 @@ except RuntimeError as exc:
     print("OK")
 else:
     raise SystemExit("expected RuntimeError")
+""",
+    )
+
+
+def test_fallback_warning_fires_once_per_process(cacheless_src):
+    """The auto-mode fallback RuntimeWarning is latched per process:
+    ``select_backend()`` re-resolutions on a compiler-less host must not
+    re-fire it."""
+    _subprocess_check(
+        cacheless_src,
+        "auto",
+        """\
+import warnings
+with warnings.catch_warnings(record=True) as caught:
+    warnings.simplefilter("always")
+    import repro
+    from repro import _kernel
+    assert _kernel.backend_name() == "python"
+    # two explicit re-resolutions: each re-attempts (and re-fails) the
+    # compiled build, but the warning must stay a one-liner
+    assert _kernel.select_backend("auto") == "python"
+    assert _kernel.select_backend("auto") == "python"
+fallbacks = [
+    w for w in caught
+    if "falling back to the pure-Python backend" in str(w.message)
+]
+assert len(fallbacks) == 1, [str(w.message) for w in caught]
+assert issubclass(fallbacks[0].category, RuntimeWarning)
+print("OK")
 """,
     )
 
