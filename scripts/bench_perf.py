@@ -35,12 +35,27 @@ report records the GC-on vs GC-off reduction percentages plus the
 pinned-workload walls, giving the PR-4 memory work the same checked-in
 evidence trail the PR-3 hot-path work has.
 
+A fourth mode (``--tier scale``) measures the *scale* tier: one fixed
+ASP problem (a 1024x1024 matrix, so per-event work is constant — every
+fault moves the same 8 KiB row) strong-scaled over 16/64/256/1024 nodes
+under the compiled backend, one isolated subprocess per leg (honest
+peak RSS), rounds interleaved across N so a shared-host load epoch
+cannot bias one leg.  The report records per-N
+engine-event rates, per-event wall overhead relative to the 16-node
+reference leg (the large-N protocol paths are meant to keep this flat —
+the gate is within 25% at 1024), peak RSS, and one topology-enabled leg
+(fat-tree with contention at 256 nodes) so the table shows what the
+topology model costs.  ``--max-nodes`` caps the grid: CI's push job stops
+at 256; the 1024-node leg runs nightly.
+
 Usage:
     PYTHONPATH=src python scripts/bench_perf.py [--out BENCH_PR2.json]
     PYTHONPATH=src python scripts/bench_perf.py --pinned \
         [--compare-src .baseline/wt/src] [--out BENCH_PR3.json]
     PYTHONPATH=src python scripts/bench_perf.py --tier large \
         [--out BENCH_PR4.json]
+    PYTHONPATH=src python scripts/bench_perf.py --tier scale \
+        [--max-nodes 1024] [--out BENCH_PR9.json]
 """
 
 import argparse
@@ -362,6 +377,152 @@ def _spawn_memory_leg(workload: str, gc_enabled: bool) -> dict:
     return json.loads(proc.stdout)
 
 
+#: Node counts of the scale tier (strong scaling over one fixed
+#: problem).
+SCALE_NODES = (16, 64, 256, 1024)
+
+#: Fixed ASP matrix size shared by every scale leg.  Keeping the
+#: problem fixed while N varies keeps the *per-event work* constant
+#: (every fault moves a 1024-column row regardless of N), so the
+#: per-event wall cost isolates simulator/protocol overhead.  Sizing
+#: ASP to N instead would grow the row payload 64x between the 16- and
+#: 1024-node legs and the "overhead" ratio would mostly measure
+#: memcpy.  The gate: this cost must stay ~flat to 1024 nodes.
+SCALE_SIZE = 1024
+
+#: The topology-enabled scale leg: fat-tree with contention at this N,
+#: recording what the topology tables cost the compiled hot path.
+SCALE_TOPOLOGY_NODES = 256
+SCALE_TOPOLOGY = "fat-tree:edge=16:pod=4:oversub=2:contention=1"
+
+
+def _scale_leg(nodes: int, topology: str | None) -> dict:
+    """Run one ASP scale leg in THIS process and measure it.
+
+    Invoked in a fresh subprocess per leg (``--scale-leg``): peak RSS is
+    a process-lifetime high-water mark, and the compiled backend must be
+    bound fresh.  A tiny throwaway run first warms imports and the
+    kernel so the timed window measures the simulator, not start-up.
+    """
+    import resource
+
+    from repro import _kernel
+    from repro.bench.executor import RunSpec, run_spec
+
+    warm = RunSpec(
+        app="asp", app_kwargs={"size": 8}, policy="NM", nodes=4, verify=False
+    )
+    run_spec(warm)
+    spec = RunSpec(
+        app="asp",
+        app_kwargs={"size": SCALE_SIZE},
+        policy="NM",
+        nodes=nodes,
+        verify=False,
+        topology=topology,
+    )
+    start = time.perf_counter()
+    outcome = run_spec(spec)
+    wall = time.perf_counter() - start
+    return {
+        "nodes": nodes,
+        "topology": topology,
+        "backend": _kernel.backend_name(),
+        "wall_s": wall,
+        "sim_time_us": outcome.time_us,
+        "engine_events": outcome.events_processed,
+        "messages": outcome.messages,
+        "events_per_sec": outcome.events_processed / wall,
+        "us_per_event": 1e6 * wall / outcome.events_processed,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def _spawn_scale_leg(nodes: int, topology: str | None) -> dict:
+    """Run one scale leg in an isolated compiled-backend subprocess."""
+    cmd = [
+        sys.executable,
+        os.path.abspath(__file__),
+        "--tier",
+        "scale",
+        "--scale-leg",
+        str(nodes),
+        "--emit-json",
+    ]
+    if topology:
+        cmd += ["--topology", topology]
+    env = dict(os.environ, REPRO_BACKEND="compiled")
+    proc = subprocess.run(
+        cmd, env=env, capture_output=True, text=True, check=True
+    )
+    return json.loads(proc.stdout)
+
+
+def scale_main(args) -> None:
+    """``--tier scale``: per-N event rates + RSS, interleaved rounds."""
+    if args.scale_leg:
+        json.dump(
+            _scale_leg(int(args.scale_leg), args.topology or None),
+            sys.stdout,
+        )
+        return
+
+    grid = [n for n in SCALE_NODES if n <= args.max_nodes]
+    legs: dict[str, dict] = {}
+    rounds = max(1, args.rounds)
+    for rnd in range(rounds):
+        for n in grid:
+            print(
+                f"round {rnd + 1}/{rounds}: {n}-node leg ...", flush=True
+            )
+            cur = _spawn_scale_leg(n, None)
+            best = legs.get(str(n))
+            if best is None or cur["wall_s"] < best["wall_s"]:
+                legs[str(n)] = cur
+        if SCALE_TOPOLOGY_NODES <= args.max_nodes:
+            key = f"{SCALE_TOPOLOGY_NODES}_topology"
+            print(
+                f"round {rnd + 1}/{rounds}: {SCALE_TOPOLOGY_NODES}-node "
+                f"topology leg ...",
+                flush=True,
+            )
+            cur = _spawn_scale_leg(SCALE_TOPOLOGY_NODES, SCALE_TOPOLOGY)
+            best = legs.get(key)
+            if best is None or cur["wall_s"] < best["wall_s"]:
+                legs[key] = cur
+
+    reference = legs[str(grid[0])]
+    overhead = {
+        key: leg["us_per_event"] / reference["us_per_event"]
+        for key, leg in legs.items()
+    }
+    report = {
+        "mode": "scale-tier",
+        "host": _host(),
+        "backend": reference["backend"],
+        "interleaved_rounds": rounds,
+        "workload": f"asp size={SCALE_SIZE} (fixed problem, strong "
+        "scaling over N), NM",
+        "topology_leg": SCALE_TOPOLOGY,
+        "legs": legs,
+        "reference_nodes": grid[0],
+        "per_event_overhead_vs_reference": overhead,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    for key, leg in legs.items():
+        print(
+            f"N={key}: {leg['wall_s']:.2f}s wall, "
+            f"{leg['engine_events']} events "
+            f"({leg['events_per_sec']:.0f} ev/s, "
+            f"{leg['us_per_event']:.3f} us/ev, "
+            f"{overhead[key]:.2f}x vs N={grid[0]}), "
+            f"peak RSS {leg['peak_rss_kb']} KiB"
+        )
+    print(f"report written to {args.out}")
+
+
 def large_main(args) -> None:
     """``--tier large``: the memory tier — GC-off vs GC-on legs per
     workload in isolated subprocesses, plus the pinned walls."""
@@ -659,14 +820,33 @@ def main() -> None:
     )
     parser.add_argument(
         "--tier",
-        choices=("quick", "large"),
+        choices=("quick", "large", "scale"),
         default="quick",
-        help="'large' runs the memory tier (GC-off vs GC-on subprocesses)",
+        help="'large' runs the memory tier (GC-off vs GC-on subprocesses); "
+        "'scale' runs the 16..1024-node event-rate tier (compiled backend, "
+        "one subprocess per leg)",
     )
     parser.add_argument(
         "--memory-leg",
         default=None,
         help=argparse.SUPPRESS,  # internal: one isolated memory measurement
+    )
+    parser.add_argument(
+        "--scale-leg",
+        default=None,
+        help=argparse.SUPPRESS,  # internal: one isolated scale measurement
+    )
+    parser.add_argument(
+        "--topology",
+        default=None,
+        help=argparse.SUPPRESS,  # internal: topology spec for --scale-leg
+    )
+    parser.add_argument(
+        "--max-nodes",
+        type=int,
+        default=1024,
+        help="largest scale-tier leg (CI push jobs stop at 256; the "
+        "1024-node leg runs nightly)",
     )
     parser.add_argument(
         "--no-gc",
@@ -679,11 +859,17 @@ def main() -> None:
     if args.rounds is None:
         args.rounds = 1 if args.quick else 3
     if args.out is None:
-        args.out = (
-            "BENCH_PR6.json" if args.compare_backends else "BENCH_PR2.json"
-        )
+        if args.compare_backends:
+            args.out = "BENCH_PR6.json"
+        elif args.tier == "scale":
+            args.out = "BENCH_PR9.json"
+        else:
+            args.out = "BENCH_PR2.json"
     if args.compare_backends:
         backends_main(args)
+        return
+    if args.tier == "scale" or args.scale_leg:
+        scale_main(args)
         return
     if args.tier == "large" or args.memory_leg:
         large_main(args)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Digest-pinned 256-node scale episode (CI hard gate).
+
+One short ASP run at 256 nodes exercising the whole PR-9 feature stack
+at once — fat-tree topology with serialized uplink contention, the
+k-ary barrier-release relay, and the sharded home-manager directory —
+hashed over its deterministic outcome (every `RunOutcome` field except
+the wall clock, telemetry and backend name).  The digest is pinned
+below; both backends must reproduce it bit for bit, so CI runs this
+under ``REPRO_BACKEND=compiled`` as the scale-tier twin of the 4-node
+determinism digest in ``tests/test_determinism_digest.py``.
+
+Usage:
+    PYTHONPATH=src python scripts/scale_digest.py          # verify (exit 1 on drift)
+    PYTHONPATH=src python scripts/scale_digest.py --pin    # print the current digest
+"""
+
+import argparse
+import hashlib
+import json
+import sys
+
+from repro.bench.executor import RunSpec, run_spec
+
+#: The pinned episode: every PR-9 scale feature on one 256-node run.
+SPEC = RunSpec(
+    app="asp",
+    app_kwargs={"size": 256},
+    policy="AT",
+    nodes=256,
+    mechanism="home-manager:shards=8",
+    topology="fat-tree:edge=16:pod=4:oversub=2:contention=1",
+    release_fanout=4,
+    verify=True,
+    tag="scale-digest",
+)
+
+#: sha256 over the canonical JSON of ``run_spec(SPEC).deterministic()``.
+#: Behaviour changes to any scale path require an explicit re-pin here.
+EXPECTED_DIGEST = (
+    "cae4855ae141767984d62db90b2d0600a3f91868e7dcdadc874e5daa9674144f"
+)
+
+
+def episode_digest() -> str:
+    outcome = run_spec(SPEC).deterministic()
+    blob = json.dumps(outcome, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--pin",
+        action="store_true",
+        help="print the current digest instead of verifying",
+    )
+    args = parser.parse_args()
+    digest = episode_digest()
+    if args.pin:
+        print(digest)
+        return 0
+    if digest != EXPECTED_DIGEST:
+        print(
+            f"scale digest drift:\n  expected {EXPECTED_DIGEST}\n"
+            f"  got      {digest}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"scale digest ok: {digest}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -167,10 +167,11 @@ def _load_from_path(path: Path) -> Any:
 # Oldest extension ABI this selection layer can drive.  Bumped when the
 # Python side starts depending on new C symbols (PR 8 added the protocol
 # fast-path layer: LocalAccess, NetFabric, the C pending queues, the
-# Future/Arena hot-path twins, and the fused ThreadContext Accessor); an
-# installed in-place build predating them must lose to a fresh first-use
-# build rather than load and fail at attribute lookup.
-_MIN_KERNEL_API = 4
+# Future/Arena hot-path twins, and the fused ThreadContext Accessor;
+# PR 9 added NetFabric.set_topology and cache_invalidate_read for the
+# scale tier); an installed in-place build predating them must lose to
+# a fresh first-use build rather than load and fail at attribute lookup.
+_MIN_KERNEL_API = 5
 
 
 def _load_or_build() -> Any:

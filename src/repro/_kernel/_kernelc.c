@@ -2548,6 +2548,20 @@ typedef struct {
     double bandwidth;
     PyObject *header_obj;  /* HEADER_BYTES as PyLong */
     long long header_ll;
+    /* Optional topology tables (PROTOCOL.md §15): per-(src,dst) extra
+     * hop latency, oversubscription transfer penalty and shared-uplink
+     * id, read straight out of the Python-built float64/int64 arrays
+     * (buffer views pin them).  has_topo == 0 is the flat switch. */
+    int has_topo;
+    int topo_contention;
+    Py_buffer topo_hop_view;
+    Py_buffer topo_pen_view;
+    Py_buffer topo_link_view;
+    const double *topo_hop;
+    const double *topo_pen;
+    const long long *topo_link;
+    double *link_free;
+    Py_ssize_t nlinks;
 } FabricObject;
 
 static int
@@ -2647,10 +2661,107 @@ Fabric_add_port(FabricObject *self, PyObject *const *args, Py_ssize_t nargs)
     return port;
 }
 
+/* set_topology(hop, pen, link, nlinks, contention): attach the per-pair
+ * cost tables.  hop/pen are nnodes*nnodes C-contiguous float64, link is
+ * int64 (-1 = no shared uplink); the views pin the arrays for the
+ * fabric's lifetime so the send path can index raw memory. */
+static PyObject *
+Fabric_set_topology(FabricObject *self, PyObject *const *args,
+                    Py_ssize_t nargs)
+{
+    Py_buffer hop, pen, link;
+    long long nlinks, contention;
+    Py_ssize_t need, i;
+    double *link_free;
+
+    if (nargs != 5) {
+        PyErr_SetString(PyExc_TypeError,
+                        "set_topology() requires (hop, pen, link, nlinks, "
+                        "contention)");
+        return NULL;
+    }
+    if (self->has_topo) {
+        PyErr_SetString(PyExc_RuntimeError, "topology already set");
+        return NULL;
+    }
+    nlinks = PyLong_AsLongLong(args[3]);
+    if (nlinks == -1 && PyErr_Occurred()) {
+        return NULL;
+    }
+    contention = PyLong_AsLongLong(args[4]);
+    if (contention == -1 && PyErr_Occurred()) {
+        return NULL;
+    }
+    if (nlinks < 0) {
+        PyErr_Format(PyExc_ValueError, "nlinks must be >= 0, got %lld",
+                     nlinks);
+        return NULL;
+    }
+    if (PyObject_GetBuffer(args[0], &hop, PyBUF_C_CONTIGUOUS) < 0) {
+        return NULL;
+    }
+    if (PyObject_GetBuffer(args[1], &pen, PyBUF_C_CONTIGUOUS) < 0) {
+        PyBuffer_Release(&hop);
+        return NULL;
+    }
+    if (PyObject_GetBuffer(args[2], &link, PyBUF_C_CONTIGUOUS) < 0) {
+        PyBuffer_Release(&hop);
+        PyBuffer_Release(&pen);
+        return NULL;
+    }
+    need = self->nnodes * self->nnodes;
+    if (hop.len != need * (Py_ssize_t)sizeof(double) ||
+        pen.len != need * (Py_ssize_t)sizeof(double) ||
+        link.len != need * (Py_ssize_t)sizeof(long long)) {
+        PyBuffer_Release(&hop);
+        PyBuffer_Release(&pen);
+        PyBuffer_Release(&link);
+        PyErr_SetString(PyExc_ValueError,
+                        "topology tables must be nnodes*nnodes "
+                        "C-contiguous float64/int64 arrays");
+        return NULL;
+    }
+    for (i = 0; i < need; i++) {
+        long long l = ((const long long *)link.buf)[i];
+        if (l >= nlinks) {
+            PyBuffer_Release(&hop);
+            PyBuffer_Release(&pen);
+            PyBuffer_Release(&link);
+            PyErr_Format(PyExc_ValueError,
+                         "link id %lld outside nlinks=%lld", l, nlinks);
+            return NULL;
+        }
+    }
+    link_free = PyMem_Malloc((size_t)(nlinks > 0 ? nlinks : 1) *
+                             sizeof(double));
+    if (link_free == NULL) {
+        PyBuffer_Release(&hop);
+        PyBuffer_Release(&pen);
+        PyBuffer_Release(&link);
+        PyErr_NoMemory();
+        return NULL;
+    }
+    for (i = 0; i < nlinks; i++) {
+        link_free[i] = 0.0;
+    }
+    self->topo_hop_view = hop;
+    self->topo_pen_view = pen;
+    self->topo_link_view = link;
+    self->topo_hop = (const double *)hop.buf;
+    self->topo_pen = (const double *)pen.buf;
+    self->topo_link = (const long long *)link.buf;
+    self->link_free = link_free;
+    self->nlinks = nlinks;
+    self->topo_contention = contention != 0;
+    self->has_topo = 1;
+    Py_RETURN_NONE;
+}
+
 /* The legacy Network.send body, op for op: the same validation order and
  * error strings, the same Counter updates, and the same IEEE-754
  * sequence for the Hockney NIC occupancy math, so walls and stats hash
- * identically under both backends. */
+ * identically under both backends.  The topology branch mirrors
+ * Network._topo_arrival with the same operation order. */
 static PyObject *
 fabric_send_core(FabricObject *f, PyObject *src_obj, PyObject *dst_obj,
                  PyObject *category, PyObject *size_obj, PyObject *payload)
@@ -2721,7 +2832,28 @@ fabric_send_core(FabricObject *f, PyObject *src_obj, PyObject *dst_obj,
     injection_start = now >= nic_free ? now : nic_free;
     injection_end = injection_start + total_d / f->bandwidth;
     f->nic_free[src] = injection_end;
-    arrival = injection_end + f->startup_us;
+    if (f->has_topo) {
+        Py_ssize_t cell = (Py_ssize_t)src * f->nnodes + (Py_ssize_t)dst;
+        double hop = f->topo_hop[cell];
+        double pen = f->topo_pen[cell];
+        long long uplink = f->topo_link[cell];
+
+        if (f->topo_contention && uplink >= 0) {
+            double occupancy = total_d * (1.0 + pen) / f->bandwidth;
+            double link_free = f->link_free[uplink];
+            double start =
+                injection_end >= link_free ? injection_end : link_free;
+            double link_end = start + occupancy;
+
+            f->link_free[uplink] = link_end;
+            arrival = link_end + f->startup_us + hop;
+        } else {
+            arrival = injection_end + f->startup_us + hop +
+                      total_d * pen / f->bandwidth;
+        }
+    } else {
+        arrival = injection_end + f->startup_us;
+    }
 
     port = (PortObject *)PyList_GET_ITEM(f->ports, dst);
     evargs = PyTuple_Pack(2, category, payload);
@@ -2802,6 +2934,14 @@ Fabric_dealloc(FabricObject *self)
     Fabric_clear_gc(self);
     PyMem_Free(self->nic_free);
     self->nic_free = NULL;
+    if (self->has_topo) {
+        self->has_topo = 0;
+        PyBuffer_Release(&self->topo_hop_view);
+        PyBuffer_Release(&self->topo_pen_view);
+        PyBuffer_Release(&self->topo_link_view);
+        PyMem_Free(self->link_free);
+        self->link_free = NULL;
+    }
     Py_TYPE(self)->tp_free((PyObject *)self);
 }
 
@@ -2913,6 +3053,11 @@ static PyMethodDef Fabric_methods[] = {
      "source NIC, and schedule the batched arrival."},
     {"sender", (PyCFunction)Fabric_sender, METH_O,
      "sender(src)\n--\n\nA bound per-node send callable."},
+    {"set_topology", (PyCFunction)(void (*)(void))Fabric_set_topology,
+     METH_FASTCALL,
+     "set_topology(hop, pen, link, nlinks, contention)\n--\n\n"
+     "Attach per-pair topology cost tables (nnodes*nnodes float64 hop "
+     "latency, float64 bandwidth penalty, int64 shared-uplink id)."},
     {NULL, NULL, 0, NULL},
 };
 
@@ -3110,6 +3255,65 @@ kernel_cache_sweep(PyObject *mod, PyObject *const *args, Py_ssize_t nargs)
 fail:
     Py_DECREF(slots);
     return NULL;
+}
+
+/* cache_invalidate_read(cache, read_mode, invalid_mode): the Java-
+ * consistency cache flush of invalidate_all_cached — flip every READ
+ * entry of the flat CacheIndex to INVALID (identity compare on the
+ * enum members, like the Python `is` check), returning the flip
+ * count.  Dirty WRITE copies and tombstones are untouched. */
+static PyObject *
+kernel_cache_invalidate_read(PyObject *mod, PyObject *const *args,
+                             Py_ssize_t nargs)
+{
+    PyObject *cache, *readm, *invalid, *slots;
+    Py_ssize_t i, nswept = 0;
+
+    if (nargs != 3) {
+        PyErr_Format(PyExc_TypeError,
+                     "cache_invalidate_read expects 3 arguments, got %zd",
+                     nargs);
+        return NULL;
+    }
+    cache = args[0];
+    readm = args[1];
+    invalid = args[2];
+    slots = PyObject_GetAttr(cache, str_slots);
+    if (slots == NULL) {
+        return NULL;
+    }
+    if (!PyList_Check(slots)) {
+        Py_DECREF(slots);
+        PyErr_SetString(PyExc_TypeError,
+                        "cache_invalidate_read needs a CacheIndex");
+        return NULL;
+    }
+    for (i = 0; i < PyList_GET_SIZE(slots); i++) {
+        PyObject *entry = PyList_GET_ITEM(slots, i);
+        PyObject *mode;
+        int is_read;
+
+        if (entry == Py_None) {
+            continue;
+        }
+        mode = PyObject_GetAttr(entry, str_mode);
+        if (mode == NULL) {
+            Py_DECREF(slots);
+            return NULL;
+        }
+        is_read = (mode == readm);
+        Py_DECREF(mode);
+        if (!is_read) {
+            continue;
+        }
+        if (PyObject_SetAttr(entry, str_mode, invalid) < 0) {
+            Py_DECREF(slots);
+            return NULL;
+        }
+        nswept++;
+    }
+    Py_DECREF(slots);
+    return PyLong_FromSsize_t(nswept);
 }
 
 /* prune_floors(required, released, homes): delete every write-notice
@@ -3984,6 +4188,12 @@ static PyMethodDef kernel_methods[] = {
      "prune_floors(required, released, homes)\n--\n\n"
      "Drop write-notice floors at or below the release horizon (or "
      "locally homed); returns the prune count."},
+    {"cache_invalidate_read",
+     (PyCFunction)(void (*)(void))kernel_cache_invalidate_read,
+     METH_FASTCALL,
+     "cache_invalidate_read(cache, read_mode, invalid_mode)\n--\n\n"
+     "Java-consistency flush of a CacheIndex: flip every READ entry to "
+     "INVALID, return the flip count."},
     {NULL, NULL, 0, NULL},
 };
 
@@ -4096,7 +4306,7 @@ PyInit__kernelc(void)
         PyModule_AddObjectRef(mod, "Arena", (PyObject *)&ArenaType) < 0 ||
         PyModule_AddObjectRef(mod, "Accessor",
                               (PyObject *)&AccessorType) < 0 ||
-        PyModule_AddIntConstant(mod, "KERNEL_API", 4) < 0) {
+        PyModule_AddIntConstant(mod, "KERNEL_API", 5) < 0) {
         Py_DECREF(mod);
         return NULL;
     }

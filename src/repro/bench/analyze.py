@@ -205,6 +205,7 @@ def analyze_trace(path: str) -> dict:
     faults = [
         s for s in completed if s.op_kind in ("read_miss", "write_miss")
     ]
+    fault_chains: list[tuple[float, int]] = []  # (close_us, hops)
     for span in faults:
         hops = sum(
             1
@@ -213,6 +214,8 @@ def analyze_trace(path: str) -> dict:
             and spans[child_op].op_kind == "redirect_hop"
         )
         chain_counts[hops] = chain_counts.get(hops, 0) + 1
+        fault_chains.append((span.close_us, hops))
+    fault_chains.sort()
 
     # -- critical paths of the slowest read misses --------------------------
     read_misses = [s for s in completed if s.op_kind == "read_miss"]
@@ -293,6 +296,43 @@ def analyze_trace(path: str) -> dict:
                  "ops_per_s": None}
             )
 
+    # -- per-epoch fan-out --------------------------------------------------
+    # The release burst depth is visible as the spread between the first
+    # and last barrier_wait close of one round: every waiter is released
+    # by the same barrier manager, so the spread is exactly how deep the
+    # release fan-out serialized (O(N) at one NIC for the flat burst,
+    # O(log_k N) under the multicast relay).  Redirect chain lengths are
+    # bucketed into the same epoch windows, giving chain growth over the
+    # run instead of one aggregate.
+    fanout_epochs: list[dict] = []
+    rounds: dict[int, list[float]] = {}
+    for span in completed:
+        if span.op_kind == "barrier_wait" and span.round_no is not None:
+            rounds.setdefault(span.round_no, []).append(span.close_us)
+    chain_idx = 0
+    for round_no in sorted(rounds):
+        closes = sorted(rounds[round_no])
+        end = closes[-1]
+        hops_in_epoch: list[int] = []
+        while chain_idx < len(fault_chains) and fault_chains[chain_idx][0] <= end:
+            hops_in_epoch.append(fault_chains[chain_idx][1])
+            chain_idx += 1
+        fanout_epochs.append(
+            {
+                "epoch": round_no,
+                "parties": len(closes),
+                "release_first_us": closes[0],
+                "release_last_us": end,
+                "release_spread_us": end - closes[0],
+                "faults": len(hops_in_epoch),
+                "mean_chain": (
+                    sum(hops_in_epoch) / len(hops_in_epoch)
+                    if hops_in_epoch else None
+                ),
+                "max_chain": max(hops_in_epoch) if hops_in_epoch else None,
+            }
+        )
+
     return {
         "schema": REPORT_SCHEMA,
         "events": total_events,
@@ -314,6 +354,7 @@ def analyze_trace(path: str) -> dict:
         "hottest_decision_timeline": hottest_timeline,
         "epoch_throughput": epochs,
         "epoch_ops": epoch_series.to_dict(),
+        "epoch_fanout": fanout_epochs,
     }
 
 
@@ -447,6 +488,30 @@ def render_analysis(report: dict) -> str:
                 title=(
                     f"Threshold trajectory vs Eq-2 decisions — oid {oid} "
                     f"({len(timeline)} decisions, sampled)"
+                ),
+            )
+        )
+
+    if report.get("epoch_fanout"):
+        rows = [
+            [
+                e["epoch"],
+                e["parties"],
+                _fmt(e["release_spread_us"]),
+                e["faults"],
+                _fmt(e["mean_chain"], 2),
+                _fmt(e["max_chain"]),
+            ]
+            for e in _sample_rows(report["epoch_fanout"], MAX_TIMELINE_ROWS)
+        ]
+        blocks.append(
+            format_table(
+                ["epoch", "parties", "release_spread_us", "faults",
+                 "mean_chain", "max_chain"],
+                rows,
+                title=(
+                    "Per-epoch fan-out — release burst depth and "
+                    "redirect chains"
                 ),
             )
         )

@@ -25,6 +25,15 @@ any violation.  ``--corpus-out DIR`` saves every episode's program and
 verdict as a replayable JSON corpus; ``--no-self-test`` skips the
 mutation leg.
 
+The ``sweep`` target runs the mechanism crossover lab
+(:mod:`repro.bench.scale`): a ``nodes x mechanism x policy`` grid over
+the migration-churn synthetic workload reporting, per policy, the
+smallest N at which broadcast / multicast broadcast / the (sharded)
+home manager beat the forwarding pointer on simulated time.
+``--full`` extends the node grid to 256; ``--md PATH`` writes the
+markdown table and ``--json PATH`` the raw grid (the CI scale-smoke
+artifacts).
+
 The ``analyze`` target runs the causal SLO analytics engine
 (:mod:`repro.bench.analyze`) over a span-enabled trace:
 ``repro-bench analyze trace.jsonl [--json slo.json]`` prints the
@@ -61,7 +70,7 @@ from repro.obs.metrics import MetricsRegistry
 
 TARGETS = (
     "figure2", "figure3", "figure5", "ablation", "all", "report", "check",
-    "analyze",
+    "analyze", "sweep",
 )
 
 
@@ -299,6 +308,11 @@ def main(argv: list[str] | None = None) -> int:
         help="(check target) skip the mutation self-test leg",
     )
     parser.add_argument(
+        "--md",
+        metavar="PATH",
+        help="(sweep target) also write the rendered markdown table to PATH",
+    )
+    parser.add_argument(
         "--backend",
         choices=("auto", "python", "compiled"),
         default="auto",
@@ -362,6 +376,41 @@ def main(argv: list[str] | None = None) -> int:
     jobs = args.jobs if args.jobs is not None else default_jobs()
     if jobs < 1:
         parser.error(f"--jobs must be >= 1, got {jobs}")
+
+    if args.target == "sweep":
+        from repro.bench.scale import (
+            FULL_NODES,
+            QUICK_NODES,
+            render_crossover,
+            run_crossover,
+        )
+
+        def heartbeat(done, total, outcome):
+            print(
+                f"[{done}/{total}] {outcome.mechanism} policy="
+                f"{outcome.policy} nodes={outcome.nodes} "
+                f"sim={outcome.time_s:.3f}s "
+                f"migrations={outcome.migrations}",
+                file=sys.stderr,
+                flush=True,
+            )
+
+        data = run_crossover(
+            nodes=FULL_NODES if args.full else QUICK_NODES,
+            jobs=jobs,
+            progress=heartbeat if args.progress else None,
+        )
+        rendered = render_crossover(data)
+        print(rendered)
+        if args.md:
+            with open(args.md, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            print(f"markdown table written to {args.md}")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(data, handle, indent=2)
+            print(f"raw crossover grid written to {args.json}")
+        return 0
 
     obs = ObsSpec(
         trace_path=args.trace_out,

@@ -149,6 +149,11 @@ class RunSpec:
     #: Barrier-epoch memory GC in the engines (results are identical
     #: either way; ``False`` is the memory-ablation leg).
     gc_enabled: bool = True
+    #: Opt-in interconnect topology spec string (PROTOCOL.md §15), e.g.
+    #: ``"hier:leaf=16:oversub=4"``; ``None`` keeps the ideal switch.
+    topology: str | None = None
+    #: Opt-in k-ary multicast relay for barrier releases.
+    release_fanout: int | None = None
 
 
 @dataclass(frozen=True)
@@ -322,6 +327,8 @@ def run_spec(spec: RunSpec) -> RunOutcome:
                 logger=logger,
                 heartbeat_events=obs.heartbeat_events if obs else None,
                 gc_enabled=spec.gc_enabled,
+                topology=spec.topology,
+                release_fanout=spec.release_fanout,
             )
         with timer.phase("simulate") if timer else _null_context():
             result = jvm.run(app, nthreads=spec.nthreads)

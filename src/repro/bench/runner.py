@@ -69,14 +69,48 @@ def make_policy(name: str) -> MigrationPolicy:
         ) from None
 
 
+#: Integer parameters accepted after the mechanism name
+#: (``"home-manager:shards=4"``, ``"broadcast:fanout=4"``,
+#: ``"home-manager:manager=3:shards=2"``).
+_MECHANISM_PARAMS: dict[str, dict[str, str]] = {
+    "broadcast": {"fanout": "fanout"},
+    "home-manager": {"manager": "manager_node", "shards": "shards"},
+}
+
+
 def make_mechanism(name: str) -> NotificationMechanism:
-    """Instantiate a notification mechanism from its report name."""
+    """Instantiate a notification mechanism from its report name.
+
+    The name may carry colon-separated integer parameters —
+    ``"broadcast:fanout=4"`` or ``"home-manager:shards=8"`` — mapping
+    onto the mechanism's constructor; a bare name keeps the defaults.
+    """
+    base, _, rest = name.partition(":")
     try:
-        return MECHANISMS[name]()
+        factory = MECHANISMS[base]
     except KeyError:
         raise ValueError(
             f"unknown mechanism {name!r}; choose from {sorted(MECHANISMS)}"
         ) from None
+    if not rest:
+        return factory()
+    accepted = _MECHANISM_PARAMS.get(base, {})
+    kwargs: dict[str, int] = {}
+    for part in rest.split(":"):
+        key, sep, value = part.partition("=")
+        if not sep or key not in accepted:
+            raise ValueError(
+                f"bad mechanism parameter {part!r} in {name!r}; "
+                f"{base} accepts {sorted(accepted)}"
+            )
+        try:
+            kwargs[accepted[key]] = int(value)
+        except ValueError:
+            raise ValueError(
+                f"mechanism parameter {key}={value!r} in {name!r} "
+                f"is not an integer"
+            ) from None
+    return factory(**kwargs)
 
 
 def run_once(

@@ -1,0 +1,168 @@
+"""Scale-tier crossover lab: where do the §3.2 mechanisms trade places?
+
+The paper adopts the forwarding pointer after a qualitative argument —
+broadcast is "too expensive" and the home manager "a bottleneck" — at
+the 16-node scale of its cluster.  Both costs are *functions of N*: the
+flat broadcast burst is O(N) serialized messages per migration, the
+single manager concentrates every update and query at one NIC, and the
+forwarding chain's redirect tax is roughly scale-free.  This lab sweeps
+``nodes x mechanism x policy`` over the migration-churn synthetic
+workload (fixed per-worker updates, so the offered load per node is
+constant) and reports, per policy, the smallest N at which each
+alternative beats the forwarding pointer on simulated time — the
+*crossover point* — alongside the message and redirect counts that
+explain it.
+
+``run_crossover`` produces the raw grid; ``render_crossover`` the
+markdown table checked into CI artifacts; the ``repro-bench sweep``
+target drives both.
+"""
+
+from __future__ import annotations
+
+from repro.bench.executor import ObsSpec, ProgressCallback, RunSpec, execute
+
+#: Node counts of the quick grid (CI artifact) and the full grid.
+QUICK_NODES = (8, 16, 32, 64)
+FULL_NODES = (8, 16, 32, 64, 128, 256)
+
+#: Per-worker update count: total_updates scales as workers * this, so
+#: every N offers the same per-node load and times are comparable.
+UPDATES_PER_WORKER = 8
+
+#: The §3.2 repetition knob, churn-heavy so migrations (and therefore
+#: notification traffic) actually happen under migrating policies.
+REPETITION = 8
+
+#: Baseline mechanism the crossover is measured against.
+BASELINE = "forwarding-pointer"
+
+
+def _mechanisms(nodes: int) -> list[str]:
+    """Mechanism spec strings meaningful at ``nodes`` nodes.
+
+    The parameterised variants (multicast relay, sharded directory) are
+    the large-N designs; they are skipped where the cluster is too small
+    for their parameters to be distinct from the flat variants.
+    """
+    mechs = [BASELINE, "broadcast", "home-manager"]
+    if nodes > 4:
+        mechs.append("broadcast:fanout=4")
+        mechs.append("home-manager:shards=4")
+    return mechs
+
+
+def run_crossover(
+    nodes: tuple[int, ...] = QUICK_NODES,
+    policies: tuple[str, ...] = ("NM", "AT"),
+    jobs: int | None = None,
+    obs: ObsSpec | None = None,
+    progress: ProgressCallback | None = None,
+) -> dict:
+    """The full ``nodes x mechanism x policy`` grid plus crossover points.
+
+    NM is the no-migration control: with zero migrations every mechanism
+    must coincide (their costs are all migration-triggered), so any NM
+    spread is a harness bug, not a finding.  The migrating policies are
+    where the mechanisms separate.
+    """
+    specs = []
+    for policy in policies:
+        for n in nodes:
+            workers = n - 1 if n > 1 else 1
+            for mech in _mechanisms(n):
+                specs.append(
+                    RunSpec(
+                        app="synthetic",
+                        app_kwargs={
+                            "total_updates": UPDATES_PER_WORKER * workers,
+                            "repetition": REPETITION,
+                        },
+                        policy=policy,
+                        nodes=n,
+                        mechanism=mech,
+                        tag=(policy, n, mech),
+                    )
+                )
+    grid: dict[str, dict[str, dict[int, dict]]] = {p: {} for p in policies}
+    for outcome in execute(specs, jobs=jobs, obs=obs, progress=progress):
+        policy, n, mech = outcome.tag
+        grid[policy].setdefault(mech, {})[n] = {
+            "time_us": outcome.time_us,
+            "messages": outcome.messages,
+            "bytes": outcome.bytes_total,
+            "migrations": outcome.migrations,
+            "redirections": outcome.events.get("redir", 0),
+        }
+    crossover: dict[str, dict[str, int | None]] = {}
+    for policy in policies:
+        crossover[policy] = {}
+        base_rows = grid[policy][BASELINE]
+        for mech, rows in grid[policy].items():
+            if mech == BASELINE:
+                continue
+            winning = [
+                n for n in sorted(rows)
+                if rows[n]["time_us"] < base_rows[n]["time_us"]
+            ]
+            crossover[policy][mech] = winning[0] if winning else None
+    return {
+        "workload": {
+            "app": "synthetic",
+            "updates_per_worker": UPDATES_PER_WORKER,
+            "repetition": REPETITION,
+        },
+        "nodes": list(nodes),
+        "policies": list(policies),
+        "baseline": BASELINE,
+        "grid": grid,
+        "crossover": crossover,
+    }
+
+
+def render_crossover(data: dict) -> str:
+    """Markdown report: one time table per policy + the crossover verdict."""
+    lines = ["# Mechanism crossover study", ""]
+    lines.append(
+        f"Workload: synthetic single-writer, "
+        f"{data['workload']['updates_per_worker']} updates/worker, "
+        f"r={data['workload']['repetition']}; baseline "
+        f"{data['baseline']}."
+    )
+    nodes = data["nodes"]
+    for policy in data["policies"]:
+        grid = data["grid"][policy]
+        lines.append("")
+        lines.append(f"## Policy {policy}")
+        lines.append("")
+        header = "| mechanism | " + " | ".join(f"N={n}" for n in nodes) + " |"
+        lines.append(header)
+        lines.append("|" + "---|" * (len(nodes) + 1))
+        for mech in sorted(grid, key=lambda m: (m != data["baseline"], m)):
+            cells = []
+            for n in nodes:
+                row = grid[mech].get(n)
+                if row is None:
+                    cells.append("—")
+                    continue
+                cell = f"{row['time_us'] / 1e6:.4f}s"
+                if row["migrations"]:
+                    cell += f" ({row['migrations']}m"
+                    if row["redirections"]:
+                        cell += f", {row['redirections']}r"
+                    cell += ")"
+                cells.append(cell)
+            lines.append(f"| {mech} | " + " | ".join(cells) + " |")
+        lines.append("")
+        for mech, n in sorted(data["crossover"][policy].items()):
+            if n is None:
+                lines.append(
+                    f"- {mech}: never beats {data['baseline']} "
+                    f"on this grid"
+                )
+            else:
+                lines.append(
+                    f"- {mech}: beats {data['baseline']} from N={n}"
+                )
+    lines.append("")
+    return "\n".join(lines)

@@ -28,6 +28,7 @@ from repro.cluster.hockney import HockneyModel
 from repro.cluster.message import HEADER_BYTES, Message, MsgCategory
 from repro.cluster.node import Node
 from repro.cluster.stats import ClusterStats
+from repro.cluster.topology import ClusterTopology, make_topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -94,6 +95,7 @@ class Network:
         stats: ClusterStats | None = None,
         service_us: float | None = None,
         metrics=None,
+        topology: "ClusterTopology | str | dict | None" = None,
     ):
         if nnodes < 1:
             raise ValueError(f"need at least one node, got {nnodes}")
@@ -126,6 +128,20 @@ class Network:
         self._fast_bind: dict[int, Callable] = {}
         self._fast_ports: list[_PyDeliveryPort] | None = None
         self._fabric = None
+        #: Optional interconnect topology (PROTOCOL.md §15).  ``None``
+        #: keeps the seed's ideal single switch bit for bit; a topology
+        #: adds per-pair hop latency, an oversubscription transfer
+        #: penalty and (optionally) serialized uplink contention on top
+        #: of the Hockney NIC model — identical math on all three send
+        #: paths (legacy, Python fast, compiled fabric).
+        self.topology = make_topology(topology, nnodes)
+        if self.topology is not None:
+            self._topo_pair = self.topology.pair
+            self._topo_contention = self.topology.contention
+            self._topo_link_free = [0.0] * self.topology.nlinks
+            self._bandwidth = comm_model.bandwidth_mb_s
+        else:
+            self._topo_pair = None
 
     @property
     def nnodes(self) -> int:
@@ -175,6 +191,18 @@ class Network:
                 HEADER_BYTES,
                 self._nic_free,
             )
+            if self.topology is not None:
+                # Per-pair cost tables precomputed from the same pair()
+                # the Python paths call — the kernel branch reads the
+                # identical float64 values.
+                hop, pen, link = self.topology.tables()
+                fabric.set_topology(
+                    hop,
+                    pen,
+                    link,
+                    self.topology.nlinks,
+                    1 if self.topology.contention else 0,
+                )
             for i in range(self.nnodes):
                 fabric.add_port(self._fast_dispatch[i], self.nodes[i].service_us)
             senders = [fabric.sender(i) for i in range(self.nnodes)]
@@ -229,12 +257,36 @@ class Network:
         injection_start = now if now >= nic_free else nic_free
         injection_end = injection_start + self._transfer_us(total)
         self._nic_free[src] = injection_end
+        if self._topo_pair is None:
+            arrival = injection_end + self._startup_us
+        else:
+            arrival = self._topo_arrival(src, dst, total, injection_end)
         self._sim_at(
-            injection_end + self._startup_us,
+            arrival,
             self._fast_ports[dst].arrive,
             category,
             payload,
         )
+
+    def _topo_arrival(
+        self, src: int, dst: int, total: int, injection_end: float
+    ) -> float:
+        """Arrival time under the attached topology (PROTOCOL.md §15).
+
+        Bit-for-bit the same IEEE-754 sequence as the compiled fabric's
+        topology branch.  Without contention the oversubscription
+        penalty is pure latency; with it the source leaf's uplink is a
+        serialized store-and-forward resource, queued like the NIC.
+        """
+        hop, pen, link = self._topo_pair(src, dst)
+        if self._topo_contention and link >= 0:
+            occupancy = total * (1.0 + pen) / self._bandwidth
+            link_free = self._topo_link_free[link]
+            start = injection_end if injection_end >= link_free else link_free
+            link_end = start + occupancy
+            self._topo_link_free[link] = link_end
+            return link_end + self._startup_us + hop
+        return injection_end + self._startup_us + hop + total * pen / self._bandwidth
 
     def send(
         self,
@@ -280,7 +332,13 @@ class Network:
         injection_start = now if now >= nic_free else nic_free
         injection_end = injection_start + self._transfer_us(message.size_bytes)
         self._nic_free[src] = injection_end
-        self._sim_at(injection_end + self._startup_us, self._deliver[dst], message)
+        if self._topo_pair is None:
+            arrival = injection_end + self._startup_us
+        else:
+            arrival = self._topo_arrival(
+                src, dst, message.size_bytes, injection_end
+            )
+        self._sim_at(arrival, self._deliver[dst], message)
         return message
 
     def broadcast(

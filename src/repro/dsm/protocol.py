@@ -50,7 +50,11 @@ from repro.dsm.cache import AccessMode, CacheEntry, CacheIndex
 from repro.dsm.home import HomeEntry
 from repro.dsm.locks import LockHandle, LockTable
 from repro.dsm.pending import KeyedFifo, new_keyed_fifo
-from repro.dsm.redirection import NotificationMechanism
+from repro.dsm.redirection import (
+    NOTIFY_BYTES,
+    NotificationMechanism,
+    fanout_children,
+)
 from repro.memory.arena import Arena, new_arena
 from repro.memory.diff import Diff, apply_diff, compute_diff
 from repro.memory.heap import ObjectHeap
@@ -196,6 +200,13 @@ class BarrierReleaseMsg:
     round_no: int
     notices: dict[int, int]
     new_homes: dict[int, int] = field(default_factory=dict)
+    #: Multicast relay fields (release_fanout only; PROTOCOL.md §15).
+    #: ``fanout == 0`` is the legacy direct burst from the manager; with
+    #: ``fanout == k`` each receiver re-forwards along the k-ary tree of
+    #: :func:`~repro.dsm.redirection.fanout_children` rooted at ``root``.
+    #: One immutable message object is shared across the whole fan-out.
+    root: int = -1
+    fanout: int = 0
 
 
 @dataclass(slots=True)
@@ -285,12 +296,18 @@ class DsmEngine:
         arenas: "list[Arena] | None" = None,
         gc_enabled: bool = True,
         spans=None,
+        release_fanout: int | None = None,
     ):
         if lock_discipline not in ("fifo", "retry"):
             raise ValueError(
                 f"lock_discipline must be 'fifo' or 'retry', got "
                 f"{lock_discipline!r}"
             )
+        if release_fanout is not None and release_fanout < 2:
+            raise ValueError(
+                f"release_fanout must be >= 2, got {release_fanout}"
+            )
+        mechanism.validate(network.nnodes)
         self.node_id = node_id
         self.sim = sim
         self.network = network
@@ -298,6 +315,11 @@ class DsmEngine:
         self.stats = stats
         self.policy = policy
         self.mechanism = mechanism
+        #: Barrier-release multicast fan-out (PROTOCOL.md §15): ``None``
+        #: keeps the legacy direct N-1 burst from the barrier manager;
+        #: ``k`` relays releases through a k-ary tree instead, bounding
+        #: any single NIC's injection run at k messages.
+        self.release_fanout = release_fanout
         self.tracer = tracer
         self.lock_discipline = lock_discipline
         #: Shared per-node arena list (index = node id).  Reply payload
@@ -1297,7 +1319,17 @@ class DsmEngine:
 
         Dirty WRITE copies are spared: their diffs have not been flushed
         yet (LRC multiple-writer semantics keep them coherent via twins).
+
+        Hot at scale — every node sweeps its whole cache at every
+        synchronization point — so the compiled backend runs the sweep
+        in C (same identity compare, same attribute writes).
         """
+        kernel_module = self._kernel
+        if kernel_module is not None:
+            kernel_module.cache_invalidate_read(
+                self.cache, AccessMode.READ, AccessMode.INVALID
+            )
+            return
         for cached in self.cache.values():
             if cached.mode is AccessMode.READ:
                 cached.mode = AccessMode.INVALID
@@ -1329,9 +1361,20 @@ class DsmEngine:
         """
         cache = self.cache
         required = self.required_version
+        # The release's floors are no longer merged into
+        # required_version (see barrier(): merge-then-prune was a
+        # no-op), so reconstruct the legacy pre-GC accounting exactly:
+        # the floors this epoch *would* have held are the own floors
+        # plus the release's not-already-present ones, and every elided
+        # floor counts as pruned (it was reclaimed by never being
+        # retained).  Both counters stay bit-identical to the
+        # merge-then-prune implementation.
+        elided = len(released)
+        if required:
+            elided -= sum(1 for oid in required if oid in released)
         # pre-GC footprint peaks: the bounded-steady-state evidence
         self.stats.record_peak("cache_entries", len(cache))
-        self.stats.record_peak("notice_floors", len(required))
+        self.stats.record_peak("notice_floors", len(required) + elided)
         kernel_module = self._kernel
         if cache:
             if kernel_module is not None:
@@ -1363,6 +1406,7 @@ class DsmEngine:
                 for oid in prunable:
                     del required[oid]
                 self.gc_notice_prunes += len(prunable)
+        self.gc_notice_prunes += elided
         # deferred-work queues are provably drained at a completed
         # barrier (flush blocks on diff acks; transfers precede release
         # delivery), but stale empty keys cost memory — compact them.
@@ -1604,7 +1648,18 @@ class DsmEngine:
                 arrive,
             )
         release: BarrierReleaseMsg = yield fut
-        self.apply_notices(release.notices)
+        # With barrier-epoch GC on, merging the release's notices into
+        # required_version is a provable no-op: collect_garbage (called
+        # synchronously below, nothing observes the floors in between)
+        # prunes exactly the floors at or below the released versions,
+        # and every merged floor is by construction == its released
+        # version.  Skipping the merge leaves required_version
+        # bit-identical and removes an O(#notices) sweep per node per
+        # epoch — the difference between O(N^2) and O(N^3) total work
+        # for N-node barrier apps.  With GC off the floors accumulate
+        # (that is the memory-ablation leg), so merge as before.
+        if not self.gc_enabled:
+            self.apply_notices(release.notices)
         self.home_hint.update(release.new_homes)
         self.invalidate_all_cached()
         self.interval += 1
@@ -1643,11 +1698,18 @@ class DsmEngine:
             notices=merged,
             new_homes=new_homes,
         )
-        size = self._notice_size(merged) + REQUEST_BYTES * len(new_homes)
-        for dst in range(self.network.nnodes):
-            if dst == self.node_id:
-                continue
-            self._send(dst, MsgCategory.BARRIER_RELEASE, size, release)
+        # One release object — with its one merged-notices snapshot — is
+        # shared by every copy of the fan-out; receivers only read it.
+        if self.release_fanout is not None:
+            release.root = self.node_id
+            release.fanout = self.release_fanout
+            self._forward_release(release)
+        else:
+            size = self._notice_size(merged) + REQUEST_BYTES * len(new_homes)
+            for dst in range(self.network.nnodes):
+                if dst == self.node_id:
+                    continue
+                self._send(dst, MsgCategory.BARRIER_RELEASE, size, release)
         self._deliver_barrier_release(release)
 
     def _order_barrier_migrations(
@@ -1673,6 +1735,27 @@ class DsmEngine:
                     current, MsgCategory.CONTROL, REQUEST_BYTES, order
                 )
         return new_homes
+
+    def _forward_release(self, release: BarrierReleaseMsg) -> None:
+        """Relay a multicast barrier release to this node's tree children.
+
+        Every non-root node receives exactly one copy (N-1 messages
+        total, like the direct burst) but no NIC injects more than
+        ``fanout`` back to back, so the release reaches the whole
+        cluster in O(log_k N) serialization depth instead of O(N).
+        """
+        size = self._notice_size(release.notices) + REQUEST_BYTES * len(
+            release.new_homes
+        )
+        for dst in fanout_children(
+            self.node_id, release.root, release.fanout, self.network.nnodes
+        ):
+            self._send(dst, MsgCategory.BARRIER_RELEASE, size, release)
+
+    def _on_barrier_release(self, release: BarrierReleaseMsg) -> None:
+        if release.fanout:
+            self._forward_release(release)
+        self._deliver_barrier_release(release)
 
     def _deliver_barrier_release(self, release: BarrierReleaseMsg) -> None:
         waiters = self._barrier_waiters.pop(
@@ -1720,7 +1803,7 @@ class DsmEngine:
             MsgCategory.LOCK_GRANT: self._on_lock_grant,
             MsgCategory.LOCK_RELEASE: self._on_lock_release,
             MsgCategory.BARRIER_ARRIVE: self._manager_barrier_arrive,
-            MsgCategory.BARRIER_RELEASE: self._deliver_barrier_release,
+            MsgCategory.BARRIER_RELEASE: self._on_barrier_release,
             MsgCategory.HOME_BCAST: self._on_home_bcast,
             MsgCategory.HOME_UPDATE: self._on_home_update,
             MsgCategory.HOME_QUERY: self._handle_home_query,
@@ -1745,6 +1828,19 @@ class DsmEngine:
         self._manager_release(payload.lock_id, payload.releaser, payload.notices)
 
     def _on_home_bcast(self, payload: dict) -> None:
+        # Multicast relay (BroadcastMechanism(fanout=k)): forward the
+        # shared announcement down the tree before applying the hint.
+        # The new home also relays, but applying the hint there is
+        # harmless: it names the node itself, and if the object moved on
+        # again the retained forwarding pointer still redirects.
+        if payload.get("fanout"):
+            for dst in fanout_children(
+                self.node_id,
+                payload["root"],
+                payload["fanout"],
+                self.network.nnodes,
+            ):
+                self._send(dst, MsgCategory.HOME_BCAST, NOTIFY_BYTES, payload)
         self.home_hint[payload["oid"]] = payload["new_home"]
 
     def _on_home_update(self, payload: dict) -> None:

@@ -3,16 +3,24 @@
 After a home migration the other nodes must be able to find the new home.
 The paper discusses three mechanisms and adopts the forwarding pointer;
 all three are implemented here so the trade-off can be measured
-(``benchmarks/test_ablation_notification.py``):
+(``benchmarks/test_ablation_notification.py`` and the ``repro-bench
+sweep`` crossover lab):
 
 * **forwarding pointer** — the old home keeps a pointer and answers
   requests with the current hint; chains accumulate (and the hop count is
   the protocol's negative feedback ``R``);
 * **broadcast** — the old home announces the new location to every node at
   migration time (N-2 extra messages; the requester that triggered the
-  migration learns it from the reply itself);
+  migration learns it from the reply itself).  At scale the serialized
+  N-message burst at one NIC dominates, so ``BroadcastMechanism(fanout=k)``
+  relays the announcement through a k-ary multicast tree instead —
+  O(log_k N) latency depth for one extra message (N-1 total);
 * **home manager** — a designated manager node records every migration; a
   node that misses asks the manager, paying old-home → manager → new-home.
+  ``HomeManagerMechanism(shards=K)`` spreads the directory over K manager
+  nodes by object id (oid-hash → shard), removing the single-manager
+  hotspot at large N; ``shards=1`` is bit-identical to the classic single
+  manager.
 
 Every old home always retains the local pointer (it costs nothing and the
 real implementation needs it to forward in-flight traffic); mechanisms
@@ -34,10 +42,34 @@ if TYPE_CHECKING:  # pragma: no cover
 NOTIFY_BYTES = 8
 
 
+def fanout_children(node: int, root: int, fanout: int, nnodes: int):
+    """The nodes ``node`` forwards to in a k-ary multicast tree.
+
+    The tree spans all ``nnodes`` nodes rooted at ``root``: node ids are
+    mapped to virtual indices ``v = (node - root) % nnodes`` (the root is
+    ``v == 0``) and the children of ``v`` are ``k*v + 1 .. k*v + k`` —
+    heap numbering, so every non-root index has exactly one parent and
+    the relay depth is ``ceil(log_k N)``.  Yields real node ids.
+    """
+    v = (node - root) % nnodes
+    first = fanout * v + 1
+    for child in range(first, min(first + fanout, nnodes)):
+        yield (root + child) % nnodes
+
+
 class NotificationMechanism(ABC):
     """Strategy for publishing a new home location."""
 
     name: str = "mechanism"
+
+    def validate(self, nnodes: int) -> None:
+        """Check the configuration against the actual cluster size.
+
+        Called by every :class:`~repro.dsm.protocol.DsmEngine` at
+        construction — a mechanism naming nodes outside the cluster must
+        fail here instead of silently targeting a nonexistent node at
+        send time.
+        """
 
     @abstractmethod
     def on_migration(self, old_home: "DsmEngine", oid: int, new_home: int) -> None:
@@ -72,20 +104,56 @@ class BroadcastMechanism(NotificationMechanism):
     Heavyweight when migrations are frequent, but later requesters go
     straight to the new home.  A request racing the broadcast still hits
     the retained pointer and is redirected.
+
+    ``fanout=None`` (default) is the flat burst: N-2 messages injected
+    back to back at the old home's NIC, whose serialization makes the
+    burst O(N) deep.  ``fanout=k`` relays the announcement through the
+    k-ary multicast tree of :func:`fanout_children` rooted at the old
+    home: every node (including the new home, which forwards but learns
+    nothing new) receives exactly one copy, N-1 messages total, and no
+    NIC injects more than k — O(log_k N) latency depth.
     """
 
     name = "broadcast"
 
+    def __init__(self, fanout: int | None = None):
+        if fanout is not None and fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {fanout}")
+        self.fanout = fanout
+
     def on_migration(self, old_home, oid, new_home) -> None:
-        for dst in range(old_home.network.nnodes):
-            if dst in (old_home.node_id, new_home):
-                continue
+        if self.fanout is None:
+            for dst in range(old_home.network.nnodes):
+                if dst in (old_home.node_id, new_home):
+                    continue
+                old_home.network.send(
+                    old_home.node_id,
+                    dst,
+                    MsgCategory.HOME_BCAST,
+                    NOTIFY_BYTES,
+                    payload={"oid": oid, "new_home": new_home},
+                )
+            return
+        # One shared payload fans down the relay tree; receivers forward
+        # via DsmEngine._on_home_bcast before applying the hint.
+        payload = {
+            "oid": oid,
+            "new_home": new_home,
+            "root": old_home.node_id,
+            "fanout": self.fanout,
+        }
+        for dst in fanout_children(
+            old_home.node_id,
+            old_home.node_id,
+            self.fanout,
+            old_home.network.nnodes,
+        ):
             old_home.network.send(
                 old_home.node_id,
                 dst,
                 MsgCategory.HOME_BCAST,
                 NOTIFY_BYTES,
-                payload={"oid": oid, "new_home": new_home},
+                payload=payload,
             )
 
     def miss_directive(self, obsolete_home, oid) -> dict[str, Any]:
@@ -93,31 +161,63 @@ class BroadcastMechanism(NotificationMechanism):
 
 
 class HomeManagerMechanism(NotificationMechanism):
-    """A designated manager node tracks the authoritative home map.
+    """Designated manager node(s) track the authoritative home map.
 
     On migration the old home posts the new location to the manager.  A
     requester that misses is told to query the manager, then retries at
     the manager's answer — the old-home/manager/new-home sequence of §3.2.
+
+    With ``shards=K`` the directory is sharded over the K consecutive
+    nodes starting at ``manager_node`` by ``oid % K``, so the manager
+    role (its HOME_UPDATE ingress and HOME_QUERY service load) spreads
+    instead of concentrating at one NIC.  ``shards=1`` is exactly the
+    classic single manager, message for message.
     """
 
     name = "home-manager"
 
-    def __init__(self, manager_node: int = 0):
+    def __init__(self, manager_node: int = 0, shards: int = 1):
         if manager_node < 0:
             raise ValueError(f"manager node must be >= 0, got {manager_node}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.manager_node = manager_node
+        self.shards = shards
+        if shards > 1:
+            self.name = f"home-manager-x{shards}"
+
+    def validate(self, nnodes: int) -> None:
+        if self.manager_node >= nnodes:
+            raise ValueError(
+                f"manager node {self.manager_node} outside the "
+                f"{nnodes}-node cluster"
+            )
+        if self.shards > nnodes:
+            raise ValueError(
+                f"{self.shards} manager shards on a {nnodes}-node cluster"
+            )
+
+    def shard_for(self, oid: int, nnodes: int) -> int:
+        """The manager node responsible for ``oid``'s directory entry."""
+        if self.shards == 1:
+            return self.manager_node
+        return (self.manager_node + oid % self.shards) % nnodes
 
     def on_migration(self, old_home, oid, new_home) -> None:
-        if old_home.node_id == self.manager_node:
+        manager = self.shard_for(oid, old_home.network.nnodes)
+        if old_home.node_id == manager:
             old_home.manager_home_map[oid] = new_home
         else:
             old_home.network.send(
                 old_home.node_id,
-                self.manager_node,
+                manager,
                 MsgCategory.HOME_UPDATE,
                 NOTIFY_BYTES,
                 payload={"oid": oid, "new_home": new_home},
             )
 
     def miss_directive(self, obsolete_home, oid) -> dict[str, Any]:
-        return {"kind": "manager", "manager": self.manager_node}
+        return {
+            "kind": "manager",
+            "manager": self.shard_for(oid, obsolete_home.network.nnodes),
+        }

@@ -84,6 +84,8 @@ class DistributedJVM:
         logger=None,
         heartbeat_events: int | None = None,
         gc_enabled: bool = True,
+        topology=None,
+        release_fanout: int | None = None,
     ):
         if nodes < 1:
             raise ValueError(f"need at least one node, got {nodes}")
@@ -118,6 +120,13 @@ class DistributedJVM:
         #: escape hatch turns it off; results are identical either way,
         #: only the memory footprint differs).
         self.gc_enabled = gc_enabled
+        #: Opt-in interconnect topology (spec string, dict or
+        #: :class:`~repro.cluster.topology.ClusterTopology`); ``None``
+        #: keeps the seed's ideal single switch (PROTOCOL.md §15).
+        self.topology = topology
+        #: Opt-in k-ary multicast relay for barrier releases; ``None``
+        #: keeps the legacy direct burst.
+        self.release_fanout = release_fanout
 
     def run(
         self, app: "DsmApplication", nthreads: int | None = None
@@ -152,6 +161,8 @@ class DistributedJVM:
                 metrics=self.metrics,
                 logger=self.logger,
                 gc_enabled=self.gc_enabled,
+                topology=self.topology,
+                release_fanout=self.release_fanout,
             )
         log = self.logger
         log_info = log is not None and log.enabled_for("info")

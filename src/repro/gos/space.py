@@ -44,6 +44,8 @@ class GlobalObjectSpace:
         metrics=None,
         logger=None,
         gc_enabled: bool = True,
+        topology=None,
+        release_fanout: int | None = None,
     ):
         self.sim = make_simulator()
         self.stats = ClusterStats()
@@ -63,9 +65,12 @@ class GlobalObjectSpace:
         self.metrics = metrics
         #: Optional :class:`~repro.obs.logging.RunLogger` for the engines.
         self.logger = logger
+        #: Opt-in interconnect topology (PROTOCOL.md §15) — a
+        #: :class:`~repro.cluster.topology.ClusterTopology`, spec string
+        #: or dict; ``None`` keeps the seed's ideal single switch.
         self.network = Network(
             self.sim, comm_model, nnodes, self.stats, service_us=service_us,
-            metrics=metrics,
+            metrics=metrics, topology=topology,
         )
         self.heap = ObjectHeap()
         #: One arena per node, shared across engines so reply payload
@@ -96,6 +101,7 @@ class GlobalObjectSpace:
                 arenas=self.arenas,
                 gc_enabled=gc_enabled,
                 spans=self.spans,
+                release_fanout=release_fanout,
             )
             for i in range(nnodes)
         ]

@@ -144,6 +144,37 @@ def test_epoch_throughput_covers_barrier_rounds(asp_trace):
     assert any(e["ops"] > 0 for e in epochs)
 
 
+def test_epoch_fanout_tracks_release_bursts(asp_trace):
+    """The fan-out section reports, per barrier epoch, the release
+    burst spread (first vs last barrier_wait close) and the redirect
+    chain statistics of the faults that epoch absorbed."""
+    report = analyze_trace(asp_trace)
+    fanout = report["epoch_fanout"]
+    assert fanout, "barrier app must produce fan-out series"
+    epochs = [row["epoch"] for row in fanout]
+    assert epochs == sorted(epochs)
+    for row in fanout:
+        assert row["parties"] >= 1
+        assert row["release_last_us"] >= row["release_first_us"]
+        assert row["release_spread_us"] == pytest.approx(
+            row["release_last_us"] - row["release_first_us"]
+        )
+        assert row["faults"] >= 0
+        if row["faults"]:
+            assert row["max_chain"] >= row["mean_chain"] >= 0
+    # every epoch's parties in a fixed-node run is the thread count
+    assert {row["parties"] for row in fanout} == {8}
+    # chain-carrying faults across epochs match the chain distribution
+    chain_total = sum(report["chain_lengths"].values())
+    assert sum(row["faults"] for row in fanout) <= chain_total
+
+
+def test_lock_only_trace_has_no_fanout(lock_trace):
+    report = analyze_trace(lock_trace)
+    assert report["epoch_fanout"] == []
+    assert "Per-epoch fan-out" not in render_analysis(report)
+
+
 def test_lock_only_trace_has_no_epochs(lock_trace):
     """No barriers -> no epoch series, and that renders fine."""
     report = analyze_trace(lock_trace)
@@ -197,6 +228,7 @@ def test_render_mentions_every_section(asp_trace):
         "Critical paths",
         "Migration-decision timelines",
         "Per-barrier-epoch throughput",
+        "Per-epoch fan-out",
     ):
         assert needle in text, needle
 

@@ -169,6 +169,44 @@ def test_fastpath_episodes_identical_across_backends():
     assert digests["python"] == digests["compiled"]
 
 
+TOPOLOGY_CODE = """\
+import hashlib, json
+from repro.bench.executor import RunSpec, run_spec
+# Episodes chosen to exercise the scale-tier paths end to end: a
+# hierarchical topology with per-link contention (the C fabric's
+# store-and-forward branch), a fat-tree with the k-ary barrier-release
+# relay, and the sharded home manager routing notices over the fat
+# tree.  Any float-order divergence between _topo_arrival and the C
+# fabric_send_core shifts arrival times and changes these hashes.
+specs = [
+    RunSpec(app="asp", app_kwargs={"size": 24}, policy="AT", nodes=8,
+            topology="hier:leaf=4:oversub=4:contention=1",
+            tag="topo-hier"),
+    RunSpec(app="sor", app_kwargs={"size": 24, "iterations": 6},
+            policy="AT", nodes=16,
+            topology="fat-tree:edge=4:pod=2:oversub=2",
+            release_fanout=2, tag="topo-fat"),
+    RunSpec(app="tokenring", app_kwargs={}, policy="AT", nodes=16,
+            mechanism="home-manager:shards=4",
+            topology="fat-tree:edge=4:pod=2:oversub=2:contention=1",
+            release_fanout=4, tag="topo-shards"),
+]
+blobs = [
+    json.dumps(run_spec(s).deterministic(), sort_keys=True, default=repr)
+    for s in specs
+]
+print(hashlib.sha256("\\n".join(blobs).encode()).hexdigest())
+"""
+
+
+def test_topology_episodes_identical_across_backends():
+    """Topology-priced episodes (hierarchical + fat-tree, contention,
+    multicast release relay, sharded home manager) hash identically
+    under both backends."""
+    digests = _run_both(TOPOLOGY_CODE)
+    assert digests["python"] == digests["compiled"]
+
+
 SPAN_TRACE_CODE = """\
 import hashlib, tempfile, os
 from repro.bench.record import record_trace
