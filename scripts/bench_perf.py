@@ -48,6 +48,14 @@ the gate is within 25% at 1024), peak RSS, and one topology-enabled leg
 topology model costs.  ``--max-nodes`` caps the grid: CI's push job stops
 at 256; the 1024-node leg runs nightly.
 
+A fifth mode (``--tier serving``) measures the *serving SLO* tier: the
+PR-10 request-driven Zipfian workloads (16 nodes on a small fat tree,
+256 nodes on the contention-priced PR-9 fat tree, both with churn) in
+isolated compiled-backend subprocesses, best-of-N wall each, plus one
+pure-Python subprocess per leg that must reproduce the exact SLO-report
+digest — so the checked-in throughput numbers carry their own
+cross-backend bit-identity evidence.
+
 Usage:
     PYTHONPATH=src python scripts/bench_perf.py [--out BENCH_PR2.json]
     PYTHONPATH=src python scripts/bench_perf.py --pinned \
@@ -56,6 +64,8 @@ Usage:
         [--out BENCH_PR4.json]
     PYTHONPATH=src python scripts/bench_perf.py --tier scale \
         [--max-nodes 1024] [--out BENCH_PR9.json]
+    PYTHONPATH=src python scripts/bench_perf.py --tier serving \
+        [--out BENCH_PR10.json]
 """
 
 import argparse
@@ -458,6 +468,146 @@ def _spawn_scale_leg(nodes: int, topology: str | None) -> dict:
     return json.loads(proc.stdout)
 
 
+#: The serving tier (PR-10): request-driven Zipfian traffic with churn
+#: under the PR-9 topology fabrics.  The 16-node leg is the CI smoke
+#: shape; the 256-node leg stresses the large-N protocol paths with the
+#: same per-request work (fixed key record size), so requests/s of wall
+#: clock isolates simulator+protocol cost, not payload size.
+SERVING_LEGS = {
+    "serve_16": {
+        "nodes": 16,
+        "keys": 64,
+        "phases": 4,
+        "requests_per_thread": 16,
+        "churn": 0.125,
+        "policy": "AT",
+        "topology": "fat-tree:edge=4:pod=2:oversub=2",
+    },
+    "serve_256": {
+        "nodes": 256,
+        "keys": 512,
+        "phases": 4,
+        "requests_per_thread": 8,
+        "churn": 0.125,
+        "policy": "AT",
+        "topology": "fat-tree:edge=16:pod=4:oversub=2:contention=1",
+    },
+}
+
+
+def _serving_leg(name: str) -> dict:
+    """Run one serving leg in THIS process and measure it.
+
+    Invoked in a fresh subprocess per leg (``--serving-leg``) so the
+    backend binds cleanly per leg.  A tiny throwaway episode warms
+    imports and the kernel first; the timed window then covers exactly
+    one :func:`repro.bench.serving.run_serving` call — traffic
+    expansion, simulation, and online SLO folding together.
+    """
+    from repro import _kernel
+    from repro.apps.serving import ServingSpec
+    from repro.bench.serving import report_digest, run_serving
+
+    cfg = SERVING_LEGS[name]
+    run_serving(ServingSpec(seed=0, nodes=2, keys=4, phases=1,
+                            requests_per_thread=2))
+    spec = ServingSpec(seed=0, **cfg)
+    start = time.perf_counter()
+    report = run_serving(spec)
+    wall = time.perf_counter() - start
+    tail = report["latency_us"].get("all", {})
+    return {
+        "leg": name,
+        "spec": cfg,
+        "backend": _kernel.backend_name(),
+        "wall_s": wall,
+        "requests": report["requests"],
+        "requests_per_wall_s": report["requests"] / wall,
+        "sim_time_us": report["sim_time_us"],
+        "migrations": report["migrations"],
+        "messages": report["messages"],
+        "latency_p50_us": tail.get("p50"),
+        "latency_p99_us": tail.get("p99"),
+        "latency_p999_us": tail.get("p999"),
+        "report_digest": report_digest(report),
+    }
+
+
+def _spawn_serving_leg(name: str, backend: str) -> dict:
+    """Run one serving leg in an isolated forced-backend subprocess."""
+    cmd = [
+        sys.executable,
+        os.path.abspath(__file__),
+        "--tier",
+        "serving",
+        "--serving-leg",
+        name,
+        "--emit-json",
+    ]
+    env = dict(os.environ, REPRO_BACKEND=backend)
+    proc = subprocess.run(
+        cmd, env=env, capture_output=True, text=True, check=True
+    )
+    return json.loads(proc.stdout)
+
+
+def serving_main(args) -> None:
+    """``--tier serving``: SLO-tier legs, compiled wall + parity check.
+
+    Each leg's wall clock is best-of-``rounds`` compiled subprocesses;
+    one extra pure-Python subprocess per leg must reproduce the exact
+    report digest, so the checked-in numbers carry their own
+    cross-backend evidence.
+    """
+    if args.serving_leg:
+        json.dump(_serving_leg(args.serving_leg), sys.stdout)
+        return
+
+    legs: dict[str, dict] = {}
+    rounds = max(1, args.rounds)
+    for rnd in range(rounds):
+        for name in SERVING_LEGS:
+            print(
+                f"round {rnd + 1}/{rounds}: {name} compiled leg ...",
+                flush=True,
+            )
+            cur = _spawn_serving_leg(name, "compiled")
+            best = legs.get(name)
+            if best is None or cur["wall_s"] < best["wall_s"]:
+                legs[name] = cur
+    for name, leg in legs.items():
+        print(f"{name}: python parity leg ...", flush=True)
+        py = _spawn_serving_leg(name, "python")
+        if py["report_digest"] != leg["report_digest"]:
+            raise SystemExit(
+                f"FATAL: backends disagree on {name} report digest: "
+                f"python={py['report_digest']} "
+                f"compiled={leg['report_digest']}"
+            )
+        leg["python_wall_s"] = py["wall_s"]
+        leg["identical_report"] = True
+
+    report = {
+        "mode": "serving-tier",
+        "host": _host(),
+        "backend": legs[next(iter(legs))]["backend"],
+        "interleaved_rounds": rounds,
+        "legs": legs,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    for name, leg in legs.items():
+        print(
+            f"{name}: {leg['requests']} requests in {leg['wall_s']:.2f}s "
+            f"wall ({leg['requests_per_wall_s']:.0f} req/s), "
+            f"p99 {leg['latency_p99_us']:.1f} us (virtual), "
+            f"{leg['migrations']} migrations, digest "
+            f"{leg['report_digest'][:12]}.. (both backends)"
+        )
+    print(f"report written to {args.out}")
+
+
 def scale_main(args) -> None:
     """``--tier scale``: per-N event rates + RSS, interleaved rounds."""
     if args.scale_leg:
@@ -820,11 +970,12 @@ def main() -> None:
     )
     parser.add_argument(
         "--tier",
-        choices=("quick", "large", "scale"),
+        choices=("quick", "large", "scale", "serving"),
         default="quick",
         help="'large' runs the memory tier (GC-off vs GC-on subprocesses); "
         "'scale' runs the 16..1024-node event-rate tier (compiled backend, "
-        "one subprocess per leg)",
+        "one subprocess per leg); 'serving' runs the SLO tier (16- and "
+        "256-node Zipfian request legs with cross-backend digest checks)",
     )
     parser.add_argument(
         "--memory-leg",
@@ -835,6 +986,11 @@ def main() -> None:
         "--scale-leg",
         default=None,
         help=argparse.SUPPRESS,  # internal: one isolated scale measurement
+    )
+    parser.add_argument(
+        "--serving-leg",
+        default=None,
+        help=argparse.SUPPRESS,  # internal: one isolated serving measurement
     )
     parser.add_argument(
         "--topology",
@@ -863,10 +1019,15 @@ def main() -> None:
             args.out = "BENCH_PR6.json"
         elif args.tier == "scale":
             args.out = "BENCH_PR9.json"
+        elif args.tier == "serving":
+            args.out = "BENCH_PR10.json"
         else:
             args.out = "BENCH_PR2.json"
     if args.compare_backends:
         backends_main(args)
+        return
+    if args.tier == "serving" or args.serving_leg:
+        serving_main(args)
         return
     if args.tier == "scale" or args.scale_leg:
         scale_main(args)

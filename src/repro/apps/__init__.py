@@ -14,7 +14,11 @@
   patterns;
 * :class:`~repro.apps.fromspec.SpecProgram` — executes a fuzzed
   episode spec from :mod:`repro.check.fuzz` (the conformance harness's
-  program-from-spec runner).
+  program-from-spec runner);
+* :mod:`repro.apps.serving` — the request-driven serving workload tier:
+  deterministic Zipfian request traffic over a keyed store
+  (:class:`~repro.apps.serving.ServingSpec`), compiled to ProgramSpecs
+  so every serving run is replayable and oracle-checkable.
 
 All applications compute *real results* on the simulated DSM and are
 verified against sequential oracles.
@@ -26,6 +30,7 @@ from repro.apps.fromspec import SpecProgram
 from repro.apps.lu import Lu
 from repro.apps.nbody import NBody
 from repro.apps.pingpong import TokenRing
+from repro.apps.serving import ServingSpec, ZipfSampler, build_serving_program
 from repro.apps.sor import Sor
 from repro.apps.synthetic import SingleWriterBenchmark
 from repro.apps.tsp import Tsp
@@ -35,9 +40,12 @@ __all__ = [
     "DsmApplication",
     "Lu",
     "NBody",
+    "ServingSpec",
     "SingleWriterBenchmark",
     "SpecProgram",
     "TokenRing",
     "Sor",
     "Tsp",
+    "ZipfSampler",
+    "build_serving_program",
 ]

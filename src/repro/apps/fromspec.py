@@ -77,10 +77,29 @@ class SpecProgram(DsmApplication):
     def thread_body(
         self, ctx: "ThreadContext", tid: int
     ) -> Generator[Any, Any, None]:
-        """Walk this thread's sections phase by phase, logging each op."""
+        """Walk this thread's sections phase by phase, logging each op.
+
+        Sections labelled with a ``request`` class are bracketed in a
+        ``request`` causal span (lock wait included), feeding the SLO
+        pipeline; spans read only the tracer and virtual clock, so the
+        simulated schedule and results are bit-identical with tracing
+        on or off.
+        """
         log = self.execution_log
-        for phase in self.spec.phases:
+        spans = getattr(ctx.gos, "spans", None)
+        sp = spans if (spans is not None and spans.enabled) else None
+        for epoch, phase in enumerate(self.spec.phases):
             for section in phase[tid]:
+                req = None
+                if sp is not None and section.request is not None:
+                    oid = (
+                        self.objects[section.ops[0][1]].oid
+                        if section.ops else -1
+                    )
+                    req = sp.open(
+                        "request", ctx.now, oid, ctx.node,
+                        cls=section.request, epoch=epoch, tid=tid,
+                    )
                 if section.lock is not None:
                     yield from ctx.acquire(self.locks[section.lock])
                 for op in section.ops:
@@ -90,6 +109,8 @@ class SpecProgram(DsmApplication):
                     yield from ctx.compute(section.compute_us)
                 if section.lock is not None:
                     yield from ctx.release(self.locks[section.lock])
+                if req is not None:
+                    sp.close(req, "request", ctx.now, oid, ctx.node)
             yield from ctx.barrier(self.barrier_handle)
 
     def _exec_op(

@@ -39,6 +39,7 @@ REPORT_SCHEMA = "repro-slo-report-v1"
 
 #: Stable display/report order for span kinds.
 KIND_ORDER = (
+    "request",
     "read_miss",
     "write_miss",
     "migration",
@@ -53,7 +54,7 @@ KIND_ORDER = (
 #: Kinds counted as application-facing operations for epoch throughput
 #: (system-internal children — hops, migrations — are excluded).
 THROUGHPUT_KINDS = frozenset(
-    {"read_miss", "write_miss", "diff_flush", "ship",
+    {"request", "read_miss", "write_miss", "diff_flush", "ship",
      "lock_acquire", "lock_release"}
 )
 

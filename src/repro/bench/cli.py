@@ -42,6 +42,18 @@ paths, redirection chain lengths, migration-decision timelines,
 per-barrier-epoch throughput); ``--json`` additionally writes the raw
 report dict.  Record a suitable trace with
 ``scripts/record_trace.py`` or any ``--trace-out`` sweep.
+
+The ``serve`` target runs the serving-traffic workload tier
+(:mod:`repro.bench.serving`): ``repro-bench serve --nodes 16
+--policy AT --seed 0`` runs one deterministic Zipfian request episode
+(PROTOCOL.md §16) and prints per-epoch request throughput plus
+p50/p99/p999 request latency per class, ending with the report's
+cross-backend digest.  ``--policy NM,AT,JUMP`` races several migration
+policies over identical traffic; traffic knobs: ``--keys``,
+``--requests`` (per thread per phase), ``--phases``, ``--zipf-s``,
+``--read-fraction``, ``--churn``, ``--arrival {open,closed}``,
+``--topology``, ``--release-fanout``.  ``check`` additionally takes
+``--flavor {core,serving,mixed}`` to pick the episode generator family.
 """
 
 from __future__ import annotations
@@ -70,7 +82,7 @@ from repro.obs.metrics import MetricsRegistry
 
 TARGETS = (
     "figure2", "figure3", "figure5", "ablation", "all", "report", "check",
-    "analyze", "sweep",
+    "analyze", "sweep", "serve",
 )
 
 
@@ -181,6 +193,7 @@ def _run_check_target(args, parser) -> int:
         corpus_dir=args.corpus_out,
         self_test=not args.no_self_test,
         progress=progress if args.progress else None,
+        flavor=args.flavor,
     )
     failures = [e for e in report.episodes if not e.ok]
     print(
@@ -217,6 +230,65 @@ def _run_check_target(args, parser) -> int:
             handle.write(report.to_json() + "\n")
         print(f"raw report written to {args.json}")
     return 0 if report.ok else 1
+
+
+def _run_serve_target(args, parser) -> int:
+    """Drive a `repro serve` SLO session from parsed CLI args."""
+    from repro.apps.serving import ServingSpec
+    from repro.bench.serving import (
+        render_race,
+        render_serving,
+        report_digest,
+        run_serving,
+        run_serving_race,
+    )
+    from repro.bench.serving import SERVE_POLICIES
+
+    policies = [p.strip() for p in args.policy.split(",") if p.strip()]
+    unknown = [p for p in policies if p not in SERVE_POLICIES]
+    if not policies or unknown:
+        parser.error(
+            f"--policy must name policies from {SERVE_POLICIES} "
+            f"(comma-separated), got {args.policy!r}"
+        )
+    if args.arrival not in ("open", "closed"):
+        parser.error(f"--arrival must be open or closed, got {args.arrival}")
+    spec = ServingSpec(
+        seed=args.seed,
+        nodes=args.nodes,
+        keys=args.keys,
+        requests_per_thread=args.requests,
+        phases=args.phases,
+        zipf_s=args.zipf_s,
+        read_fraction=args.read_fraction,
+        churn=args.churn,
+        arrival=args.arrival,
+        policy=policies[0],
+        topology=args.topology,
+        release_fanout=args.release_fanout,
+    )
+    if len(policies) == 1:
+        payload = run_serving(spec)
+        rendered = render_serving(payload)
+        digest = report_digest(payload)
+    else:
+        payload = run_serving_race(spec, policies)
+        rendered = render_race(payload)
+        digest = report_digest(payload)
+    print(rendered)
+    print(f"report digest: {digest}")
+    # path notices go to stderr so stdout stays byte-diffable across
+    # backends (the CI serving smoke diffs the rendered reports)
+    if args.md:
+        with open(args.md, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"markdown report written to {args.md}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"raw report written to {args.json}", file=sys.stderr)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -308,6 +380,92 @@ def main(argv: list[str] | None = None) -> int:
         help="(check target) skip the mutation self-test leg",
     )
     parser.add_argument(
+        "--flavor",
+        choices=("core", "serving", "mixed"),
+        default="core",
+        help="(check target) episode generator family: the core random "
+        "access-pattern fuzzer, serving-traffic episodes, or a "
+        "deterministic mix of both",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        metavar="N",
+        default=8,
+        help="(serve target) cluster size (one worker thread per node)",
+    )
+    parser.add_argument(
+        "--policy",
+        metavar="P[,P...]",
+        default="AT",
+        help="(serve target) migration policy, or a comma-separated "
+        "list to race several policies over identical traffic",
+    )
+    parser.add_argument(
+        "--keys",
+        type=int,
+        metavar="K",
+        default=48,
+        help="(serve target) size of the keyed object store",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        metavar="R",
+        default=8,
+        help="(serve target) requests per worker thread per phase",
+    )
+    parser.add_argument(
+        "--phases",
+        type=int,
+        metavar="P",
+        default=3,
+        help="(serve target) barrier-separated phases (hot-set epochs)",
+    )
+    parser.add_argument(
+        "--zipf-s",
+        type=float,
+        metavar="S",
+        default=0.99,
+        help="(serve target) Zipf skew of key popularity",
+    )
+    parser.add_argument(
+        "--read-fraction",
+        type=float,
+        metavar="F",
+        default=0.7,
+        help="(serve target) probability a request is a get (vs put)",
+    )
+    parser.add_argument(
+        "--churn",
+        type=float,
+        metavar="F",
+        default=0.0,
+        help="(serve target) fraction of nodes whose workers go quiet "
+        "each phase (rejoining at the next barrier)",
+    )
+    parser.add_argument(
+        "--arrival",
+        choices=("open", "closed"),
+        default="open",
+        help="(serve target) arrival process: open-loop Poisson gaps or "
+        "closed-loop fixed think time",
+    )
+    parser.add_argument(
+        "--topology",
+        metavar="SPEC",
+        default=None,
+        help="(serve target) interconnect topology spec string "
+        "(PROTOCOL.md §15), e.g. fat-tree:edge=16:pod=4:oversub=2",
+    )
+    parser.add_argument(
+        "--release-fanout",
+        type=int,
+        metavar="K",
+        default=None,
+        help="(serve target) k-ary multicast relay for barrier releases",
+    )
+    parser.add_argument(
         "--md",
         metavar="PATH",
         help="(sweep target) also write the rendered markdown table to PATH",
@@ -332,6 +490,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.target == "check":
         return _run_check_target(args, parser)
+
+    if args.target == "serve":
+        return _run_serve_target(args, parser)
 
     if args.target == "report":
         if not args.trace:

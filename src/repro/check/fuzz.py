@@ -95,11 +95,19 @@ class SectionSpec:
     the current phase.  ``ops`` is the operation list (tuples from the
     module vocabulary); ``compute_us`` is local CPU charged after the
     ops, varying the interleavings the scheduler produces.
+
+    ``request`` optionally labels the section as one serving-tier
+    request of that class (e.g. ``"get"``/``"put"``, see
+    :mod:`repro.apps.serving`): the runner brackets the whole section —
+    lock wait included — in a ``request`` causal span, which is what
+    the SLO pipeline measures.  ``None`` (the default, and the only
+    value the core fuzz generator emits) records no span.
     """
 
     lock: int | None
     ops: list[tuple]
     compute_us: float = 0.0
+    request: str | None = None
 
 
 @dataclass
@@ -167,6 +175,7 @@ class ProgramSpec:
                             "lock": s.lock,
                             "ops": [list(op) for op in s.ops],
                             "compute_us": s.compute_us,
+                            "request": s.request,
                         }
                         for s in sections
                     ]
@@ -213,6 +222,7 @@ class ProgramSpec:
                             lock=s["lock"],
                             ops=[tuple(op) for op in s["ops"]],
                             compute_us=s["compute_us"],
+                            request=s.get("request"),
                         )
                         for s in sections
                     ]
@@ -312,12 +322,37 @@ def _draw_direct_op(
     )
 
 
-def generate_program(seed: int) -> ProgramSpec:
+#: Episode flavors :func:`generate_program` understands.
+#:
+#: * ``core`` — the original random access-pattern generator below;
+#: * ``serving`` — a request-driven serving episode (Zipfian keyed
+#:   store, affinity routing, hot-set shifts; see
+#:   :func:`repro.apps.serving.generate_serving_program`);
+#: * ``mixed`` — deterministically interleaves both: seeds with
+#:   ``seed % 4 == 3`` expand to serving episodes, the rest to core
+#:   ones, so long soak runs cover the serving paths without a separate
+#:   job.
+FLAVORS = ("core", "serving", "mixed")
+
+
+def generate_program(seed: int, flavor: str = "core") -> ProgramSpec:
     """Expand one integer seed into a complete episode spec.
 
-    Deterministic: equal seeds yield byte-identical
+    Deterministic: equal (seed, flavor) pairs yield byte-identical
     :meth:`ProgramSpec.to_json` texts (the conformance CI relies on it).
+    The default ``core`` flavor is unchanged from before flavors
+    existed, so historical corpora stay replayable.
     """
+    if flavor not in FLAVORS:
+        raise ValueError(
+            f"unknown flavor {flavor!r}; choose from {FLAVORS}"
+        )
+    if flavor == "serving" or (flavor == "mixed" and seed % 4 == 3):
+        # Local import: repro.apps.serving imports the spec classes from
+        # this module, so the dependency must stay one-way at import time.
+        from repro.apps.serving import generate_serving_program
+
+        return generate_serving_program(seed)
     rng = random.Random(seed)
     nnodes = rng.randint(2, 5)
     nthreads = rng.randint(2, 5)

@@ -82,17 +82,20 @@ def run_episode(
     seed: int | None = None,
     spec: ProgramSpec | None = None,
     mutation: str | None = None,
+    flavor: str = "core",
 ) -> EpisodeResult:
     """Run one episode and return its verdict.
 
     Pass ``seed`` to fuzz the program, or ``spec`` to run a crafted one
     (exactly one of the two).  ``mutation`` installs one of the built-in
-    protocol mutations for the duration of the run.
+    protocol mutations for the duration of the run.  ``flavor`` picks
+    the generator family for fuzzed episodes (``core``, ``serving`` or
+    ``mixed``; see :data:`repro.check.fuzz.FLAVORS`).
     """
     if (seed is None) == (spec is None):
         raise ValueError("pass exactly one of seed= or spec=")
     if spec is None:
-        spec = generate_program(seed)
+        spec = generate_program(seed, flavor=flavor)
     program = SpecProgram(spec)
     tracer = TraceRecorder()
     checker = InvariantChecker(
@@ -190,6 +193,7 @@ def run_check(
     corpus_dir: str | Path | None = None,
     self_test: bool = True,
     progress=None,
+    flavor: str = "core",
 ) -> CheckReport:
     """Run a full conformance session.
 
@@ -197,13 +201,15 @@ def run_check(
     episode — the program spec plus its verdict, enough to replay any
     failure offline — and a ``report.json`` summary.  ``progress`` is an
     optional callable invoked with each finished :class:`EpisodeResult`.
+    ``flavor`` selects the episode generator family for every fuzzed
+    episode of the session (``core``/``serving``/``mixed``).
     """
     report = CheckReport(base_seed=base_seed)
     out = Path(corpus_dir) if corpus_dir is not None else None
     if out is not None:
         out.mkdir(parents=True, exist_ok=True)
     for index, seed in enumerate(episode_seeds(base_seed, episodes)):
-        result = run_episode(seed=seed)
+        result = run_episode(seed=seed, flavor=flavor)
         report.episodes.append(result)
         if out is not None:
             payload = {

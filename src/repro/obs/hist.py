@@ -135,16 +135,42 @@ class LatencyHistogram:
                 return min(max(bucket_upper(idx), self.min), self.max)
         return self.max  # unreachable unless counts drift; stay safe
 
+    def quantile_at(self, q: float) -> tuple[float | None, bool]:
+        """:meth:`quantile` plus a saturation flag.
+
+        Exact-rank selection cannot resolve ``q`` below the maximum
+        until ``ceil(q * count) < count`` — with 9 samples p999 (and p99,
+        and p95) all land on rank 9, i.e. the max, without any warning.
+        The returned flag is ``True`` when the value is such a saturated
+        *estimate* (``q < 1`` but the rank hit the last sample), so
+        report layers can say "p999 ~ 41.2" instead of presenting the
+        max as a resolved tail quantile.
+        """
+        value = self.quantile(q)
+        if value is None:
+            return None, False
+        estimated = q < 1.0 and math.ceil(q * self.count) >= self.count
+        return value, estimated
+
     def summary(self) -> dict[str, Any]:
-        """JSON-friendly summary with count/min/mean/max and standard quantiles."""
+        """JSON-friendly summary with count/min/mean/max and standard quantiles.
+
+        ``estimated`` lists the quantile names whose value saturated at
+        the maximum for lack of samples (see :meth:`quantile_at`).
+        """
         out: dict[str, Any] = {
             "count": self.count,
             "min": self.min,
             "mean": self.mean,
             "max": self.max,
         }
+        estimated: list[str] = []
         for name, q in _QUANTILES:
-            out[name] = self.quantile(q)
+            value, saturated = self.quantile_at(q)
+            out[name] = value
+            if saturated:
+                estimated.append(name)
+        out["estimated"] = estimated
         return out
 
     def to_dict(self) -> dict[str, Any]:

@@ -34,6 +34,10 @@ from typing import Any, Callable
 __all__ = ["SPAN_KINDS", "SPAN_OPEN", "SPAN_CLOSE", "SpanTracer"]
 
 #: Logical operation kinds a span may carry (``op_kind`` detail field).
+#: ``request`` is the application-level kind: one serving-tier request
+#: (open before the guarding lock is acquired, closed after release), so
+#: its duration is the end-to-end request latency including lock wait
+#: and every coherence fault the request triggered.
 SPAN_KINDS = frozenset(
     {
         "read_miss",
@@ -45,6 +49,7 @@ SPAN_KINDS = frozenset(
         "lock_release",
         "barrier_wait",
         "ship",
+        "request",
     }
 )
 

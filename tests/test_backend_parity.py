@@ -237,6 +237,32 @@ def test_span_trace_identical_across_backends():
     assert digests["python"] == digests["compiled"]
 
 
+SERVING_CODE = """\
+from repro.apps.serving import ServingSpec
+from repro.bench.serving import run_serving, report_digest
+spec = ServingSpec(seed=0, nodes=64, keys=96, phases=3,
+                   requests_per_thread=4, churn=0.125, policy="AT",
+                   topology="fat-tree:edge=8:pod=2:oversub=2")
+print(report_digest(run_serving(spec)))
+"""
+
+#: Pinned digest of the 64-node serving leg above; recompute with the
+#: SERVING_CODE snippet if the traffic generator or report schema
+#: changes intentionally.
+SERVING_DIGEST = (
+    "fa4c2938a6b8baf7f569ae2654d3d3e84a0f12dd001a08af0ab77d27587216a8"
+)
+
+
+def test_serving_report_identical_across_backends():
+    """A 64-node churned serving episode over a fat tree produces the
+    pinned SLO-report digest under both backends — arrivals, request
+    spans, epoch windows and tail quantiles all bit-identical."""
+    digests = _run_both(SERVING_CODE)
+    assert digests["python"] == digests["compiled"]
+    assert digests["python"] == SERVING_DIGEST
+
+
 ANALYZE_CODE = """\
 import hashlib, tempfile, os
 from repro.bench.record import record_trace

@@ -125,6 +125,54 @@ def test_property_bucket_relative_error(value):
 
 
 @settings(derandomize=True)
+@given(values=_values, q=_quantile)
+def test_property_quantile_at_value_matches_quantile(values, q):
+    """quantile_at returns exactly quantile()'s value, plus the flag."""
+    hist = _single_shot(values)
+    value, estimated = hist.quantile_at(q)
+    assert value == hist.quantile(q)
+    if value is None:
+        assert not estimated
+
+
+@settings(derandomize=True)
+@given(values=_values, q=_quantile)
+def test_property_saturated_quantiles_are_flagged(values, q):
+    """estimated ⇔ the rank clamps to the max sample (and q < 1)."""
+    if not values:
+        return
+    hist = _single_shot(values)
+    value, estimated = hist.quantile_at(q)
+    expected = q < 1.0 and math.ceil(q * hist.count) >= hist.count
+    assert estimated == expected
+    if estimated:
+        # a saturated quantile reports the recorded maximum
+        assert value == hist.quantile(1.0)
+
+
+def test_small_sample_tail_is_estimated():
+    """The PR-10 fix: p999 of a 5-sample histogram is flagged, not
+    silently reported as a resolved percentile equal to the max."""
+    hist = _single_shot([1.0, 2.0, 3.0, 4.0, 5.0])
+    p999, estimated = hist.quantile_at(0.999)
+    assert estimated
+    assert p999 == hist.quantile(1.0)
+    # p50 of the same sample resolves exactly — not flagged
+    _, est50 = hist.quantile_at(0.5)
+    assert not est50
+    # and the summary names exactly the saturated quantiles
+    assert hist.summary()["estimated"] == ["p95", "p99", "p999"]
+
+
+def test_large_sample_tail_not_estimated():
+    """With >=1000 samples every canonical quantile resolves."""
+    hist = _single_shot([float(i + 1) for i in range(1000)])
+    assert hist.summary()["estimated"] == []
+    _, est = hist.quantile_at(0.999)
+    assert not est
+
+
+@settings(derandomize=True)
 @given(values=_values)
 def test_property_roundtrip_dict(values):
     """to_dict/from_dict is a lossless round trip."""
